@@ -1,0 +1,145 @@
+// Command expdriver regenerates the paper's tables and figures
+// (Table I-III, Figures 3-7, the Observation-10 latency check, and the
+// DESIGN.md ablations) and prints them as aligned text tables.
+//
+// Usage:
+//
+//	expdriver                       # everything at paper scale (10 seeds)
+//	expdriver -exp fig6 -seeds 3    # one experiment, reduced averaging
+//	expdriver -o results.txt        # write to file, progress on stderr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hybridsched/internal/exp"
+)
+
+func main() {
+	var (
+		which = flag.String("exp", "all",
+			"experiment: all, tablei, tableii, tableiii, fig3, fig4, fig5, fig6, fig7, latency, ablations")
+		seeds    = flag.Int("seeds", 10, "traces averaged per data point")
+		weeks    = flag.Int("weeks", 4, "trace length in weeks")
+		nodes    = flag.Int("nodes", 4392, "system size in nodes")
+		baseSeed = flag.Int64("seed", 1, "first seed")
+		out      = flag.String("o", "", "output file (default stdout)")
+		quiet    = flag.Bool("q", false, "suppress progress messages")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	opt := exp.Options{
+		Nodes:    *nodes,
+		Weeks:    *weeks,
+		Seeds:    *seeds,
+		BaseSeed: *baseSeed,
+	}
+	if !*quiet {
+		opt.Progress = os.Stderr
+	}
+
+	run := func(name string, fn func() error) {
+		if *which != "all" && *which != name {
+			return
+		}
+		fmt.Fprintln(w)
+		if err := fn(); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+	}
+
+	run("tablei", func() error {
+		r, err := exp.TableI(opt)
+		if err == nil {
+			r.Render(w)
+		}
+		return err
+	})
+	run("fig3", func() error {
+		r, err := exp.Figure3(opt)
+		if err == nil {
+			r.Render(w)
+		}
+		return err
+	})
+	run("fig4", func() error {
+		r, err := exp.Figure4(opt)
+		if err == nil {
+			r.Render(w)
+		}
+		return err
+	})
+	run("fig5", func() error {
+		r, err := exp.Figure5(opt)
+		if err == nil {
+			r.Render(w)
+		}
+		return err
+	})
+	run("tableii", func() error {
+		r, err := exp.TableII(opt)
+		if err == nil {
+			r.Render(w)
+		}
+		return err
+	})
+	run("tableiii", func() error {
+		exp.TableIII().Render(w)
+		return nil
+	})
+	run("fig6", func() error {
+		r, err := exp.Figure6(opt)
+		if err == nil {
+			r.Render(w)
+		}
+		return err
+	})
+	run("fig7", func() error {
+		r, err := exp.Figure7(opt)
+		if err == nil {
+			r.Render(w)
+		}
+		return err
+	})
+	run("latency", func() error {
+		r, err := exp.DecisionLatency(opt)
+		if err == nil {
+			r.Render(w)
+		}
+		return err
+	})
+	run("ablations", func() error {
+		for _, fn := range []func(exp.Options) (exp.AblationResult, error){
+			exp.AblationBackfillReserved,
+			exp.AblationDirectedReturn,
+			exp.AblationMinSizeFraction,
+			exp.AblationNoticeLead,
+			exp.AblationQueuePolicy,
+		} {
+			r, err := fn(opt)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			fmt.Fprintln(w)
+		}
+		return nil
+	})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "expdriver:", err)
+	os.Exit(1)
+}

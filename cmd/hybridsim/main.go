@@ -1,0 +1,108 @@
+// Command hybridsim replays a job trace under one scheduling mechanism and
+// prints the paper's evaluation metrics (§IV-D): per-class turnaround,
+// on-demand instant-start rates, preemption ratios, and the node-second
+// utilization ledger.
+//
+// Usage:
+//
+//	hybridsim -trace trace.csv -mech CUA\&SPAA
+//	hybridsim -seed 1 -weeks 4 -mech N\&PAA          # generate on the fly
+//	hybridsim -trace jobs.swf -format swf -mech baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hybridsched"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "input trace (empty: generate synthetically)")
+		format    = flag.String("format", "csv", "trace format: csv or swf")
+		mech      = flag.String("mech", "CUA&SPAA", "scheduler: baseline, N&PAA, N&SPAA, CUA&PAA, CUA&SPAA, CUP&PAA, CUP&SPAA")
+		pol       = flag.String("policy", "fcfs", "queue policy: fcfs, sjf, ljf, wfp3")
+		nodes     = flag.Int("nodes", 4392, "system size in nodes")
+		seed      = flag.Int64("seed", 1, "workload seed when generating")
+		weeks     = flag.Int("weeks", 4, "workload weeks when generating")
+		mixName   = flag.String("mix", "W5", "notice mix W1..W5 when generating")
+		ckptMult  = flag.Float64("ckpt", 1.0, "checkpoint interval multiplier (0.5 = twice as frequent)")
+		bfres     = flag.Bool("backfill-reserved", false, "backfill jobs onto reserved nodes (evicted on arrival)")
+		noReturn  = flag.Bool("no-directed-return", false, "drop returned lease nodes into the common pool")
+	)
+	flag.Parse()
+
+	var records []hybridsched.Record
+	var err error
+	if *tracePath != "" {
+		f, ferr := os.Open(*tracePath)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		defer f.Close()
+		if *format == "swf" {
+			records, err = hybridsched.ReadSWF(f)
+		} else {
+			records, err = hybridsched.ReadTraceCSV(f)
+		}
+	} else {
+		var mix hybridsched.NoticeMix
+		switch *mixName {
+		case "W1":
+			mix = hybridsched.W1
+		case "W2":
+			mix = hybridsched.W2
+		case "W3":
+			mix = hybridsched.W3
+		case "W4":
+			mix = hybridsched.W4
+		default:
+			mix = hybridsched.W5
+		}
+		records, err = hybridsched.GenerateWorkload(hybridsched.WorkloadConfig{
+			Seed: *seed, Weeks: *weeks, Nodes: *nodes, Mix: mix,
+		})
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	rep, err := hybridsched.Simulate(hybridsched.SimulationConfig{
+		Nodes:              *nodes,
+		Mechanism:          *mech,
+		Policy:             *pol,
+		CheckpointFreqMult: *ckptMult,
+		BackfillReserved:   *bfres,
+		NoDirectedReturn:   *noReturn,
+	}, records)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("mechanism           %s (policy %s)\n", *mech, *pol)
+	fmt.Printf("jobs                %d (rigid %d, on-demand %d, malleable %d)\n",
+		rep.Jobs, rep.Rigid.Count, rep.OnDemand.Count, rep.Malleable.Count)
+	fmt.Printf("makespan            %s\n", hybridsched.FormatDuration(rep.Makespan))
+	fmt.Printf("avg turnaround      %.1f h (rigid %.1f, on-demand %.1f, malleable %.1f)\n",
+		rep.All.MeanTurnaroundH, rep.Rigid.MeanTurnaroundH,
+		rep.OnDemand.MeanTurnaroundH, rep.Malleable.MeanTurnaroundH)
+	fmt.Printf("system utilization  %.2f%%\n", 100*rep.Utilization)
+	fmt.Printf("  useful %.2f%%  setup %.2f%%  ckpt %.2f%%  lost %.2f%%  reserved-idle %.2f%%  idle %.2f%%\n",
+		100*rep.Breakdown.Useful, 100*rep.Breakdown.Setup, 100*rep.Breakdown.Ckpt,
+		100*rep.Breakdown.Lost, 100*rep.Breakdown.ReservedIdle, 100*rep.Breakdown.Idle)
+	fmt.Printf("instant start       %.2f%% (strict zero-delay %.2f%%, mean delay %.0fs)\n",
+		100*rep.InstantStartRate, 100*rep.StrictInstantStartRate, rep.MeanStartDelay)
+	fmt.Printf("preemption ratio    rigid %.2f%%  malleable %.2f%%\n",
+		100*rep.Rigid.PreemptRatio, 100*rep.Malleable.PreemptRatio)
+	if rep.DecisionCount > 0 {
+		fmt.Printf("decision latency    mean %.4f ms, max %.4f ms over %d decisions\n",
+			rep.MeanDecisionMs, rep.MaxDecisionMs, rep.DecisionCount)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hybridsim:", err)
+	os.Exit(1)
+}

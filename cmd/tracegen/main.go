@@ -1,0 +1,107 @@
+// Command tracegen synthesizes hybrid workload traces from the calibrated
+// Theta model and writes them in the native CSV schema (or SWF with the
+// hybrid extensions dropped).
+//
+// Usage:
+//
+//	tracegen -seed 1 -weeks 4 -mix W5 -o trace.csv
+//	tracegen -seed 2 -format swf -o trace.swf
+//	tracegen -summary            # print Table I style characterization only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hybridsched"
+)
+
+func main() {
+	var (
+		seed    = flag.Int64("seed", 1, "random seed (same seed, same trace)")
+		weeks   = flag.Int("weeks", 4, "trace length in weeks")
+		nodes   = flag.Int("nodes", 4392, "system size in nodes")
+		mixName = flag.String("mix", "W5", "advance-notice mix, W1..W5 (Table III)")
+		load    = flag.Float64("load", 0, "target offered load (0 = calibrated default)")
+		format  = flag.String("format", "csv", "output format: csv or swf")
+		out     = flag.String("o", "", "output file (default stdout)")
+		summary = flag.Bool("summary", false, "print the workload summary instead of the trace")
+	)
+	flag.Parse()
+
+	mix, err := mixByName(*mixName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := hybridsched.WorkloadConfig{
+		Seed:       *seed,
+		Weeks:      *weeks,
+		Nodes:      *nodes,
+		Mix:        mix,
+		TargetLoad: *load,
+	}
+	records, err := hybridsched.GenerateWorkload(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	if *summary {
+		counts := map[hybridsched.JobClass]int{}
+		var nodeHours float64
+		for _, r := range records {
+			counts[r.Class]++
+			nodeHours += float64(r.Size) * float64(r.Work) / 3600
+		}
+		fmt.Fprintf(w, "jobs:       %d\n", len(records))
+		fmt.Fprintf(w, "rigid:      %d\n", counts[hybridsched.Rigid])
+		fmt.Fprintf(w, "on-demand:  %d\n", counts[hybridsched.OnDemand])
+		fmt.Fprintf(w, "malleable:  %d\n", counts[hybridsched.Malleable])
+		fmt.Fprintf(w, "node-hours: %.0f\n", nodeHours)
+		return
+	}
+
+	switch *format {
+	case "csv":
+		err = hybridsched.WriteTraceCSV(w, records)
+	case "swf":
+		err = hybridsched.WriteSWF(w, records)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func mixByName(name string) (hybridsched.NoticeMix, error) {
+	switch name {
+	case "W1":
+		return hybridsched.W1, nil
+	case "W2":
+		return hybridsched.W2, nil
+	case "W3":
+		return hybridsched.W3, nil
+	case "W4":
+		return hybridsched.W4, nil
+	case "W5":
+		return hybridsched.W5, nil
+	}
+	return hybridsched.NoticeMix{}, fmt.Errorf("unknown mix %q (want W1..W5)", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,88 @@
+// ML sweep: the malleability incentive (paper Observation 6). A research
+// group runs hyperparameter sweeps — bags of loosely coupled trials that can
+// run on anywhere between 20% and 100% of their preferred allocation. Should
+// they declare the sweeps malleable, or lie and submit them as rigid jobs?
+//
+// The example runs the same workload twice under CUA&SPAA: once with the
+// sweeps declared malleable, once with the identical jobs declared rigid.
+// Declaring malleability should pay: malleable jobs squeeze into fragments,
+// start earlier, and are guaranteed re-expansion after lending nodes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybridsched"
+)
+
+func main() {
+	records, err := hybridsched.GenerateWorkload(hybridsched.WorkloadConfig{
+		Seed:        11,
+		Weeks:       2,
+		Nodes:       1024,
+		MinJobSize:  32,
+		SizeBuckets: []int{32, 64, 128, 256, 512},
+		SizeWeights: []float64{0.3, 0.25, 0.2, 0.15, 0.1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The "honest" trace keeps the generated malleable sweeps; the "lying"
+	// variant declares the very same jobs rigid (fixed at their maximum).
+	honest := records
+	lying := make([]hybridsched.Record, len(records))
+	sweeps := map[int]bool{}
+	for i, r := range records {
+		lying[i] = r
+		if r.Class == hybridsched.Malleable {
+			sweeps[r.ID] = true
+			lying[i].Class = hybridsched.Rigid
+			lying[i].MinSize = r.Size
+		}
+	}
+	fmt.Printf("workload: %d jobs, %d of them hyperparameter sweeps\n\n", len(records), len(sweeps))
+
+	meanSweepTurnaround := func(rep hybridsched.Report) float64 {
+		var sum float64
+		var n int
+		for _, res := range rep.PerJob {
+			if sweeps[res.ID] {
+				sum += float64(res.Turnaround) / 3600
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+
+	cfg := hybridsched.SimulationConfig{Nodes: 1024, Mechanism: "CUA&SPAA"}
+	repHonest, err := hybridsched.Simulate(cfg, honest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	repLying, err := hybridsched.Simulate(cfg, lying)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-28s %12s %12s\n", "", "declared", "declared")
+	fmt.Printf("%-28s %12s %12s\n", "", "malleable", "rigid")
+	fmt.Printf("%-28s %11.1fh %11.1fh\n", "sweep mean turnaround",
+		meanSweepTurnaround(repHonest), meanSweepTurnaround(repLying))
+	fmt.Printf("%-28s %11.1fh %11.1fh\n", "whole-system turnaround",
+		repHonest.All.MeanTurnaroundH, repLying.All.MeanTurnaroundH)
+	fmt.Printf("%-28s %11.1f%% %11.1f%%\n", "system utilization",
+		100*repHonest.Utilization, 100*repLying.Utilization)
+	fmt.Printf("%-28s %11.1f%% %11.1f%%\n", "on-demand instant starts",
+		100*repHonest.InstantStartRate, 100*repLying.InstantStartRate)
+
+	if h, l := meanSweepTurnaround(repHonest), meanSweepTurnaround(repLying); h < l {
+		fmt.Printf("\nHonesty pays: declaring malleability cut the sweeps' turnaround by %.0f%%\n",
+			100*(1-h/l))
+		fmt.Println("(they start early on leftover fragments and expand when nodes free up),")
+		fmt.Println("discouraging users from disguising malleable work as rigid jobs (Obs. 6).")
+	} else {
+		fmt.Println("\nUnexpected: rigid declaration won on this trace - try another seed.")
+	}
+}

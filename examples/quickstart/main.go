@@ -1,0 +1,47 @@
+// Quickstart: generate a small hybrid workload, run it under the paper's
+// best all-round mechanism (CUA&SPAA) and under the plain FCFS/EASY
+// baseline, and compare the headline metrics (paper Observation 1).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybridsched"
+)
+
+func main() {
+	// One week on a 512-node system keeps this instant; drop the overrides
+	// for the full 4392-node Theta model.
+	records, err := hybridsched.GenerateWorkload(hybridsched.WorkloadConfig{
+		Seed:        42,
+		Weeks:       1,
+		Nodes:       512,
+		MinJobSize:  16,
+		SizeBuckets: []int{16, 32, 64, 128, 256},
+		SizeWeights: []float64{0.3, 0.25, 0.2, 0.15, 0.1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d jobs over one week on 512 nodes\n\n", len(records))
+
+	for _, mech := range []string{"baseline", "CUA&SPAA"} {
+		rep, err := hybridsched.Simulate(hybridsched.SimulationConfig{
+			Nodes:     512,
+			Mechanism: mech,
+		}, records)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n", mech)
+		fmt.Printf("  avg turnaround     %.1f h\n", rep.All.MeanTurnaroundH)
+		fmt.Printf("  system utilization %.1f%%\n", 100*rep.Utilization)
+		fmt.Printf("  instant starts     %.1f%% of on-demand jobs\n", 100*rep.InstantStartRate)
+		fmt.Printf("  preempted          %.1f%% rigid, %.1f%% malleable\n\n",
+			100*rep.Rigid.PreemptRatio, 100*rep.Malleable.PreemptRatio)
+	}
+	fmt.Println("CUA&SPAA serves on-demand jobs almost instantly by reserving")
+	fmt.Println("released nodes after each advance notice and shrinking running")
+	fmt.Println("malleable jobs at arrival, at a small turnaround cost.")
+}

@@ -1,0 +1,65 @@
+// Urgent analytics: the paper's motivating scenario (§I, §II-A). An
+// experimental facility (think light source or telescope pipeline) submits
+// bursts of time-critical analysis jobs to a supercomputer that is otherwise
+// packed with batch simulations. The experiment schedule is known, so most
+// urgent jobs can announce themselves 15-30 minutes ahead.
+//
+// The example compares how each mechanism absorbs the bursts, reproducing
+// the Figure 6 story on a laptop scale: every mechanism achieves a high
+// instant-start rate, N&PAA pays the highest price for it, and the
+// advance-notice mechanisms (CUA/CUP) protect the batch workload best.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybridsched"
+)
+
+func main() {
+	// A W2-style workload: most on-demand jobs carry an accurate advance
+	// notice, as when analysis needs follow a published beam schedule.
+	records, err := hybridsched.GenerateWorkload(hybridsched.WorkloadConfig{
+		Seed:        7,
+		Weeks:       2,
+		Nodes:       1024,
+		MinJobSize:  32,
+		SizeBuckets: []int{32, 64, 128, 256, 512},
+		SizeWeights: []float64{0.3, 0.25, 0.2, 0.15, 0.1},
+		Mix:         hybridsched.W2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var odCount int
+	for _, r := range records {
+		if r.Class == hybridsched.OnDemand {
+			odCount++
+		}
+	}
+	fmt.Printf("workload: %d jobs (%d urgent analytics) over two weeks on 1024 nodes\n\n",
+		len(records), odCount)
+	fmt.Printf("%-10s %9s %9s %11s %11s %12s\n",
+		"mechanism", "instant", "util", "turnaround", "batch turn", "urgent delay")
+
+	for _, mech := range hybridsched.Mechanisms() {
+		rep, err := hybridsched.Simulate(hybridsched.SimulationConfig{
+			Nodes:     1024,
+			Mechanism: mech,
+		}, records)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %8.1f%% %8.1f%% %10.1fh %10.1fh %11.0fs\n",
+			mech,
+			100*rep.InstantStartRate,
+			100*rep.Utilization,
+			rep.All.MeanTurnaroundH,
+			rep.Rigid.MeanTurnaroundH,
+			rep.MeanStartDelay)
+	}
+	fmt.Println("\nWith accurate notices, CUA/CUP gather released nodes ahead of each")
+	fmt.Println("burst, so urgent jobs start instantly without preempting the batch")
+	fmt.Println("simulations that N&PAA must interrupt.")
+}

@@ -1,0 +1,205 @@
+// Package hybridsched is a trace-driven simulator and scheduling library for
+// hybrid HPC workloads, reproducing "Hybrid Workload Scheduling on HPC
+// Systems" (Fan, Lan, Rich, Allcock, Papka — IPDPS 2022, arXiv:2109.05412).
+//
+// A single HPC system serves three application classes at once:
+//
+//   - rigid jobs: fixed size, periodic defensive checkpoints;
+//   - on-demand jobs: time-critical, must start (nearly) instantly, may
+//     announce themselves 15–30 minutes ahead of arrival;
+//   - malleable jobs: resizable between a minimum and maximum node count
+//     with linear speedup.
+//
+// The library provides the paper's six co-scheduling mechanisms
+// ({N, CUA, CUP} × {PAA, SPAA}), a FCFS/EASY-backfilling baseline, a
+// calibrated synthetic workload generator modeled on the 2019 Theta (ALCF)
+// trace, and the experiment drivers that regenerate every table and figure
+// of the paper's evaluation.
+//
+// # Quick start
+//
+//	records, _ := hybridsched.GenerateWorkload(hybridsched.WorkloadConfig{Seed: 1, Weeks: 1})
+//	report, _ := hybridsched.Simulate(hybridsched.SimulationConfig{Mechanism: "CUA&SPAA"}, records)
+//	fmt.Printf("utilization %.1f%%, instant starts %.1f%%\n",
+//		100*report.Utilization, 100*report.InstantStartRate)
+//
+// See examples/ for runnable scenarios and cmd/ for the CLI tools.
+package hybridsched
+
+import (
+	"fmt"
+	"io"
+
+	"hybridsched/internal/checkpoint"
+	"hybridsched/internal/core"
+	"hybridsched/internal/exp"
+	"hybridsched/internal/job"
+	"hybridsched/internal/metrics"
+	"hybridsched/internal/policy"
+	"hybridsched/internal/sim"
+	"hybridsched/internal/simtime"
+	"hybridsched/internal/trace"
+	"hybridsched/internal/workload"
+)
+
+// Job classes (re-exported from the job model).
+type JobClass = job.Class
+
+// The three application classes of the paper.
+const (
+	Rigid     = job.Rigid
+	OnDemand  = job.OnDemand
+	Malleable = job.Malleable
+)
+
+// NoticeCategory classifies how an on-demand job's advance notice relates to
+// its actual arrival (paper Fig. 1).
+type NoticeCategory = job.NoticeCategory
+
+// The four notice categories.
+const (
+	NoNotice       = job.NoNotice
+	AccurateNotice = job.AccurateNotice
+	ArriveEarly    = job.ArriveEarly
+	ArriveLate     = job.ArriveLate
+)
+
+// Record is one job of a trace (native CSV schema).
+type Record = trace.Record
+
+// Report carries the measurements of one simulation run: turnaround
+// statistics per class, the instant-start rates, preemption ratios, the
+// exact node-second utilization ledger, and the per-job outcomes.
+type Report = metrics.Report
+
+// JobResult is the outcome of one completed job.
+type JobResult = metrics.JobResult
+
+// WorkloadConfig parameterizes the synthetic Theta-model generator. The zero
+// value (plus a Seed) produces the paper-faithful default workload.
+type WorkloadConfig = workload.Config
+
+// NoticeMix is the distribution of on-demand jobs over the four advance-
+// notice categories, in the order: none, accurate, early, late (Table III).
+type NoticeMix = workload.NoticeMix
+
+// The five advance-notice mixes of Table III.
+var (
+	W1 = workload.W1
+	W2 = workload.W2
+	W3 = workload.W3
+	W4 = workload.W4
+	W5 = workload.W5
+)
+
+// ExperimentOptions scale the paper-reproduction experiment drivers.
+type ExperimentOptions = exp.Options
+
+// Mechanisms returns the available scheduler names: "baseline" (plain
+// FCFS/EASY, Table II) plus the paper's six mechanisms in order
+// ("N&PAA", "N&SPAA", "CUA&PAA", "CUA&SPAA", "CUP&PAA", "CUP&SPAA").
+func Mechanisms() []string { return exp.Mechanisms() }
+
+// SimulationConfig selects the scheduler and system model for Simulate.
+type SimulationConfig struct {
+	// Nodes is the system size (default 4392, Theta).
+	Nodes int
+	// Mechanism is one of Mechanisms() (default "CUA&SPAA").
+	Mechanism string
+	// Policy orders the waiting queue: fcfs (default), sjf, ljf, wfp3.
+	Policy string
+	// MTBF is the system mean time between failures in seconds, driving
+	// Daly's optimal checkpoint interval for rigid jobs (default 24 h).
+	MTBF float64
+	// CheckpointFreqMult scales the checkpoint interval around the Daly
+	// optimum: 0.5 checkpoints twice as often (Fig. 7). Default 1.0.
+	CheckpointFreqMult float64
+	// BackfillReserved lets backfill jobs run on reserved nodes and be
+	// preempted on the on-demand arrival (paper §III-B.1 option).
+	BackfillReserved bool
+	// NoDirectedReturn disables the return-to-lender rule (§III-B.3);
+	// returned nodes drop into the common pool instead.
+	NoDirectedReturn bool
+	// ReleaseThresholdSeconds holds reserved nodes for a no-show on-demand
+	// job this long past its estimated arrival (default 600 s).
+	ReleaseThresholdSeconds int64
+	// Validate checks the cluster partition invariant after every event
+	// (for tests; slows long runs down).
+	Validate bool
+}
+
+func (c SimulationConfig) withDefaults() SimulationConfig {
+	if c.Nodes == 0 {
+		c.Nodes = 4392
+	}
+	if c.Mechanism == "" {
+		c.Mechanism = "CUA&SPAA"
+	}
+	if c.Policy == "" {
+		c.Policy = "fcfs"
+	}
+	if c.MTBF == 0 {
+		c.MTBF = 24 * float64(simtime.Hour)
+	}
+	if c.CheckpointFreqMult == 0 {
+		c.CheckpointFreqMult = 1.0
+	}
+	return c
+}
+
+// GenerateWorkload synthesizes a hybrid job trace; the same config and seed
+// always produce the same trace.
+func GenerateWorkload(cfg WorkloadConfig) ([]Record, error) {
+	return workload.Generate(cfg)
+}
+
+// Simulate replays records under cfg and returns the measurement report.
+func Simulate(cfg SimulationConfig, records []Record) (Report, error) {
+	cfg = cfg.withDefaults()
+	ord := policy.ByName(cfg.Policy)
+	if ord == nil {
+		return Report{}, fmt.Errorf("hybridsched: unknown policy %q", cfg.Policy)
+	}
+	jobs := trace.Materialize(records, func(size int) checkpoint.Plan {
+		return checkpoint.NewPlan(size, cfg.MTBF, cfg.CheckpointFreqMult)
+	})
+	var mech sim.Mechanism
+	if cfg.Mechanism == "baseline" {
+		mech = sim.Baseline{}
+	} else {
+		m, err := core.ByName(cfg.Mechanism, core.Config{
+			ReleaseThreshold: cfg.ReleaseThresholdSeconds,
+			DirectedReturn:   !cfg.NoDirectedReturn,
+			BackfillReserved: cfg.BackfillReserved,
+		})
+		if err != nil {
+			return Report{}, err
+		}
+		mech = m
+	}
+	engine, err := sim.New(sim.Config{
+		Nodes:            cfg.Nodes,
+		Policy:           ord,
+		BackfillReserved: cfg.BackfillReserved,
+		Validate:         cfg.Validate,
+	}, jobs, mech)
+	if err != nil {
+		return Report{}, err
+	}
+	return engine.Run()
+}
+
+// ReadTraceCSV parses a trace in the native CSV schema.
+func ReadTraceCSV(r io.Reader) ([]Record, error) { return trace.ReadCSV(r) }
+
+// WriteTraceCSV writes a trace in the native CSV schema.
+func WriteTraceCSV(w io.Writer, records []Record) error { return trace.WriteCSV(w, records) }
+
+// ReadSWF imports a Standard Workload Format trace; every job arrives rigid.
+func ReadSWF(r io.Reader) ([]Record, error) { return trace.ReadSWF(r) }
+
+// WriteSWF exports a trace as SWF (hybrid extensions are dropped).
+func WriteSWF(w io.Writer, records []Record) error { return trace.WriteSWF(w, records) }
+
+// FormatDuration renders virtual-time seconds compactly, e.g. "15.6h".
+func FormatDuration(seconds int64) string { return simtime.Format(seconds) }

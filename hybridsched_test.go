@@ -1,0 +1,121 @@
+package hybridsched
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	records, err := GenerateWorkload(WorkloadConfig{Seed: 1, Weeks: 1, Nodes: 512,
+		MinJobSize:  16,
+		SizeBuckets: []int{16, 32, 64, 128},
+		SizeWeights: []float64{0.4, 0.3, 0.2, 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) == 0 {
+		t.Fatal("no records")
+	}
+	for _, mech := range Mechanisms() {
+		rep, err := Simulate(SimulationConfig{Nodes: 512, Mechanism: mech, Validate: true}, records)
+		if err != nil {
+			t.Fatalf("%s: %v", mech, err)
+		}
+		if rep.Jobs != len(records) {
+			t.Fatalf("%s completed %d/%d", mech, rep.Jobs, len(records))
+		}
+	}
+}
+
+func TestSimulateDefaults(t *testing.T) {
+	records, err := GenerateWorkload(WorkloadConfig{Seed: 2, Weeks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Simulate(SimulationConfig{}, records) // all defaults
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Utilization <= 0 || rep.Utilization > 1 {
+		t.Fatalf("utilization %g", rep.Utilization)
+	}
+}
+
+func TestSimulateUnknownMechanism(t *testing.T) {
+	if _, err := Simulate(SimulationConfig{Mechanism: "nope"}, nil); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSimulateUnknownPolicy(t *testing.T) {
+	if _, err := Simulate(SimulationConfig{Policy: "nope"}, nil); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestTraceRoundTripThroughFacade(t *testing.T) {
+	records, err := GenerateWorkload(WorkloadConfig{Seed: 3, Weeks: 1, Nodes: 512,
+		MinJobSize:  16,
+		SizeBuckets: []int{16, 64},
+		SizeWeights: []float64{0.6, 0.4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTraceCSV(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTraceCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(records) {
+		t.Fatalf("round trip lost records: %d vs %d", len(back), len(records))
+	}
+	// SWF export/import degrades everything to rigid but keeps sizes.
+	buf.Reset()
+	if err := WriteSWF(&buf, records[:5]); err != nil {
+		t.Fatal(err)
+	}
+	swf, err := ReadSWF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(swf) != 5 || swf[0].Class != Rigid {
+		t.Fatalf("swf round trip wrong: %d records", len(swf))
+	}
+}
+
+func TestMechanismNamesStable(t *testing.T) {
+	want := []string{"baseline", "N&PAA", "N&SPAA", "CUA&PAA", "CUA&SPAA", "CUP&PAA", "CUP&SPAA"}
+	got := Mechanisms()
+	if len(got) != len(want) {
+		t.Fatalf("mechanisms %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mechanisms %v", got)
+		}
+	}
+}
+
+func TestNoticeMixConstants(t *testing.T) {
+	for _, m := range []NoticeMix{W1, W2, W3, W4, W5} {
+		sum := 0.0
+		for _, p := range m {
+			sum += p
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("mix %v does not sum to 1", m)
+		}
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	if got := FormatDuration(56160); !strings.Contains(got, "h") {
+		t.Fatalf("FormatDuration = %q", got)
+	}
+}

@@ -1,0 +1,70 @@
+// Package checkpoint models the defensive checkpointing of rigid jobs.
+//
+// The paper assumes rigid applications checkpoint at the optimal frequency
+// given by Daly's higher-order estimate (J. Daly, "A higher order estimate of
+// the optimum checkpoint interval for restart dumps", FGCS 2006), with a
+// per-checkpoint overhead of 600 s for jobs smaller than 1 K nodes and 1200 s
+// otherwise (paper §IV-B). Figure 7 sweeps a *frequency multiplier* around
+// the optimum: "50 %" means checkpointing twice as often as Daly-optimal,
+// i.e. the interval is scaled by 0.5.
+package checkpoint
+
+import "math"
+
+// Default overheads and threshold from paper §IV-B.
+const (
+	SmallJobOverhead  int64 = 600  // seconds, jobs < 1K nodes
+	LargeJobOverhead  int64 = 1200 // seconds, jobs >= 1K nodes
+	LargeJobThreshold       = 1024 // nodes ("1K nodes")
+)
+
+// Overhead returns the per-checkpoint wall-clock cost in seconds for a job of
+// the given node count.
+func Overhead(size int) int64 {
+	if size < LargeJobThreshold {
+		return SmallJobOverhead
+	}
+	return LargeJobOverhead
+}
+
+// OptimalInterval returns Daly's higher-order estimate of the optimum compute
+// time between checkpoints, in seconds, for checkpoint cost delta and
+// system mean time between failures mtbf (both seconds). For delta >= 2*mtbf
+// the estimate degenerates to mtbf, following Daly.
+func OptimalInterval(delta, mtbf float64) float64 {
+	if delta <= 0 || mtbf <= 0 {
+		panic("checkpoint: delta and mtbf must be positive")
+	}
+	if delta >= 2*mtbf {
+		return mtbf
+	}
+	x := delta / (2 * mtbf)
+	return math.Sqrt(2*delta*mtbf)*(1+math.Sqrt(x)/3+x/9) - delta
+}
+
+// Plan captures a job's checkpointing parameters.
+type Plan struct {
+	Interval int64 // compute seconds between checkpoints; 0 disables
+	Overhead int64 // wall seconds per checkpoint
+}
+
+// NewPlan builds the checkpoint plan for a rigid job of the given size under
+// a system with the given MTBF (seconds) and a frequency setting expressed as
+// the Figure-7 interval multiplier (1.0 = Daly optimal, 0.5 = twice as
+// frequent, 2.0 = half as frequent). A non-positive multiplier or MTBF
+// disables checkpointing.
+func NewPlan(size int, mtbfSeconds float64, intervalMultiplier float64) Plan {
+	if mtbfSeconds <= 0 || intervalMultiplier <= 0 {
+		return Plan{}
+	}
+	delta := Overhead(size)
+	opt := OptimalInterval(float64(delta), mtbfSeconds)
+	iv := int64(opt * intervalMultiplier)
+	if iv < 1 {
+		iv = 1
+	}
+	return Plan{Interval: iv, Overhead: delta}
+}
+
+// Enabled reports whether the plan takes checkpoints at all.
+func (p Plan) Enabled() bool { return p.Interval > 0 && p.Overhead >= 0 }

@@ -1,0 +1,135 @@
+package checkpoint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOverheadRule(t *testing.T) {
+	cases := []struct {
+		size int
+		want int64
+	}{
+		{128, 600}, {512, 600}, {1023, 600},
+		{1024, 1200}, {2048, 1200}, {4392, 1200},
+	}
+	for _, c := range cases {
+		if got := Overhead(c.size); got != c.want {
+			t.Errorf("Overhead(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+}
+
+func TestOptimalIntervalFirstOrderAgreement(t *testing.T) {
+	// For delta << MTBF, Daly's estimate approaches sqrt(2*delta*M) - delta.
+	delta, mtbf := 600.0, 10*24*3600.0
+	got := OptimalInterval(delta, mtbf)
+	approx := math.Sqrt(2*delta*mtbf) - delta
+	if math.Abs(got-approx)/approx > 0.05 {
+		t.Fatalf("higher-order %g too far from first-order %g", got, approx)
+	}
+}
+
+func TestOptimalIntervalDegenerate(t *testing.T) {
+	// delta >= 2*mtbf: interval collapses to mtbf.
+	if got := OptimalInterval(1000, 400); got != 400 {
+		t.Fatalf("degenerate case = %g, want 400", got)
+	}
+}
+
+func TestOptimalIntervalPanics(t *testing.T) {
+	for _, c := range [][2]float64{{0, 100}, {100, 0}, {-1, 100}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for delta=%g mtbf=%g", c[0], c[1])
+				}
+			}()
+			OptimalInterval(c[0], c[1])
+		}()
+	}
+}
+
+// Property: the optimal interval is positive and monotone non-decreasing in
+// MTBF (more reliable machines checkpoint less often).
+func TestOptimalIntervalMonotoneInMTBF(t *testing.T) {
+	f := func(seedA, seedB uint16) bool {
+		m1 := 3600.0 + float64(seedA)*100
+		m2 := m1 + float64(seedB)*100
+		i1 := OptimalInterval(600, m1)
+		i2 := OptimalInterval(600, m2)
+		return i1 > 0 && i2 >= i1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: larger checkpoint overhead means longer optimal intervals
+// (amortize expensive checkpoints).
+func TestOptimalIntervalMonotoneInDelta(t *testing.T) {
+	mtbf := 24 * 3600.0
+	prev := 0.0
+	for delta := 100.0; delta <= 2000; delta += 100 {
+		iv := OptimalInterval(delta, mtbf)
+		if iv <= prev {
+			t.Fatalf("interval not increasing: delta=%g iv=%g prev=%g", delta, iv, prev)
+		}
+		prev = iv
+	}
+}
+
+func TestNewPlan(t *testing.T) {
+	p := NewPlan(512, 24*3600, 1.0)
+	if !p.Enabled() {
+		t.Fatal("plan should be enabled")
+	}
+	if p.Overhead != 600 {
+		t.Fatalf("overhead %d", p.Overhead)
+	}
+	want := int64(OptimalInterval(600, 24*3600))
+	if p.Interval != want {
+		t.Fatalf("interval %d, want %d", p.Interval, want)
+	}
+
+	big := NewPlan(2048, 24*3600, 1.0)
+	if big.Overhead != 1200 {
+		t.Fatalf("large-job overhead %d", big.Overhead)
+	}
+	if big.Interval <= p.Interval {
+		t.Fatal("larger overhead should lengthen the interval")
+	}
+}
+
+func TestNewPlanFrequencyMultiplier(t *testing.T) {
+	base := NewPlan(512, 24*3600, 1.0)
+	half := NewPlan(512, 24*3600, 0.5)
+	twice := NewPlan(512, 24*3600, 2.0)
+	if half.Interval >= base.Interval {
+		t.Fatal("0.5 multiplier must shorten the interval (more frequent)")
+	}
+	if twice.Interval <= base.Interval {
+		t.Fatal("2.0 multiplier must lengthen the interval")
+	}
+	// Scaling is linear in the multiplier.
+	if d := math.Abs(float64(half.Interval)*2 - float64(base.Interval)); d > 2 {
+		t.Fatalf("half interval not ~base/2 (diff %g)", d)
+	}
+}
+
+func TestNewPlanDisabled(t *testing.T) {
+	if NewPlan(512, 0, 1).Enabled() {
+		t.Fatal("zero MTBF should disable checkpointing")
+	}
+	if NewPlan(512, 3600, 0).Enabled() {
+		t.Fatal("zero multiplier should disable checkpointing")
+	}
+}
+
+func TestNewPlanMinimumInterval(t *testing.T) {
+	p := NewPlan(512, 3600, 1e-9)
+	if p.Interval < 1 {
+		t.Fatalf("interval clamped to >=1, got %d", p.Interval)
+	}
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"sort"
+
+	"hybridsched/internal/job"
+)
+
+// OnODArrival handles the actual arrival of an on-demand job
+// (paper §III-B.2). It returns true when the mechanism either started the
+// job or holds a pending start behind in-flight warnings; false sends the
+// job to the front of the waiting queue.
+func (m *Mechanism) OnODArrival(j *job.Job) bool {
+	s := m.state(j)
+	s.arrived = true
+	// Arrival ends the preparation phase: evict squatters from our reserved
+	// nodes first (their nodes return to the reservation), then stop
+	// collection, planned preemptions, and the no-show timeout.
+	if m.cfg.BackfillReserved && m.e.SquattedCount(j.ID) > 0 {
+		m.e.EvictSquatters(j.ID)
+	}
+	m.stopPreparation(s)
+
+	need := j.Size - m.gathered(j.ID) - s.incoming
+	if need <= 0 {
+		return m.tryStart(s)
+	}
+	free := m.e.Cluster().FreeCount()
+	if free > 0 {
+		m.e.Cluster().Reserve(j.ID, min(need, free))
+		need = j.Size - m.gathered(j.ID) - s.incoming
+	}
+	if need <= 0 {
+		return m.tryStart(s)
+	}
+
+	if m.arrival == ArrivalSPAA {
+		if m.shrinkEvenly(s, need) {
+			return m.tryStart(s)
+		}
+		// "If the supply cannot meet, we will use PAA" (§III-B.2).
+	}
+	return m.preemptAtArrival(s, need)
+}
+
+// tryStart starts the job if its reservation is complete, or records a
+// pending start while warnings are in flight. It returns true unless the job
+// must queue.
+func (m *Mechanism) tryStart(s *odState) bool {
+	if s.started {
+		return true
+	}
+	if m.e.Cluster().ReservedCount(s.j.ID) >= s.j.Size {
+		m.e.StartOnDemand(s.j)
+		return true
+	}
+	if s.incoming > 0 {
+		s.pending = true
+		return true
+	}
+	// The job waits at the front of the queue for additional available
+	// nodes (Obs. 9). It keeps its partial gather and keeps collecting
+	// released nodes with its original notice priority — released nodes go
+	// to the on-demand job with the earliest advance notice (§III-B.1), and
+	// an already-arrived job is always earlier than a newly noticed one.
+	m.registerCollector(s)
+	return false
+}
+
+// preemptAtArrival implements PAA: list the running rigid and malleable jobs
+// in ascending preemption-overhead order and preempt whole jobs until the
+// request is covered. If even preempting everything cannot cover it, nothing
+// is preempted and the job waits at the front of the queue (§III-B.2).
+func (m *Mechanism) preemptAtArrival(s *odState, need int) bool {
+	now := m.e.Now()
+	cands := m.e.Running()
+	preemptable := 0
+	for _, r := range cands {
+		preemptable += r.CurSize
+	}
+	if preemptable < need {
+		m.registerCollector(s)
+		return false // insufficient: wait at the front, keep collecting
+	}
+	sort.SliceStable(cands, func(a, b int) bool {
+		oa, ob := cands[a].PreemptionOverhead(now), cands[b].PreemptionOverhead(now)
+		if oa != ob {
+			return oa < ob
+		}
+		return cands[a].ID < cands[b].ID
+	})
+	for _, victim := range cands {
+		if need <= 0 {
+			break
+		}
+		m.preemptFor(s, victim)
+		need = s.j.Size - m.gathered(s.j.ID) - s.incoming
+	}
+	return m.tryStart(s)
+}
+
+// shrinkEvenly implements the SPAA supply step: if the running malleable
+// jobs can release `need` nodes by shrinking toward their minimum sizes, they
+// are shrunk evenly (water-filling on their sizes) and the freed nodes are
+// reserved for the on-demand job. Returns false when the supply is too small
+// (no job is touched in that case).
+func (m *Mechanism) shrinkEvenly(s *odState, need int) bool {
+	var malleable []*job.Job
+	supply := 0
+	for _, r := range m.e.Running() {
+		if r.Class == job.Malleable {
+			malleable = append(malleable, r)
+			supply += r.CurSize - r.MinSize
+		}
+	}
+	if supply < need {
+		return false
+	}
+	targets := planEvenShrink(malleable, need)
+	for _, victim := range malleable {
+		target, ok := targets[victim.ID]
+		if !ok || target >= victim.CurSize {
+			continue
+		}
+		freed := m.e.ShrinkMalleable(victim, target)
+		m.takeForClaim(s, freed, loanShrunk, victim.ID)
+	}
+	return true
+}
+
+// planEvenShrink computes new sizes for the malleable jobs so that exactly
+// `need` nodes are released, sizes stay at or above each job's minimum, and
+// the result is as even as possible (max-min fairness: nodes are taken from
+// the currently largest jobs first). The caller guarantees the aggregate
+// supply covers need.
+func planEvenShrink(jobs []*job.Job, need int) map[int]int {
+	targets := make(map[int]int, len(jobs))
+	if need <= 0 {
+		return targets
+	}
+	type entry struct {
+		id        int
+		size, min int
+	}
+	entries := make([]entry, 0, len(jobs))
+	for _, j := range jobs {
+		entries = append(entries, entry{id: j.ID, size: j.CurSize, min: j.MinSize})
+	}
+	// Lower a water level L: every job shrinks to max(min, min(size, L)).
+	// Binary search the highest L that still releases >= need.
+	released := func(level int) int {
+		total := 0
+		for _, e := range entries {
+			target := level
+			if target > e.size {
+				target = e.size
+			}
+			if target < e.min {
+				target = e.min
+			}
+			total += e.size - target
+		}
+		return total
+	}
+	lo, hi := 0, 0
+	for _, e := range entries {
+		if e.size > hi {
+			hi = e.size
+		}
+	}
+	// Find the largest level with released(level) >= need.
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if released(mid) >= need {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	level := lo
+	// Apply the level, then hand the overshoot back one node per level-cut
+	// job (deterministic by ID) so exactly `need` nodes are released while
+	// final sizes stay within one node of each other at the water level.
+	// The overshoot is strictly smaller than the number of jobs cut exactly
+	// at the level, so a single pass suffices.
+	over := released(level) - need
+	sort.Slice(entries, func(a, b int) bool { return entries[a].id < entries[b].id })
+	for _, e := range entries {
+		target := level
+		if target > e.size {
+			target = e.size
+		}
+		if target < e.min {
+			target = e.min
+		}
+		if over > 0 && target == level && e.size > level {
+			target++
+			over--
+		}
+		if target < e.size {
+			targets[e.id] = target
+		}
+	}
+	return targets
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

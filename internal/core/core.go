@@ -1,0 +1,241 @@
+// Package core implements the paper's contribution: the six hybrid-workload
+// scheduling mechanisms that let one HPC system serve on-demand, rigid, and
+// malleable jobs (paper §III-B).
+//
+// A mechanism combines an advance-notice strategy with an arrival strategy:
+//
+//	notice:  N   — ignore notices
+//	         CUA — collect released nodes until the actual arrival
+//	         CUP — collect, and plan preemptions before the predicted arrival
+//	arrival: PAA  — preempt running jobs, cheapest preemption first
+//	         SPAA — shrink running malleable jobs evenly, falling back to PAA
+//
+// plus the two rules shared by every mechanism: reserved nodes are released
+// ten minutes after a no-show's estimated arrival, and a completing
+// on-demand job returns its leased nodes to the lenders (preempted jobs
+// resume, shrunk jobs expand back).
+//
+// The package plugs into the simulation engine through sim.Mechanism; all
+// resource manipulation goes through the engine's primitives.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hybridsched/internal/eventq"
+	"hybridsched/internal/job"
+	"hybridsched/internal/nodeset"
+	"hybridsched/internal/sim"
+	"hybridsched/internal/simtime"
+)
+
+// NoticeKind selects the advance-notice strategy (paper §III-B.1).
+type NoticeKind int
+
+// The three notice strategies.
+const (
+	NoticeN NoticeKind = iota
+	NoticeCUA
+	NoticeCUP
+)
+
+// String returns the paper's abbreviation.
+func (k NoticeKind) String() string {
+	switch k {
+	case NoticeN:
+		return "N"
+	case NoticeCUA:
+		return "CUA"
+	case NoticeCUP:
+		return "CUP"
+	}
+	return fmt.Sprintf("notice(%d)", int(k))
+}
+
+// ArrivalKind selects the arrival strategy (paper §III-B.2).
+type ArrivalKind int
+
+// The two arrival strategies.
+const (
+	ArrivalPAA ArrivalKind = iota
+	ArrivalSPAA
+)
+
+// String returns the paper's abbreviation.
+func (k ArrivalKind) String() string {
+	switch k {
+	case ArrivalPAA:
+		return "PAA"
+	case ArrivalSPAA:
+		return "SPAA"
+	}
+	return fmt.Sprintf("arrival(%d)", int(k))
+}
+
+// Config tunes mechanism behaviour; zero values take the paper's defaults.
+type Config struct {
+	// ReleaseThreshold is how long after the estimated arrival reserved
+	// nodes are held for a no-show (paper §IV-B: 10 minutes).
+	ReleaseThreshold int64
+	// DirectedReturn holds returned lease nodes for a still-waiting
+	// preempted lender instead of dropping them in the common pool
+	// (paper §III-B.3). Disable for the ablation.
+	DirectedReturn bool
+	// BackfillReserved mirrors sim.Config.BackfillReserved: reservations are
+	// advertised to the backfill planner and squatters are evicted on
+	// arrival (paper §III-B.1).
+	BackfillReserved bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.ReleaseThreshold == 0 {
+		c.ReleaseThreshold = 10 * simtime.Minute
+	}
+	return c
+}
+
+// DefaultConfig returns the paper's settings (directed returns on, 10-minute
+// release threshold, no reserved-node backfilling).
+func DefaultConfig() Config {
+	return Config{DirectedReturn: true}.withDefaults()
+}
+
+// loanKind distinguishes how nodes were taken from a lender.
+type loanKind int
+
+const (
+	loanPreempted loanKind = iota
+	loanShrunk
+)
+
+// loan records nodes an on-demand job borrowed from a lender so they can be
+// returned at completion (paper §III-B.3).
+type loan struct {
+	lender int
+	kind   loanKind
+	nodes  *nodeset.Set
+}
+
+// victimInfo tracks a malleable job inside a preemption warning issued for
+// an on-demand claim.
+type victimInfo struct {
+	claim  int
+	expect int // nodes the claim counts on receiving
+}
+
+// odState tracks one on-demand job from notice to completion.
+type odState struct {
+	j          *job.Job
+	arrived    bool
+	started    bool
+	collecting bool // receiving released nodes (CUA/CUP)
+	pending    bool // start blocked on in-flight warnings
+	incoming   int  // nodes en route from warning victims
+	timeout    *eventq.Event
+	cupTimers  []*eventq.Event
+	loans      []loan
+}
+
+// Mechanism is one of the six notice x arrival combinations. It satisfies
+// sim.Mechanism.
+type Mechanism struct {
+	notice  NoticeKind
+	arrival ArrivalKind
+	cfg     Config
+	e       *sim.Engine
+
+	states     map[int]*odState // on-demand job ID -> state
+	collectors []*odState       // active collectors in notice order
+	victims    map[int]victimInfo
+}
+
+// New builds a mechanism from its two strategies.
+func New(notice NoticeKind, arrival ArrivalKind, cfg Config) *Mechanism {
+	return &Mechanism{
+		notice:  notice,
+		arrival: arrival,
+		cfg:     cfg.withDefaults(),
+		states:  make(map[int]*odState),
+		victims: make(map[int]victimInfo),
+	}
+}
+
+// Names lists the six mechanisms in the paper's order.
+func Names() []string {
+	return []string{"N&PAA", "N&SPAA", "CUA&PAA", "CUA&SPAA", "CUP&PAA", "CUP&SPAA"}
+}
+
+// ByName builds the mechanism named like "CUA&SPAA" with cfg.
+func ByName(name string, cfg Config) (*Mechanism, error) {
+	var n NoticeKind
+	var a ArrivalKind
+	switch name {
+	case "N&PAA":
+		n, a = NoticeN, ArrivalPAA
+	case "N&SPAA":
+		n, a = NoticeN, ArrivalSPAA
+	case "CUA&PAA":
+		n, a = NoticeCUA, ArrivalPAA
+	case "CUA&SPAA":
+		n, a = NoticeCUA, ArrivalSPAA
+	case "CUP&PAA":
+		n, a = NoticeCUP, ArrivalPAA
+	case "CUP&SPAA":
+		n, a = NoticeCUP, ArrivalSPAA
+	default:
+		return nil, fmt.Errorf("core: unknown mechanism %q", name)
+	}
+	return New(n, a, cfg), nil
+}
+
+// Name returns the paper-style mechanism name, e.g. "CUA&SPAA".
+func (m *Mechanism) Name() string { return m.notice.String() + "&" + m.arrival.String() }
+
+// Attach wires the mechanism to its engine.
+func (m *Mechanism) Attach(e *sim.Engine) { m.e = e }
+
+// QueueOnDemandFirst: on-demand jobs that could not start instantly wait at
+// the front of the queue (paper §III-B.2).
+func (m *Mechanism) QueueOnDemandFirst() bool { return true }
+
+// FlexibleMalleable: the mechanisms exploit malleability — the scheduler can
+// choose malleable job sizes at start or resume time (paper §V, Obs. 6).
+func (m *Mechanism) FlexibleMalleable() bool { return true }
+
+// state returns (creating if needed) the tracking state for an on-demand job.
+func (m *Mechanism) state(j *job.Job) *odState {
+	s, ok := m.states[j.ID]
+	if !ok {
+		s = &odState{j: j}
+		m.states[j.ID] = s
+	}
+	return s
+}
+
+// gathered returns the nodes currently reserved for an on-demand job,
+// including squatted ones that will be evicted on arrival.
+func (m *Mechanism) gathered(id int) int {
+	return m.e.Cluster().ReservedCount(id) + m.e.SquattedCount(id)
+}
+
+// timer payloads.
+type (
+	timeoutTimer struct{ odID int }
+	cupTimer     struct {
+		odID   int
+		victim int
+	}
+)
+
+// OnTimer dispatches mechanism timers.
+func (m *Mechanism) OnTimer(payload any) {
+	switch p := payload.(type) {
+	case timeoutTimer:
+		m.handleReleaseTimeout(p.odID)
+	case cupTimer:
+		t0 := time.Now()
+		m.handleCUPPreempt(p.odID, p.victim)
+		m.e.Metrics().NoteDecision(time.Since(t0))
+	}
+}

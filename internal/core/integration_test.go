@@ -1,0 +1,195 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hybridsched/internal/checkpoint"
+	"hybridsched/internal/job"
+	"hybridsched/internal/metrics"
+	"hybridsched/internal/sim"
+	"hybridsched/internal/trace"
+	"hybridsched/internal/workload"
+)
+
+// smallWorkload generates a compact but fully hybrid trace for integration
+// runs (512 nodes keeps each simulation fast while exercising every path).
+func smallWorkload(t testing.TB, seed int64, mix workload.NoticeMix) []trace.Record {
+	t.Helper()
+	cfg := workload.Config{
+		Seed:        seed,
+		Nodes:       512,
+		Weeks:       1,
+		Projects:    30,
+		TargetLoad:  0.9,
+		MinJobSize:  16,
+		SizeBuckets: []int{16, 32, 64, 128, 256},
+		SizeWeights: []float64{0.3, 0.25, 0.2, 0.15, 0.1},
+		Mix:         mix,
+	}
+	recs, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func materialize(recs []trace.Record) []*job.Job {
+	return trace.Materialize(recs, func(size int) checkpoint.Plan {
+		return checkpoint.NewPlan(size, 24*3600, 1.0)
+	})
+}
+
+func runFull(t testing.TB, recs []trace.Record, mechName string, simCfg sim.Config, coreCfg Config) metrics.Report {
+	t.Helper()
+	jobs := materialize(recs)
+	var mech sim.Mechanism
+	if mechName == "baseline" {
+		mech = sim.Baseline{}
+	} else {
+		m, err := ByName(mechName, coreCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mech = m
+	}
+	e, err := sim.New(simCfg, jobs, mech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", mechName, err)
+	}
+	return rep
+}
+
+// checkReportSane verifies the cross-cutting invariants every run must obey.
+func checkReportSane(t *testing.T, name string, rep metrics.Report, jobs int) {
+	t.Helper()
+	if rep.Jobs != jobs {
+		t.Fatalf("%s: completed %d of %d jobs", name, rep.Jobs, jobs)
+	}
+	if rep.Utilization < 0 || rep.Utilization > 1.0000001 {
+		t.Fatalf("%s: utilization %g out of range", name, rep.Utilization)
+	}
+	b := rep.Breakdown
+	sum := b.Useful + b.Setup + b.Ckpt + b.Lost + b.ReservedIdle + b.Idle
+	if sum < 0.999999 || sum > 1.000001 {
+		t.Fatalf("%s: ledger sums to %g", name, sum)
+	}
+	for _, f := range []float64{b.Useful, b.Setup, b.Ckpt, b.Lost, b.ReservedIdle, b.Idle} {
+		if f < -1e-9 {
+			t.Fatalf("%s: negative ledger component %+v", name, b)
+		}
+	}
+	if rep.InstantStartRate < rep.StrictInstantStartRate {
+		t.Fatalf("%s: tolerant instant rate below strict", name)
+	}
+}
+
+// TestAllMechanismsCompleteRandomTraces is the primary integration gate:
+// every mechanism must run arbitrary hybrid workloads to completion with the
+// cluster partition invariant checked after every event.
+func TestAllMechanismsCompleteRandomTraces(t *testing.T) {
+	mixes := []workload.NoticeMix{workload.W1, workload.W2, workload.W5}
+	for seed := int64(1); seed <= 3; seed++ {
+		recs := smallWorkload(t, seed, mixes[seed%int64(len(mixes))])
+		for _, name := range append(Names(), "baseline") {
+			rep := runFull(t, recs, name, sim.Config{Nodes: 512, Validate: true}, DefaultConfig())
+			checkReportSane(t, name, rep, len(recs))
+		}
+	}
+}
+
+// TestMechanismsBeatBaselineOnInstantStart reproduces the headline claim on
+// a small scale (Obs. 1/9): all six mechanisms should serve on-demand jobs
+// far more promptly than FCFS/EASY.
+func TestMechanismsBeatBaselineOnInstantStart(t *testing.T) {
+	recs := smallWorkload(t, 7, workload.W5)
+	base := runFull(t, recs, "baseline", sim.Config{Nodes: 512}, DefaultConfig())
+	for _, name := range Names() {
+		rep := runFull(t, recs, name, sim.Config{Nodes: 512}, DefaultConfig())
+		if rep.InstantStartRate < base.InstantStartRate {
+			t.Errorf("%s instant rate %.2f below baseline %.2f",
+				name, rep.InstantStartRate, base.InstantStartRate)
+		}
+		if rep.InstantStartRate < 0.8 {
+			t.Errorf("%s instant rate %.2f below 0.8", name, rep.InstantStartRate)
+		}
+	}
+}
+
+// TestBaselineNeverPreempts: FCFS/EASY must not preempt or shrink anything.
+func TestBaselineNeverPreempts(t *testing.T) {
+	recs := smallWorkload(t, 9, workload.W5)
+	rep := runFull(t, recs, "baseline", sim.Config{Nodes: 512}, DefaultConfig())
+	if rep.Rigid.PreemptRatio != 0 || rep.Malleable.PreemptRatio != 0 {
+		t.Fatalf("baseline preempted: %+v", rep)
+	}
+	if rep.Breakdown.Lost != 0 {
+		t.Fatalf("baseline lost computation: %g", rep.Breakdown.Lost)
+	}
+}
+
+// TestSPAAReducesMalleablePreemption (Obs. 3): with the same trace, SPAA's
+// malleable preemption ratio must not exceed PAA's.
+func TestSPAAReducesMalleablePreemption(t *testing.T) {
+	recs := smallWorkload(t, 11, workload.W5)
+	paa := runFull(t, recs, "N&PAA", sim.Config{Nodes: 512}, DefaultConfig())
+	spaa := runFull(t, recs, "N&SPAA", sim.Config{Nodes: 512}, DefaultConfig())
+	if spaa.Malleable.PreemptRatio > paa.Malleable.PreemptRatio {
+		t.Fatalf("SPAA malleable preemption %.3f > PAA %.3f",
+			spaa.Malleable.PreemptRatio, paa.Malleable.PreemptRatio)
+	}
+}
+
+// TestBackfillReservedAblation: the squatting option must also run clean.
+func TestBackfillReservedAblation(t *testing.T) {
+	recs := smallWorkload(t, 13, workload.W2)
+	cfg := DefaultConfig()
+	cfg.BackfillReserved = true
+	rep := runFull(t, recs, "CUA&SPAA", sim.Config{Nodes: 512, Validate: true, BackfillReserved: true}, cfg)
+	checkReportSane(t, "CUA&SPAA+bfres", rep, len(recs))
+}
+
+// TestNoDirectedReturnAblation: disabling directed returns must still
+// complete and keep invariants.
+func TestNoDirectedReturnAblation(t *testing.T) {
+	recs := smallWorkload(t, 15, workload.W5)
+	cfg := DefaultConfig()
+	cfg.DirectedReturn = false
+	rep := runFull(t, recs, "N&PAA", sim.Config{Nodes: 512, Validate: true}, cfg)
+	checkReportSane(t, "N&PAA-noreturn", rep, len(recs))
+}
+
+// Property test over random seeds: CUA&SPAA (the paper's best all-rounder)
+// completes anything the generator produces with invariants intact.
+func TestCUASPAARandomSeedsProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long property test")
+	}
+	f := func(seed int64) bool {
+		cfg := workload.Config{
+			Seed: seed, Nodes: 256, Weeks: 1, Projects: 15, TargetLoad: 0.8,
+			MinJobSize:  8,
+			SizeBuckets: []int{8, 16, 32, 64, 128},
+			SizeWeights: []float64{0.3, 0.25, 0.2, 0.15, 0.1},
+		}
+		recs, err := workload.Generate(cfg)
+		if err != nil {
+			return false
+		}
+		jobs := materialize(recs)
+		m, _ := ByName("CUA&SPAA", DefaultConfig())
+		e, err := sim.New(sim.Config{Nodes: 256, Validate: true}, jobs, m)
+		if err != nil {
+			return false
+		}
+		rep, err := e.Run()
+		return err == nil && rep.Jobs == len(recs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hybridsched/internal/job"
+)
+
+// mkRunning fabricates a running malleable job at a given current size.
+func mkRunning(id, max, min, cur int) *job.Job {
+	j := job.NewMalleable(id, 0, 0, max, min, 1000, 1000, 0)
+	j.State = job.Waiting
+	j.StartMalleable(0, cur)
+	return j
+}
+
+func TestPlanEvenShrinkExact(t *testing.T) {
+	jobs := []*job.Job{
+		mkRunning(1, 40, 8, 40),
+		mkRunning(2, 40, 8, 40),
+	}
+	targets := planEvenShrink(jobs, 40)
+	if targets[1] != 20 || targets[2] != 20 {
+		t.Fatalf("targets %v, want 20/20", targets)
+	}
+}
+
+func TestPlanEvenShrinkUneven(t *testing.T) {
+	// Sizes 50 and 10 (min 5 each), need 30: water level 15 releases 35
+	// (50->15) — too much; level 20 releases 30 exactly: 50->20, 10 stays.
+	jobs := []*job.Job{
+		mkRunning(1, 50, 5, 50),
+		mkRunning(2, 10, 5, 10),
+	}
+	targets := planEvenShrink(jobs, 30)
+	if targets[1] != 20 {
+		t.Fatalf("job 1 target %d, want 20", targets[1])
+	}
+	if _, ok := targets[2]; ok {
+		t.Fatalf("job 2 should be untouched, got %d", targets[2])
+	}
+}
+
+func TestPlanEvenShrinkRespectsMinimums(t *testing.T) {
+	// Job 1 pinned near its min; job 2 must absorb the rest.
+	jobs := []*job.Job{
+		mkRunning(1, 20, 18, 20),
+		mkRunning(2, 60, 10, 60),
+	}
+	targets := planEvenShrink(jobs, 40)
+	if tgt, ok := targets[1]; ok && tgt < 18 {
+		t.Fatalf("job 1 shrunk below its minimum: %d", tgt)
+	}
+	total := 0
+	for _, j := range jobs {
+		if tgt, ok := targets[j.ID]; ok {
+			total += j.CurSize - tgt
+		}
+	}
+	if total != 40 {
+		t.Fatalf("released %d, want exactly 40", total)
+	}
+}
+
+func TestPlanEvenShrinkZeroNeed(t *testing.T) {
+	jobs := []*job.Job{mkRunning(1, 40, 8, 40)}
+	if got := planEvenShrink(jobs, 0); len(got) != 0 {
+		t.Fatalf("zero need should shrink nothing: %v", got)
+	}
+}
+
+// Property: for any feasible request, planEvenShrink releases exactly the
+// requested count, never violates minimums, never grows a job, and the
+// result is max-min fair (no released node could move from a smaller to a
+// larger final size).
+func TestPlanEvenShrinkProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		jobs := make([]*job.Job, n)
+		supply := 0
+		for i := range jobs {
+			max := 2 + r.Intn(100)
+			min := 1 + r.Intn(max)
+			cur := min + r.Intn(max-min+1)
+			jobs[i] = mkRunning(i+1, max, min, cur)
+			supply += cur - min
+		}
+		if supply == 0 {
+			return true
+		}
+		need := 1 + r.Intn(supply)
+		targets := planEvenShrink(jobs, need)
+
+		released := 0
+		finals := map[int]int{}
+		for _, j := range jobs {
+			final := j.CurSize
+			if tgt, ok := targets[j.ID]; ok {
+				if tgt >= j.CurSize || tgt < j.MinSize {
+					return false // must strictly shrink, never below min
+				}
+				final = tgt
+			}
+			finals[j.ID] = final
+			released += j.CurSize - final
+		}
+		if released != need {
+			return false
+		}
+		// Max-min fairness: if job A ended larger than job B+1, then B must
+		// be pinned at its min or untouched at its current size — otherwise
+		// the plan should have taken from A instead.
+		for _, a := range jobs {
+			for _, b := range jobs {
+				if a == b {
+					continue
+				}
+				fa, fb := finals[a.ID], finals[b.ID]
+				_, bCut := targets[b.ID]
+				if fa > fb+1 && bCut && fb > b.MinSize {
+					// b sits below a's level with slack left: only fair if a
+					// could not give more — a is untouched (never cuttable
+					// further by the level search) or already pinned at its
+					// own minimum.
+					if tgtA, aCut := targets[a.ID]; aCut && tgtA > a.MinSize {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

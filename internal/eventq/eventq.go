@@ -1,0 +1,127 @@
+// Package eventq implements the deterministic priority event queue that
+// drives the discrete-event scheduling simulator.
+//
+// Events are ordered by (Time, Priority, sequence number). The sequence
+// number — assigned at push time — breaks ties deterministically, so two runs
+// of the same simulation always dispatch events in the same order. Entries
+// can be cancelled in O(log n), which the mechanisms use to withdraw planned
+// preemptions and reservation timeouts when an on-demand job arrives early.
+package eventq
+
+import "container/heap"
+
+// Priority orders events that fire at the same instant. Lower values
+// dispatch first. The ordering encodes the scheduling semantics of the
+// simulator: releases happen before arrivals so that an on-demand job
+// arriving exactly when another job ends can use the freed nodes, and the
+// scheduler pass runs after all state changes at that instant.
+type Priority int
+
+// Priority classes from first-dispatched to last-dispatched.
+const (
+	PrioEnd      Priority = iota // job completions free resources first
+	PrioFault                    // node failures (extension)
+	PrioNotice                   // on-demand advance notices
+	PrioPreempt                  // planned preemptions and warning expiries
+	PrioTimeout                  // reservation timeouts
+	PrioArrive                   // job submissions and on-demand arrivals
+	PrioSchedule                 // scheduler invocation, always last
+)
+
+// Event is an entry in the queue. Payload is opaque to the queue.
+type Event struct {
+	Time     int64
+	Prio     Priority
+	Payload  any
+	seq      uint64
+	index    int // heap index, -1 once removed
+	canceled bool
+}
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Queue is a min-heap of events. The zero value is ready to use.
+type Queue struct {
+	h   eventHeap
+	seq uint64
+}
+
+// Len returns the number of live (non-cancelled) events.
+// Cancelled events are removed eagerly, so this is exact.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Push schedules payload at time t with priority p and returns a handle that
+// can be used to cancel it.
+func (q *Queue) Push(t int64, p Priority, payload any) *Event {
+	e := &Event{Time: t, Prio: p, Payload: payload, seq: q.seq}
+	q.seq++
+	heap.Push(&q.h, e)
+	return e
+}
+
+// Pop removes and returns the earliest event. It returns nil when the queue
+// is empty.
+func (q *Queue) Pop() *Event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*Event)
+}
+
+// Peek returns the earliest event without removing it, or nil when empty.
+func (q *Queue) Peek() *Event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+
+// Cancel removes e from the queue. Cancelling an event that was already
+// popped or cancelled is a no-op.
+func (q *Queue) Cancel(e *Event) {
+	if e == nil || e.canceled {
+		return
+	}
+	e.canceled = true
+	if e.index >= 0 && e.index < len(q.h) && q.h[e.index] == e {
+		heap.Remove(&q.h, e.index)
+	}
+}
+
+// before reports whether a should dispatch before b.
+func before(a, b *Event) bool {
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	if a.Prio != b.Prio {
+		return a.Prio < b.Prio
+	}
+	return a.seq < b.seq
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return before(h[i], h[j]) }
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,157 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"hybridsched/internal/core"
+	"hybridsched/internal/simtime"
+	"hybridsched/internal/workload"
+)
+
+// AblationResult is a generic one-factor sweep: one Cell per variant.
+type AblationResult struct {
+	Title string
+	Cells []Cell
+}
+
+// Render writes the sweep as a table.
+func (r AblationResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", r.Title)
+	tw := newTable(w, "variant", "turn (h)", "rigid (h)", "mall (h)",
+		"util (%)", "instant (%)", "preempt R/M (%)")
+	for _, c := range r.Cells {
+		tw.row(c.Workload,
+			fmt.Sprintf("%.1f", c.TurnAllH),
+			fmt.Sprintf("%.1f", c.TurnRigidH),
+			fmt.Sprintf("%.1f", c.TurnMallH),
+			fmt.Sprintf("%.1f", 100*c.Util),
+			fmt.Sprintf("%.1f", 100*c.Instant),
+			fmt.Sprintf("%.2f/%.2f", 100*c.PreemptRigid, 100*c.PreemptMall))
+	}
+	tw.flush()
+}
+
+// AblationBackfillReserved compares CUA&SPAA with and without backfilling
+// onto reserved nodes (the §III-B.1 option: squatters are preempted on
+// arrival).
+func AblationBackfillReserved(o Options) (AblationResult, error) {
+	o = o.withDefaults()
+	out := AblationResult{Title: "Ablation: backfill onto reserved nodes (CUA&SPAA, W2)"}
+	for _, on := range []bool{false, true} {
+		coreCfg := core.DefaultConfig()
+		coreCfg.BackfillReserved = on
+		simCfg := simCfgFor(o)
+		simCfg.BackfillReserved = on
+		name := "off"
+		if on {
+			name = "on"
+		}
+		o.logf("ablation bfres: %s", name)
+		cell, err := o.runCell("CUA&SPAA", name, workload.W2, coreCfg, simCfg)
+		if err != nil {
+			return out, err
+		}
+		out.Cells = append(out.Cells, cell)
+	}
+	return out, nil
+}
+
+// AblationDirectedReturn compares N&PAA with and without the directed
+// return-to-lender rule (§III-B.3): without it, returned nodes drop into the
+// common pool and preempted jobs compete for them.
+func AblationDirectedReturn(o Options) (AblationResult, error) {
+	o = o.withDefaults()
+	out := AblationResult{Title: "Ablation: directed return to lenders (N&PAA, W5)"}
+	for _, on := range []bool{true, false} {
+		coreCfg := core.DefaultConfig()
+		coreCfg.DirectedReturn = on
+		name := "directed"
+		if !on {
+			name = "common-pool"
+		}
+		o.logf("ablation return: %s", name)
+		cell, err := o.runCell("N&PAA", name, workload.W5, coreCfg, simCfgFor(o))
+		if err != nil {
+			return out, err
+		}
+		out.Cells = append(out.Cells, cell)
+	}
+	return out, nil
+}
+
+// AblationMinSizeFraction sweeps the malleable minimum-size fraction
+// (paper default 20 % of the maximum): smaller minima give SPAA more supply.
+func AblationMinSizeFraction(o Options) (AblationResult, error) {
+	o = o.withDefaults()
+	out := AblationResult{Title: "Ablation: malleable min-size fraction (CUA&SPAA, W5)"}
+	for _, frac := range []float64{0.1, 0.2, 0.3, 0.5} {
+		name := fmt.Sprintf("%.0f%%", 100*frac)
+		o.logf("ablation minsize: %s", name)
+		cell := Cell{Mechanism: "CUA&SPAA", Workload: name}
+		for s := 0; s < o.Seeds; s++ {
+			cfg := o.workloadConfig(o.BaseSeed+int64(s), workload.W5)
+			cfg.MalleableMinFrac = frac
+			recs, err := workload.Generate(cfg)
+			if err != nil {
+				return out, err
+			}
+			rep, err := o.simulate(recs, "CUA&SPAA", core.DefaultConfig(), simCfgFor(o))
+			if err != nil {
+				return out, err
+			}
+			cell.accumulate(rep)
+		}
+		cell.finish()
+		out.Cells = append(out.Cells, cell)
+	}
+	return out, nil
+}
+
+// AblationNoticeLead sweeps the advance-notice lead time for the collecting
+// mechanisms (paper: 15-30 minutes; Obs. 12: earlier notice helps CUA).
+func AblationNoticeLead(o Options) (AblationResult, error) {
+	o = o.withDefaults()
+	out := AblationResult{Title: "Ablation: advance-notice lead time (CUA&PAA, W2)"}
+	for _, lead := range []int64{5, 15, 30, 60} {
+		name := fmt.Sprintf("%dm", lead)
+		o.logf("ablation lead: %s", name)
+		cell := Cell{Mechanism: "CUA&PAA", Workload: name}
+		for s := 0; s < o.Seeds; s++ {
+			cfg := o.workloadConfig(o.BaseSeed+int64(s), workload.W2)
+			cfg.NoticeLeadMin = lead * simtime.Minute
+			cfg.NoticeLeadMax = 2 * lead * simtime.Minute
+			recs, err := workload.Generate(cfg)
+			if err != nil {
+				return out, err
+			}
+			rep, err := o.simulate(recs, "CUA&PAA", core.DefaultConfig(), simCfgFor(o))
+			if err != nil {
+				return out, err
+			}
+			cell.accumulate(rep)
+		}
+		cell.finish()
+		out.Cells = append(out.Cells, cell)
+	}
+	return out, nil
+}
+
+// AblationQueuePolicy runs CUA&SPAA under different waiting-queue policies,
+// exercising the pluggable-policy design the mechanisms are meant to be
+// orthogonal to (§I).
+func AblationQueuePolicy(o Options) (AblationResult, error) {
+	o = o.withDefaults()
+	out := AblationResult{Title: "Ablation: waiting-queue policy (CUA&SPAA, W5)"}
+	for _, pol := range []string{"fcfs", "sjf", "wfp3"} {
+		o.logf("ablation policy: %s", pol)
+		oo := o
+		oo.Policy = pol
+		cell, err := oo.runCell("CUA&SPAA", pol, workload.W5, core.DefaultConfig(), simCfgFor(oo))
+		if err != nil {
+			return out, err
+		}
+		out.Cells = append(out.Cells, cell)
+	}
+	return out, nil
+}

@@ -1,0 +1,197 @@
+// Package exp contains the experiment drivers that regenerate every table
+// and figure of the paper's evaluation (§IV–§V): the Theta workload
+// characterization (Table I, Fig. 3–5), the FCFS/EASY baseline (Table II),
+// the mechanism comparison across advance-notice mixes (Table III, Fig. 6),
+// the checkpoint-frequency sweep (Fig. 7), the decision-latency check
+// (Obs. 10), and the ablations DESIGN.md calls out.
+//
+// Every driver is deterministic given Options.BaseSeed and averages over
+// Options.Seeds independently generated traces, mirroring the paper's "ten
+// randomly generated traces".
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"hybridsched/internal/checkpoint"
+	"hybridsched/internal/core"
+	"hybridsched/internal/metrics"
+	"hybridsched/internal/policy"
+	"hybridsched/internal/sim"
+	"hybridsched/internal/simtime"
+	"hybridsched/internal/trace"
+	"hybridsched/internal/workload"
+)
+
+// Options control the scale of every experiment. The zero value runs the
+// paper-faithful defaults via withDefaults.
+type Options struct {
+	Nodes    int   // system size; default 4392
+	Weeks    int   // trace length; default 4
+	Seeds    int   // traces per data point; default 10
+	BaseSeed int64 // first seed; default 1
+
+	MTBF         float64 // system MTBF seconds for Daly; default 24h
+	CkptFreqMult float64 // checkpoint interval multiplier; default 1.0
+
+	Policy   string    // queue policy name; default "fcfs"
+	Progress io.Writer // optional progress log (nil = quiet)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Nodes == 0 {
+		o.Nodes = 4392
+	}
+	if o.Weeks == 0 {
+		o.Weeks = 4
+	}
+	if o.Seeds == 0 {
+		o.Seeds = 10
+	}
+	if o.BaseSeed == 0 {
+		o.BaseSeed = 1
+	}
+	if o.MTBF == 0 {
+		o.MTBF = 24 * float64(simtime.Hour)
+	}
+	if o.CkptFreqMult == 0 {
+		o.CkptFreqMult = 1.0
+	}
+	if o.Policy == "" {
+		o.Policy = "fcfs"
+	}
+	return o
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Progress != nil {
+		fmt.Fprintf(o.Progress, format+"\n", args...)
+	}
+}
+
+// workloadConfig builds the generator config for one seed and notice mix.
+func (o Options) workloadConfig(seed int64, mix workload.NoticeMix) workload.Config {
+	return workload.Config{
+		Seed:  seed,
+		Nodes: o.Nodes,
+		Weeks: o.Weeks,
+		Mix:   mix,
+	}
+}
+
+// Mechanisms lists the evaluated schedulers: the baseline plus the paper's
+// six mechanisms, in presentation order.
+func Mechanisms() []string {
+	return append([]string{"baseline"}, core.Names()...)
+}
+
+// simulate runs one trace under one mechanism and returns the report.
+func (o Options) simulate(recs []trace.Record, mechName string, coreCfg core.Config, simCfg sim.Config) (metrics.Report, error) {
+	jobs := trace.Materialize(recs, func(size int) checkpoint.Plan {
+		return checkpoint.NewPlan(size, o.MTBF, o.CkptFreqMult)
+	})
+	var mech sim.Mechanism
+	if mechName == "baseline" {
+		mech = sim.Baseline{}
+	} else {
+		m, err := core.ByName(mechName, coreCfg)
+		if err != nil {
+			return metrics.Report{}, err
+		}
+		mech = m
+	}
+	if simCfg.Nodes == 0 {
+		simCfg.Nodes = o.Nodes
+	}
+	if simCfg.Policy == nil {
+		simCfg.Policy = policy.ByName(o.Policy)
+	}
+	e, err := sim.New(simCfg, jobs, mech)
+	if err != nil {
+		return metrics.Report{}, err
+	}
+	return e.Run()
+}
+
+// Cell is one averaged data point of Fig. 6 / Fig. 7: the metrics the paper
+// plots per (mechanism, workload) pair.
+type Cell struct {
+	Mechanism string
+	Workload  string
+	Seeds     int
+
+	TurnAllH   float64 // mean job turnaround, hours
+	TurnRigidH float64
+	TurnMallH  float64
+	TurnODH    float64
+
+	Util    float64 // system utilization
+	Instant float64 // on-demand instant-start rate (<= 2 min delay)
+	Strict  float64 // zero-delay instant-start rate
+
+	PreemptRigid float64 // fraction of rigid jobs preempted
+	PreemptMall  float64 // fraction of malleable jobs preempted
+
+	LostFrac   float64 // node-seconds discarded by preemption
+	MeanDecMs  float64 // mean mechanism decision latency
+	MaxDecMs   float64 // max mechanism decision latency
+	MeanDelayS float64 // mean on-demand start delay, seconds
+}
+
+// accumulate folds one run's report into the cell (call finish after).
+func (c *Cell) accumulate(r metrics.Report) {
+	c.Seeds++
+	c.TurnAllH += r.All.MeanTurnaroundH
+	c.TurnRigidH += r.Rigid.MeanTurnaroundH
+	c.TurnMallH += r.Malleable.MeanTurnaroundH
+	c.TurnODH += r.OnDemand.MeanTurnaroundH
+	c.Util += r.Utilization
+	c.Instant += r.InstantStartRate
+	c.Strict += r.StrictInstantStartRate
+	c.PreemptRigid += r.Rigid.PreemptRatio
+	c.PreemptMall += r.Malleable.PreemptRatio
+	c.LostFrac += r.Breakdown.Lost
+	c.MeanDecMs += r.MeanDecisionMs
+	c.MeanDelayS += r.MeanStartDelay
+	if r.MaxDecisionMs > c.MaxDecMs {
+		c.MaxDecMs = r.MaxDecisionMs
+	}
+}
+
+func (c *Cell) finish() {
+	if c.Seeds == 0 {
+		return
+	}
+	n := float64(c.Seeds)
+	c.TurnAllH /= n
+	c.TurnRigidH /= n
+	c.TurnMallH /= n
+	c.TurnODH /= n
+	c.Util /= n
+	c.Instant /= n
+	c.Strict /= n
+	c.PreemptRigid /= n
+	c.PreemptMall /= n
+	c.LostFrac /= n
+	c.MeanDecMs /= n
+	c.MeanDelayS /= n
+}
+
+// runCell averages a mechanism over o.Seeds traces with the given mix.
+func (o Options) runCell(mechName, wlName string, mix workload.NoticeMix, coreCfg core.Config, simCfg sim.Config) (Cell, error) {
+	cell := Cell{Mechanism: mechName, Workload: wlName}
+	for s := 0; s < o.Seeds; s++ {
+		recs, err := workload.Generate(o.workloadConfig(o.BaseSeed+int64(s), mix))
+		if err != nil {
+			return cell, err
+		}
+		rep, err := o.simulate(recs, mechName, coreCfg, simCfg)
+		if err != nil {
+			return cell, fmt.Errorf("%s/%s seed %d: %w", mechName, wlName, s, err)
+		}
+		cell.accumulate(rep)
+	}
+	cell.finish()
+	return cell, nil
+}

@@ -1,0 +1,241 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tiny returns options small enough for unit tests while still running the
+// full hybrid machinery.
+func tiny() Options {
+	return Options{Nodes: 512, Weeks: 1, Seeds: 2, BaseSeed: 100}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Nodes != 4392 || o.Weeks != 4 || o.Seeds != 10 || o.CkptFreqMult != 1.0 || o.Policy != "fcfs" {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+}
+
+func TestMechanismsList(t *testing.T) {
+	m := Mechanisms()
+	if len(m) != 7 || m[0] != "baseline" || m[6] != "CUP&SPAA" {
+		t.Fatalf("mechanism list %v", m)
+	}
+}
+
+func TestTableI(t *testing.T) {
+	r, err := TableI(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Summary.Jobs == 0 || r.Summary.Nodes != 512 {
+		t.Fatalf("summary %+v", r.Summary)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "Number of Jobs") {
+		t.Fatal("render missing rows")
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	r, err := Figure3(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, b := range r.Buckets {
+		total += b.Jobs
+	}
+	if total == 0 {
+		t.Fatal("no jobs bucketed")
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "size range") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	o := tiny()
+	r, err := Figure4(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Traces) != o.Seeds {
+		t.Fatalf("traces %d", len(r.Traces))
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "on-demand") {
+		t.Fatal("render missing class column")
+	}
+}
+
+func TestFigure5(t *testing.T) {
+	r, err := Figure5(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 3 {
+		t.Fatalf("series %d", len(r.Series))
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "wk1") {
+		t.Fatal("render missing weeks")
+	}
+}
+
+func TestTableIIAndRender(t *testing.T) {
+	r, err := TableII(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cell.Seeds != 2 || r.Cell.Util <= 0 || r.Cell.Util > 1 {
+		t.Fatalf("cell %+v", r.Cell)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "System Util.") || !strings.Contains(out, "83.93%") {
+		t.Fatal("render must include the paper reference column")
+	}
+}
+
+func TestTableIII(t *testing.T) {
+	r := TableIII()
+	if len(r.Names) != 5 || r.Mixes[0][0] != 0.70 {
+		t.Fatalf("table III wrong: %+v", r)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "W5") {
+		t.Fatal("render missing W5")
+	}
+}
+
+func TestFigure6Small(t *testing.T) {
+	o := tiny()
+	o.Seeds = 1
+	r, err := Figure6(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Workloads) != 5 {
+		t.Fatalf("workloads %v", r.Workloads)
+	}
+	for _, wl := range r.Workloads {
+		for _, mech := range Mechanisms() {
+			c, ok := r.Cells[wl][mech]
+			if !ok {
+				t.Fatalf("missing cell %s/%s", wl, mech)
+			}
+			if c.Util <= 0 || c.Util > 1 {
+				t.Fatalf("cell %s/%s util %g", wl, mech, c.Util)
+			}
+			// Obs. 1/9: every mechanism beats the baseline's instant rate.
+			if mech != "baseline" && c.Instant < r.Cells[wl]["baseline"].Instant {
+				t.Errorf("%s/%s instant %.2f below baseline %.2f",
+					wl, mech, c.Instant, r.Cells[wl]["baseline"].Instant)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"avg job turnaround", "system utilization", "malleable preemption"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing panel %q", want)
+		}
+	}
+}
+
+func TestFigure7Small(t *testing.T) {
+	o := tiny()
+	o.Seeds = 1
+	r, err := Figure7(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Multipliers) != 4 {
+		t.Fatalf("multipliers %v", r.Multipliers)
+	}
+	for _, m := range r.Multipliers {
+		if len(r.Cells[multKey(m)]) != 6 {
+			t.Fatalf("missing mechanisms for %s", multKey(m))
+		}
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "50%") {
+		t.Fatal("render missing multiplier column")
+	}
+}
+
+func TestDecisionLatencySmall(t *testing.T) {
+	o := tiny()
+	o.Seeds = 1
+	r, err := DecisionLatency(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cells) != 6 {
+		t.Fatalf("cells %d", len(r.Cells))
+	}
+	for _, c := range r.Cells {
+		// Obs. 10: decisions far below the 10-30 s production budget. Allow
+		// slack for CI noise but anything near a second is a regression.
+		if c.MaxDecMs > 1000 {
+			t.Errorf("%s max decision %.1f ms", c.Mechanism, c.MaxDecMs)
+		}
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "<10ms") {
+		t.Fatal("render missing the 10ms verdict column")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	o := tiny()
+	o.Seeds = 1
+	type run func(Options) (AblationResult, error)
+	for name, fn := range map[string]run{
+		"backfill": AblationBackfillReserved,
+		"return":   AblationDirectedReturn,
+		"minsize":  AblationMinSizeFraction,
+		"lead":     AblationNoticeLead,
+		"policy":   AblationQueuePolicy,
+	} {
+		r, err := fn(o)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(r.Cells) < 2 {
+			t.Fatalf("%s: only %d variants", name, len(r.Cells))
+		}
+		var buf bytes.Buffer
+		r.Render(&buf)
+		if !strings.Contains(buf.String(), "Ablation") {
+			t.Fatalf("%s: render missing title", name)
+		}
+	}
+}
+
+func TestProgressLogging(t *testing.T) {
+	o := tiny()
+	o.Seeds = 1
+	var log bytes.Buffer
+	o.Progress = &log
+	if _, err := AblationQueuePolicy(o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(log.String(), "ablation policy") {
+		t.Fatal("progress log empty")
+	}
+}

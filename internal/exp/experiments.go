@@ -1,0 +1,416 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"hybridsched/internal/core"
+	"hybridsched/internal/sim"
+	"hybridsched/internal/simtime"
+	"hybridsched/internal/workload"
+)
+
+// --- Table I: workload summary ---------------------------------------------
+
+// TableIResult is the Table I style description of one generated trace
+// (paper values for Theta 2019: 4392 nodes, 37298 jobs, 211 projects, max
+// length 1 day, min size 128 nodes).
+type TableIResult struct {
+	Summary workload.Summary
+}
+
+// TableI generates the characterization trace and summarizes it.
+func TableI(o Options) (TableIResult, error) {
+	o = o.withDefaults()
+	cfg := o.workloadConfig(o.BaseSeed, workload.W5)
+	recs, err := workload.Generate(cfg)
+	if err != nil {
+		return TableIResult{}, err
+	}
+	return TableIResult{Summary: workload.Summarize(recs, cfg)}, nil
+}
+
+// Render writes the table.
+func (r TableIResult) Render(w io.Writer) {
+	s := r.Summary
+	fmt.Fprintf(w, "Table I: generated workload summary (Theta model)\n")
+	tw := newTable(w, "property", "value")
+	tw.row("Compute Nodes", fmt.Sprintf("%d", s.Nodes))
+	tw.row("Trace Period", fmt.Sprintf("%d weeks", s.Weeks))
+	tw.row("Number of Jobs", fmt.Sprintf("%d", s.Jobs))
+	tw.row("Number of Projects", fmt.Sprintf("%d", s.Projects))
+	tw.row("Maximum Job Length", simtime.Format(s.MaxRuntime))
+	tw.row("Minimum Job Size", fmt.Sprintf("%d nodes", s.MinJobSize))
+	tw.row("Offered Load", fmt.Sprintf("%.3f", s.OfferedLoad))
+	tw.flush()
+}
+
+// --- Figure 3: size histogram ----------------------------------------------
+
+// Figure3Result holds the job-count and node-hour shares per size range.
+type Figure3Result struct {
+	Buckets []workload.SizeBucket
+}
+
+// Figure3 reproduces the size characterization of the generated trace.
+func Figure3(o Options) (Figure3Result, error) {
+	o = o.withDefaults()
+	cfg := o.workloadConfig(o.BaseSeed, workload.W5)
+	recs, err := workload.Generate(cfg)
+	if err != nil {
+		return Figure3Result{}, err
+	}
+	return Figure3Result{Buckets: workload.SizeHistogram(recs, cfg)}, nil
+}
+
+// Render writes the histogram as a table (outer ring: job counts; inner
+// ring: core-hours, paper Fig. 3).
+func (r Figure3Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Figure 3: jobs (outer) and node-hours (inner) by size range\n")
+	totJobs, totHours := 0, 0.0
+	for _, b := range r.Buckets {
+		totJobs += b.Jobs
+		totHours += b.NodeHours
+	}
+	tw := newTable(w, "size range", "jobs", "job %", "node-hours", "hour %")
+	for _, b := range r.Buckets {
+		tw.row(fmt.Sprintf("%d-%d", b.Lo, b.Hi),
+			fmt.Sprintf("%d", b.Jobs),
+			fmt.Sprintf("%.1f%%", 100*float64(b.Jobs)/float64(max(totJobs, 1))),
+			fmt.Sprintf("%.0f", b.NodeHours),
+			fmt.Sprintf("%.1f%%", 100*b.NodeHours/max(totHours, 1)))
+	}
+	tw.flush()
+}
+
+// --- Figure 4: job-type distributions across traces -------------------------
+
+// Figure4Result holds the per-trace class shares.
+type Figure4Result struct {
+	Traces []TraceClassMix
+}
+
+// TraceClassMix is one bar of Fig. 4.
+type TraceClassMix struct {
+	Seed   int64
+	Shares []workload.ClassShare
+}
+
+// Figure4 relabels projects across o.Seeds traces and reports the class mix
+// of each (the paper's point: the mixes differ widely between traces).
+func Figure4(o Options) (Figure4Result, error) {
+	o = o.withDefaults()
+	var out Figure4Result
+	for s := 0; s < o.Seeds; s++ {
+		seed := o.BaseSeed + int64(s)
+		recs, err := workload.Generate(o.workloadConfig(seed, workload.W5))
+		if err != nil {
+			return out, err
+		}
+		out.Traces = append(out.Traces, TraceClassMix{Seed: seed, Shares: workload.TypeDistribution(recs)})
+	}
+	return out, nil
+}
+
+// Render writes the per-trace mixes.
+func (r Figure4Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Figure 4: job-type distribution per generated trace (jobs%% / node-hours%%)\n")
+	tw := newTable(w, "trace", "rigid", "on-demand", "malleable")
+	for i, tr := range r.Traces {
+		cols := make([]string, 3)
+		for k, s := range tr.Shares {
+			cols[k] = fmt.Sprintf("%.1f%%/%.1f%%", 100*s.JobFrac, 100*s.HourFrac)
+		}
+		tw.row(fmt.Sprintf("T%d", i+1), cols[0], cols[1], cols[2])
+	}
+	tw.flush()
+}
+
+// --- Figure 5: weekly on-demand submissions ---------------------------------
+
+// Figure5Result holds weekly on-demand counts for sample traces.
+type Figure5Result struct {
+	Weeks  int
+	Series []WeeklySeries
+}
+
+// WeeklySeries is one line of Fig. 5.
+type WeeklySeries struct {
+	Seed   int64
+	Counts []int
+}
+
+// Figure5 reports the bursty weekly on-demand submission pattern of three
+// sample traces.
+func Figure5(o Options) (Figure5Result, error) {
+	o = o.withDefaults()
+	out := Figure5Result{Weeks: o.Weeks}
+	for s := 0; s < 3; s++ {
+		seed := o.BaseSeed + int64(s)
+		recs, err := workload.Generate(o.workloadConfig(seed, workload.W5))
+		if err != nil {
+			return out, err
+		}
+		out.Series = append(out.Series, WeeklySeries{
+			Seed:   seed,
+			Counts: workload.WeeklyOnDemand(recs, o.Weeks),
+		})
+	}
+	return out, nil
+}
+
+// Render writes the weekly series.
+func (r Figure5Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Figure 5: on-demand jobs per week (three sample traces)\n")
+	header := []string{"trace"}
+	for wk := 1; wk <= r.Weeks; wk++ {
+		header = append(header, fmt.Sprintf("wk%d", wk))
+	}
+	tw := newTable(w, header...)
+	for i, s := range r.Series {
+		cols := []string{fmt.Sprintf("T%d", i+1)}
+		for _, c := range s.Counts {
+			cols = append(cols, fmt.Sprintf("%d", c))
+		}
+		tw.row(cols...)
+	}
+	tw.flush()
+}
+
+// --- Table II: baseline ------------------------------------------------------
+
+// TableIIResult is the averaged baseline (FCFS/EASY, no special treatment)
+// operating point. Paper: 15.6 h, 83.93 %, 22.69 %.
+type TableIIResult struct {
+	Cell Cell
+}
+
+// TableII measures the baseline across o.Seeds traces under the W5 mix.
+func TableII(o Options) (TableIIResult, error) {
+	o = o.withDefaults()
+	cell, err := o.runCell("baseline", "W5", workload.W5, core.DefaultConfig(), simCfgFor(o))
+	return TableIIResult{Cell: cell}, err
+}
+
+// Render writes the baseline table next to the paper's numbers.
+func (r TableIIResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Table II: baseline performance (FCFS/EASY, no special treatment)\n")
+	tw := newTable(w, "metric", "measured", "paper")
+	tw.row("Avg. Turnaround", fmt.Sprintf("%.1f h", r.Cell.TurnAllH), "15.6 h")
+	tw.row("System Util.", fmt.Sprintf("%.2f%%", 100*r.Cell.Util), "83.93%")
+	tw.row("On-demand Instant Start", fmt.Sprintf("%.2f%%", 100*r.Cell.Instant), "22.69%")
+	tw.flush()
+}
+
+// --- Table III: notice mixes (configuration echo) ---------------------------
+
+// TableIIIResult lists the five advance-notice mixes.
+type TableIIIResult struct {
+	Names []string
+	Mixes []workload.NoticeMix
+}
+
+// TableIII returns the paper's workload definitions.
+func TableIII() TableIIIResult {
+	return TableIIIResult{
+		Names: []string{"W1", "W2", "W3", "W4", "W5"},
+		Mixes: []workload.NoticeMix{workload.W1, workload.W2, workload.W3, workload.W4, workload.W5},
+	}
+}
+
+// Render writes the mix table.
+func (r TableIIIResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Table III: on-demand notice-category distribution per workload\n")
+	tw := newTable(w, "workload", "no notice", "accurate", "early", "late")
+	for i, name := range r.Names {
+		m := r.Mixes[i]
+		tw.row(name,
+			fmt.Sprintf("%.0f%%", 100*m[0]), fmt.Sprintf("%.0f%%", 100*m[1]),
+			fmt.Sprintf("%.0f%%", 100*m[2]), fmt.Sprintf("%.0f%%", 100*m[3]))
+	}
+	tw.flush()
+}
+
+// --- Figure 6: the mechanism comparison --------------------------------------
+
+// Figure6Result holds one Cell per (workload, mechanism).
+type Figure6Result struct {
+	Workloads []string
+	Cells     map[string]map[string]Cell // workload -> mechanism -> cell
+}
+
+// Figure6 runs the six mechanisms (plus the baseline for reference) over the
+// five Table III workloads, averaging each point over o.Seeds traces.
+func Figure6(o Options) (Figure6Result, error) {
+	o = o.withDefaults()
+	t3 := TableIII()
+	out := Figure6Result{Workloads: t3.Names, Cells: map[string]map[string]Cell{}}
+	for i, wl := range t3.Names {
+		out.Cells[wl] = map[string]Cell{}
+		for _, mech := range Mechanisms() {
+			o.logf("fig6: %s %s", wl, mech)
+			cell, err := o.runCell(mech, wl, t3.Mixes[i], core.DefaultConfig(), simCfgFor(o))
+			if err != nil {
+				return out, err
+			}
+			out.Cells[wl][mech] = cell
+		}
+	}
+	return out, nil
+}
+
+// Render writes one sub-table per metric, mirroring the panels of Fig. 6.
+func (r Figure6Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Figure 6: scheduling performance under different advance-notice mixes\n")
+	panels := []struct {
+		title string
+		get   func(Cell) string
+	}{
+		{"avg job turnaround (h)", func(c Cell) string { return fmt.Sprintf("%.1f", c.TurnAllH) }},
+		{"rigid turnaround (h)", func(c Cell) string { return fmt.Sprintf("%.1f", c.TurnRigidH) }},
+		{"malleable turnaround (h)", func(c Cell) string { return fmt.Sprintf("%.1f", c.TurnMallH) }},
+		{"system utilization (%)", func(c Cell) string { return fmt.Sprintf("%.1f", 100*c.Util) }},
+		{"on-demand instant start (%)", func(c Cell) string { return fmt.Sprintf("%.1f", 100*c.Instant) }},
+		{"rigid preemption ratio (%)", func(c Cell) string { return fmt.Sprintf("%.2f", 100*c.PreemptRigid) }},
+		{"malleable preemption ratio (%)", func(c Cell) string { return fmt.Sprintf("%.2f", 100*c.PreemptMall) }},
+	}
+	for _, p := range panels {
+		fmt.Fprintf(w, "\n%s\n", p.title)
+		header := append([]string{"mechanism"}, r.Workloads...)
+		tw := newTable(w, header...)
+		for _, mech := range Mechanisms() {
+			cols := []string{mech}
+			for _, wl := range r.Workloads {
+				cols = append(cols, p.get(r.Cells[wl][mech]))
+			}
+			tw.row(cols...)
+		}
+		tw.flush()
+	}
+}
+
+// --- Figure 7: checkpoint-frequency sweep ------------------------------------
+
+// Figure7Result holds one Cell per (frequency multiplier, mechanism).
+type Figure7Result struct {
+	Multipliers []float64 // interval multipliers (0.5 = twice as frequent)
+	Cells       map[string]map[string]Cell
+}
+
+// Figure7 sweeps the rigid checkpointing frequency around the Daly optimum
+// under the W5 mix (paper: "50% means checkpoints twice as frequent").
+func Figure7(o Options) (Figure7Result, error) {
+	o = o.withDefaults()
+	out := Figure7Result{
+		Multipliers: []float64{0.5, 1.0, 1.5, 2.0},
+		Cells:       map[string]map[string]Cell{},
+	}
+	for _, mult := range out.Multipliers {
+		key := multKey(mult)
+		out.Cells[key] = map[string]Cell{}
+		oo := o
+		oo.CkptFreqMult = mult
+		for _, mech := range core.Names() {
+			oo.logf("fig7: x%.2f %s", mult, mech)
+			cell, err := oo.runCell(mech, key, workload.W5, core.DefaultConfig(), simCfgFor(oo))
+			if err != nil {
+				return out, err
+			}
+			out.Cells[key][mech] = cell
+		}
+	}
+	return out, nil
+}
+
+func multKey(m float64) string { return fmt.Sprintf("%.0f%%", 100*m) }
+
+// Render writes the checkpoint sweep panels.
+func (r Figure7Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Figure 7: impact of rigid checkpointing frequency (interval multiplier;\n")
+	fmt.Fprintf(w, "50%% = twice as frequent as Daly-optimal)\n")
+	panels := []struct {
+		title string
+		get   func(Cell) string
+	}{
+		{"rigid turnaround (h)", func(c Cell) string { return fmt.Sprintf("%.1f", c.TurnRigidH) }},
+		{"avg turnaround (h)", func(c Cell) string { return fmt.Sprintf("%.1f", c.TurnAllH) }},
+		{"system utilization (%)", func(c Cell) string { return fmt.Sprintf("%.1f", 100*c.Util) }},
+		{"lost computation (%)", func(c Cell) string { return fmt.Sprintf("%.2f", 100*c.LostFrac) }},
+	}
+	for _, p := range panels {
+		fmt.Fprintf(w, "\n%s\n", p.title)
+		header := []string{"mechanism"}
+		for _, m := range r.Multipliers {
+			header = append(header, multKey(m))
+		}
+		tw := newTable(w, header...)
+		for _, mech := range core.Names() {
+			cols := []string{mech}
+			for _, m := range r.Multipliers {
+				cols = append(cols, p.get(r.Cells[multKey(m)][mech]))
+			}
+			tw.row(cols...)
+		}
+		tw.flush()
+	}
+}
+
+// --- Observation 10: decision latency ----------------------------------------
+
+// DecisionLatencyResult reports mechanism decision timings under a dense
+// workload (many small running jobs maximize the preemption-candidate list).
+type DecisionLatencyResult struct {
+	Cells []Cell
+}
+
+// DecisionLatency measures wall-clock decision latency for each mechanism on
+// a trace dense with small jobs (paper Obs. 10: decisions < 10 ms, versus a
+// 10-30 s production requirement).
+func DecisionLatency(o Options) (DecisionLatencyResult, error) {
+	o = o.withDefaults()
+	var out DecisionLatencyResult
+	for _, mech := range core.Names() {
+		cell := Cell{Mechanism: mech, Workload: "dense"}
+		for s := 0; s < o.Seeds; s++ {
+			cfg := workload.Config{
+				Seed:  o.BaseSeed + int64(s),
+				Nodes: o.Nodes,
+				Weeks: 1,
+				// Dense: hundreds of small jobs running concurrently.
+				MinJobSize:  8,
+				SizeBuckets: []int{8, 16, 32, 64, 128},
+				SizeWeights: []float64{0.4, 0.3, 0.15, 0.1, 0.05},
+				Mix:         workload.W5,
+			}
+			recs, err := workload.Generate(cfg)
+			if err != nil {
+				return out, err
+			}
+			rep, err := o.simulate(recs, mech, core.DefaultConfig(), simCfgFor(o))
+			if err != nil {
+				return out, err
+			}
+			cell.accumulate(rep)
+		}
+		cell.finish()
+		out.Cells = append(out.Cells, cell)
+	}
+	return out, nil
+}
+
+// Render writes the latency table.
+func (r DecisionLatencyResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Observation 10: mechanism decision latency (dense small-job workload)\n")
+	tw := newTable(w, "mechanism", "mean (ms)", "max (ms)", "<10ms")
+	for _, c := range r.Cells {
+		ok := "yes"
+		if c.MaxDecMs >= 10 {
+			ok = "no"
+		}
+		tw.row(c.Mechanism, fmt.Sprintf("%.4f", c.MeanDecMs), fmt.Sprintf("%.4f", c.MaxDecMs), ok)
+	}
+	tw.flush()
+}
+
+// simCfgFor builds the engine config for an experiment.
+func simCfgFor(o Options) sim.Config { return sim.Config{Nodes: o.Nodes} }

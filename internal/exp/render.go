@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// table renders aligned plain-text tables for experiment reports.
+type table struct {
+	w      io.Writer
+	header []string
+	rows   [][]string
+}
+
+// newTable starts a table with the given column headers.
+func newTable(w io.Writer, header ...string) *table {
+	return &table{w: w, header: header}
+}
+
+// row appends one row; missing cells render empty.
+func (t *table) row(cols ...string) { t.rows = append(t.rows, cols) }
+
+// flush writes the table with aligned columns.
+func (t *table) flush() {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	line := func(cols []string) {
+		parts := make([]string, len(t.header))
+		for i := range t.header {
+			c := ""
+			if i < len(cols) {
+				c = cols[i]
+			}
+			parts[i] = pad(c, width[i])
+		}
+		fmt.Fprintf(t.w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.header)
+	rule := make([]string, len(t.header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", width[i])
+	}
+	line(rule)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

@@ -1,0 +1,148 @@
+// Package faults injects node failures into a simulation, exercising the
+// checkpoint/restart path that motivates Daly-optimal checkpointing in the
+// paper (§IV-B): a failure interrupts the job running on the failed node —
+// rigid jobs fall back to their last checkpoint, malleable jobs lose only
+// their setup (completed tasks are durable), on-demand jobs are assumed to
+// rerun from scratch.
+//
+// The injector is a Mechanism decorator: it wraps any sim.Mechanism
+// (including the six paper mechanisms and the baseline), draws a failure
+// timeline from an exponential inter-arrival process at construction time
+// (so runs stay deterministic and the event queue stays finite), and
+// forwards every other engine callback to the wrapped mechanism unchanged.
+//
+// Simplifications, documented per DESIGN.md: failed nodes repair instantly
+// (repair time is negligible against the MTBF at system scale), and a
+// failure strikes a running job weighted by its node count — the larger the
+// allocation, the larger the failure cross-section.
+package faults
+
+import (
+	"hybridsched/internal/job"
+	"hybridsched/internal/nodeset"
+	"hybridsched/internal/sim"
+	"hybridsched/internal/stats"
+)
+
+// Config parameterizes the injector.
+type Config struct {
+	// MTBF is the system mean time between failures, in seconds.
+	MTBF float64
+	// Seed drives the failure timeline and victim choice.
+	Seed int64
+	// Horizon bounds the pre-drawn failure timeline, in seconds of virtual
+	// time from the first event. Failures past the horizon never fire.
+	Horizon int64
+}
+
+// Injector wraps a mechanism with fault injection. It satisfies
+// sim.Mechanism.
+type Injector struct {
+	inner sim.Mechanism
+	cfg   Config
+	rng   *stats.RNG
+	e     *sim.Engine
+
+	// Failures counts injected failures that struck a running job.
+	Failures int
+	// Misses counts failure instants with no running victim.
+	Misses int
+}
+
+// failTag is the injector's private timer payload.
+type failTag struct{ seq int }
+
+// Wrap decorates inner with fault injection under cfg. MTBF and Horizon must
+// be positive.
+func Wrap(inner sim.Mechanism, cfg Config) *Injector {
+	if cfg.MTBF <= 0 {
+		panic("faults: MTBF must be positive")
+	}
+	if cfg.Horizon <= 0 {
+		panic("faults: Horizon must be positive")
+	}
+	return &Injector{inner: inner, cfg: cfg, rng: stats.NewRNG(cfg.Seed)}
+}
+
+// Name reports the wrapped mechanism plus the injection marker.
+func (i *Injector) Name() string { return i.inner.Name() + "+faults" }
+
+// Attach wires both layers and lays out the failure timeline within the
+// horizon.
+func (i *Injector) Attach(e *sim.Engine) {
+	i.e = e
+	i.inner.Attach(e)
+	t := e.Now()
+	seq := 0
+	for {
+		t += int64(i.rng.ExpFloat64(i.cfg.MTBF))
+		if t-e.Now() > i.cfg.Horizon {
+			break
+		}
+		e.ScheduleTimer(t, failTag{seq: seq})
+		seq++
+	}
+}
+
+// QueueOnDemandFirst defers to the wrapped mechanism.
+func (i *Injector) QueueOnDemandFirst() bool { return i.inner.QueueOnDemandFirst() }
+
+// FlexibleMalleable defers to the wrapped mechanism.
+func (i *Injector) FlexibleMalleable() bool { return i.inner.FlexibleMalleable() }
+
+// OnNotice forwards.
+func (i *Injector) OnNotice(j *job.Job) { i.inner.OnNotice(j) }
+
+// OnODArrival forwards.
+func (i *Injector) OnODArrival(j *job.Job) bool { return i.inner.OnODArrival(j) }
+
+// OnJobCompleted forwards.
+func (i *Injector) OnJobCompleted(j *job.Job, freed *nodeset.Set) {
+	i.inner.OnJobCompleted(j, freed)
+}
+
+// OnWarningExpired forwards.
+func (i *Injector) OnWarningExpired(j *job.Job, claim int, freed *nodeset.Set) {
+	i.inner.OnWarningExpired(j, claim, freed)
+}
+
+// OnODStarted forwards.
+func (i *Injector) OnODStarted(j *job.Job) { i.inner.OnODStarted(j) }
+
+// OnTimer intercepts failure events and forwards everything else.
+func (i *Injector) OnTimer(payload any) {
+	if _, ok := payload.(failTag); ok {
+		i.injectFailure()
+		return
+	}
+	i.inner.OnTimer(payload)
+}
+
+// injectFailure strikes one running job, chosen with probability
+// proportional to its node count (every node is equally likely to fail).
+func (i *Injector) injectFailure() {
+	running := i.e.Running()
+	total := 0
+	for _, r := range running {
+		total += r.CurSize
+	}
+	if total == 0 {
+		i.Misses++
+		return
+	}
+	pick := int(i.rng.UniformInt64(0, int64(total)-1))
+	var victim *job.Job
+	for _, r := range running {
+		if pick < r.CurSize {
+			victim = r
+			break
+		}
+		pick -= r.CurSize
+	}
+	i.Failures++
+	if victim.Class == job.Malleable {
+		i.e.PreemptMalleableNow(victim)
+	} else {
+		i.e.PreemptRigid(victim)
+	}
+}

@@ -1,0 +1,151 @@
+package faults
+
+import (
+	"testing"
+
+	"hybridsched/internal/checkpoint"
+	"hybridsched/internal/core"
+	"hybridsched/internal/job"
+	"hybridsched/internal/sim"
+	"hybridsched/internal/simtime"
+	"hybridsched/internal/trace"
+	"hybridsched/internal/workload"
+)
+
+func genSmall(t *testing.T, seed int64) []*job.Job {
+	t.Helper()
+	recs, err := workload.Generate(workload.Config{
+		Seed: seed, Nodes: 512, Weeks: 1, Projects: 20, TargetLoad: 0.8,
+		MinJobSize:  16,
+		SizeBuckets: []int{16, 32, 64, 128},
+		SizeWeights: []float64{0.4, 0.3, 0.2, 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace.Materialize(recs, func(size int) checkpoint.Plan {
+		return checkpoint.NewPlan(size, 24*3600, 1.0)
+	})
+}
+
+func TestWrapValidation(t *testing.T) {
+	for _, cfg := range []Config{{MTBF: 0, Horizon: 1}, {MTBF: 1, Horizon: 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for %+v", cfg)
+				}
+			}()
+			Wrap(sim.Baseline{}, cfg)
+		}()
+	}
+}
+
+func TestInjectorName(t *testing.T) {
+	inj := Wrap(sim.Baseline{}, Config{MTBF: 3600, Seed: 1, Horizon: simtime.Week})
+	if inj.Name() != "FCFS/EASY+faults" {
+		t.Fatalf("name %q", inj.Name())
+	}
+}
+
+func TestFailuresInterruptJobsAndEverythingCompletes(t *testing.T) {
+	jobs := genSmall(t, 1)
+	inj := Wrap(sim.Baseline{}, Config{MTBF: 2 * 3600, Seed: 7, Horizon: 4 * simtime.Week})
+	e, err := sim.New(sim.Config{Nodes: 512, Validate: true}, jobs, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs != len(jobs) {
+		t.Fatalf("completed %d/%d under failures", rep.Jobs, len(jobs))
+	}
+	if inj.Failures == 0 {
+		t.Fatal("no failures injected with a 2h MTBF over a week")
+	}
+	// Failures discard work: some computation must be lost (rigid jobs
+	// falling back to checkpoints).
+	if rep.Breakdown.Lost <= 0 {
+		t.Fatal("failures lost no computation")
+	}
+	// Every injected failure preempted a job, so the per-class preemption
+	// ratios cannot all be zero.
+	if rep.Rigid.PreemptedJobs+rep.Malleable.PreemptedJobs+rep.OnDemand.PreemptedJobs == 0 {
+		t.Fatal("failures preempted nobody")
+	}
+}
+
+func TestFaultsComposeWithMechanisms(t *testing.T) {
+	jobs := genSmall(t, 2)
+	mech, err := core.ByName("CUA&SPAA", core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := Wrap(mech, Config{MTBF: 4 * 3600, Seed: 3, Horizon: 4 * simtime.Week})
+	e, err := sim.New(sim.Config{Nodes: 512, Validate: true}, jobs, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs != len(jobs) {
+		t.Fatalf("completed %d/%d", rep.Jobs, len(jobs))
+	}
+	// The wrapped mechanism still serves on-demand jobs promptly.
+	if rep.InstantStartRate < 0.5 {
+		t.Fatalf("instant rate %.2f collapsed under faults", rep.InstantStartRate)
+	}
+}
+
+func TestDeterministicTimeline(t *testing.T) {
+	run := func() (int, float64) {
+		jobs := genSmall(t, 4)
+		inj := Wrap(sim.Baseline{}, Config{MTBF: 3 * 3600, Seed: 11, Horizon: 4 * simtime.Week})
+		e, _ := sim.New(sim.Config{Nodes: 512}, jobs, inj)
+		rep, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inj.Failures, rep.Utilization
+	}
+	f1, u1 := run()
+	f2, u2 := run()
+	if f1 != f2 || u1 != u2 {
+		t.Fatalf("nondeterministic: %d/%g vs %d/%g", f1, u1, f2, u2)
+	}
+}
+
+func TestMoreFrequentCheckpointsLoseLessUnderFaults(t *testing.T) {
+	// The Fig. 7 insight under real failures: checkpointing twice as often
+	// as Daly-optimal should not lose more work.
+	lost := func(mult float64) float64 {
+		recs, err := workload.Generate(workload.Config{
+			Seed: 5, Nodes: 512, Weeks: 1, Projects: 20, TargetLoad: 0.7,
+			MinJobSize:  16,
+			SizeBuckets: []int{16, 32, 64, 128},
+			SizeWeights: []float64{0.4, 0.3, 0.2, 0.1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs := trace.Materialize(recs, func(size int) checkpoint.Plan {
+			return checkpoint.NewPlan(size, 6*3600, mult)
+		})
+		inj := Wrap(sim.Baseline{}, Config{MTBF: 6 * 3600, Seed: 13, Horizon: 4 * simtime.Week})
+		e, _ := sim.New(sim.Config{Nodes: 512}, jobs, inj)
+		rep, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Breakdown.Lost
+	}
+	frequent := lost(0.5)
+	rare := lost(2.0)
+	if frequent > rare {
+		t.Fatalf("frequent checkpoints lost more (%.4f) than rare (%.4f)", frequent, rare)
+	}
+}

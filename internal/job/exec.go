@@ -1,0 +1,410 @@
+package job
+
+import "fmt"
+
+// WarningPeriod is the notice a malleable job receives before its nodes are
+// taken, mirroring Amazon's two-minute spot-instance interruption warning
+// (paper §III-A).
+const WarningPeriod int64 = 120
+
+// ---------------------------------------------------------------------------
+// Fixed-size execution (rigid and on-demand jobs)
+//
+// An incarnation starting at t0 on the job's fixed Size plays out as
+//
+//	setup S | work to next mark | ckpt δ | work | ckpt δ | ... | final work
+//
+// where checkpoint marks sit at absolute work positions k·τ (τ = Ckpt
+// Interval) and a mark exactly at the job's total Work is skipped. The job is
+// killed from outside only by preemption; completion fires exactly when the
+// remaining work is done.
+// ---------------------------------------------------------------------------
+
+// rigidWall returns the undisturbed wall-clock length of an incarnation that
+// resumes from work position saved and must reach total, with setup S,
+// checkpoint interval tau (0 = none) and overhead delta.
+func rigidWall(saved, total, s, tau, delta int64) int64 {
+	remaining := total - saved
+	if remaining <= 0 {
+		return s
+	}
+	var ckpts int64
+	if tau > 0 {
+		// Marks strictly between saved and total.
+		ckpts = (total - 1) / tau // marks < total
+		ckpts -= saved / tau      // minus marks <= saved
+	}
+	return s + remaining + ckpts*delta
+}
+
+// rigidProgress reports the execution status of an incarnation elapsed
+// seconds after its start: pos is the work position reached (including
+// unsaved progress), retained is the highest checkpoint-protected position,
+// and ckpts counts completed checkpoints this incarnation. elapsed past the
+// natural end is clamped to completion.
+func rigidProgress(saved, total, s, tau, delta, elapsed int64) (pos, retained int64, ckpts int) {
+	pos, retained = saved, saved
+	t := elapsed - s
+	if t <= 0 {
+		return pos, retained, 0
+	}
+	if tau <= 0 {
+		pos += t
+		if pos > total {
+			pos = total
+		}
+		if pos == total {
+			retained = total
+		}
+		return pos, retained, 0
+	}
+	for {
+		next := (pos/tau + 1) * tau // next checkpoint mark after pos
+		if next >= total {
+			// No more checkpoints; run straight to completion.
+			pos += t
+			if pos >= total {
+				pos = total
+				retained = total
+			}
+			return pos, retained, ckpts
+		}
+		need := next - pos
+		if t < need {
+			pos += t
+			return pos, retained, ckpts
+		}
+		t -= need
+		pos = next
+		if t < delta {
+			// Preempted mid-checkpoint: the in-flight checkpoint saves nothing.
+			return pos, retained, ckpts
+		}
+		t -= delta
+		retained = next
+		ckpts++
+	}
+}
+
+// Start begins an incarnation of a fixed-size (rigid or on-demand) job at
+// time now. It returns the wall-clock length the incarnation will take if it
+// is not disturbed; the caller schedules the completion event at now+wall.
+func (j *Job) Start(now int64) int64 {
+	if j.Class == Malleable {
+		panic(fmt.Sprintf("job %d: Start on malleable job; use StartMalleable", j.ID))
+	}
+	if j.State == Running || j.State == Warning {
+		panic(fmt.Sprintf("job %d: Start while %v", j.ID, j.State))
+	}
+	j.State = Running
+	j.CurSize = j.Size
+	if j.StartTime < 0 {
+		j.StartTime = now
+	}
+	j.incStart = now
+	j.incWall = rigidWall(j.saved, j.Work, j.SetupTime, j.Ckpt.Interval, j.Ckpt.Overhead)
+	j.incEstWall = rigidWall(j.saved, j.Estimate, j.SetupTime, j.Ckpt.Interval, j.Ckpt.Overhead)
+	return j.incWall
+}
+
+// EstimatedEnd returns the scheduler-visible end time of a running fixed-size
+// job: incarnation start plus the estimate-based wall length. EASY
+// backfilling uses this, never the actual wall length (which a real scheduler
+// would not know).
+func (j *Job) EstimatedEnd() int64 {
+	return j.incStart + j.incEstWall
+}
+
+// ActualEnd returns the event time at which the current incarnation completes
+// if undisturbed.
+func (j *Job) ActualEnd() int64 { return j.incStart + j.incWall }
+
+// EstimatedWallIfStarted returns the estimate-based wall length of starting
+// this fixed-size job now (used for EASY backfill feasibility checks).
+func (j *Job) EstimatedWallIfStarted() int64 {
+	return rigidWall(j.saved, j.Estimate, j.SetupTime, j.Ckpt.Interval, j.Ckpt.Overhead)
+}
+
+// FinalizeCompletion marks a fixed-size job completed at time now and returns
+// the incarnation's node-second usage.
+func (j *Job) FinalizeCompletion(now int64) Usage {
+	if j.State != Running {
+		panic(fmt.Sprintf("job %d: FinalizeCompletion while %v", j.ID, j.State))
+	}
+	elapsed := now - j.incStart
+	if elapsed != j.incWall {
+		panic(fmt.Sprintf("job %d: completion at elapsed %d, expected wall %d", j.ID, elapsed, j.incWall))
+	}
+	n := int64(j.CurSize)
+	_, _, ckpts := rigidProgress(j.saved, j.Work, j.SetupTime, j.Ckpt.Interval, j.Ckpt.Overhead, elapsed)
+	u := Usage{
+		Useful: (j.Work - j.saved) * n,
+		Setup:  j.SetupTime * n,
+		Ckpt:   int64(ckpts) * j.Ckpt.Overhead * n,
+	}
+	j.saved = j.Work
+	j.State = Completed
+	j.EndTime = now
+	j.CurSize = 0
+	j.Acct.add(u)
+	return u
+}
+
+// FinalizePreempt preempts a running fixed-size job at time now: progress
+// falls back to the last completed checkpoint, the job returns to Waiting,
+// and the incarnation's usage split is returned. The lost computation (work
+// past the last checkpoint, any in-flight checkpoint, and setup that enabled
+// nothing) is charged to Lost.
+func (j *Job) FinalizePreempt(now int64) Usage {
+	if j.State != Running {
+		panic(fmt.Sprintf("job %d: FinalizePreempt while %v", j.ID, j.State))
+	}
+	elapsed := now - j.incStart
+	if elapsed >= j.incWall {
+		panic(fmt.Sprintf("job %d: preempted at %d after natural end %d", j.ID, now, j.incStart+j.incWall))
+	}
+	n := int64(j.CurSize)
+	_, retained, ckpts := rigidProgress(j.saved, j.Work, j.SetupTime, j.Ckpt.Interval, j.Ckpt.Overhead, elapsed)
+	var u Usage
+	u.Useful = (retained - j.saved) * n
+	u.Ckpt = int64(ckpts) * j.Ckpt.Overhead * n
+	if retained > j.saved {
+		u.Setup = j.SetupTime * n
+	}
+	u.Lost = elapsed*n - u.Useful - u.Ckpt - u.Setup
+	j.saved = retained
+	j.State = Waiting
+	j.CurSize = 0
+	j.PreemptCount++
+	j.Acct.add(u)
+	return u
+}
+
+// PreemptionOverhead returns the cost, in seconds, of preempting this job at
+// time now: the setup that must be repeated plus the unsaved work that must
+// be redone (paper §V, Obs. 8). For malleable jobs only the setup is lost.
+// The scheduler sorts preemption victims by this value, ascending.
+func (j *Job) PreemptionOverhead(now int64) int64 {
+	switch j.State {
+	case Running, Warning:
+	default:
+		panic(fmt.Sprintf("job %d: PreemptionOverhead while %v", j.ID, j.State))
+	}
+	if j.Class == Malleable {
+		return j.SetupTime
+	}
+	pos, retained, _ := rigidProgress(j.saved, j.Work, j.SetupTime, j.Ckpt.Interval, j.Ckpt.Overhead, now-j.incStart)
+	return j.SetupTime + (pos - retained)
+}
+
+// NextCheckpointCompletion returns the first time strictly after now at which
+// a running rigid job finishes a checkpoint, and true; or 0 and false if no
+// further checkpoint completes before the job ends. CUP uses this to preempt
+// rigid jobs "immediately after checkpointing" (paper §III-B.1).
+func (j *Job) NextCheckpointCompletion(now int64) (int64, bool) {
+	if j.State != Running || j.Class == Malleable || !j.Ckpt.Enabled() {
+		return 0, false
+	}
+	tau, delta := j.Ckpt.Interval, j.Ckpt.Overhead
+	// Walk checkpoint completion instants from the incarnation start.
+	t := j.incStart + j.SetupTime
+	pos := j.saved
+	for {
+		next := (pos/tau + 1) * tau
+		if next >= j.Work {
+			return 0, false
+		}
+		t += (next - pos) + delta // work to the mark, then the dump
+		pos = next
+		if t > now {
+			return t, true
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Malleable execution
+//
+// A malleable job owns totalWork = Work·Size node-seconds. While running on n
+// nodes it consumes n node-seconds per second once its setup completes.
+// Resizing is free: remaining work is conserved and the completion event is
+// rescheduled. Progress survives preemption (the two-minute warning lets the
+// application save its task state), so a resume costs only the setup.
+// ---------------------------------------------------------------------------
+
+// StartMalleable begins an incarnation on n nodes at time now and returns the
+// completion time if the size never changes.
+func (j *Job) StartMalleable(now int64, n int) int64 {
+	if j.Class != Malleable {
+		panic(fmt.Sprintf("job %d: StartMalleable on %v job", j.ID, j.Class))
+	}
+	if j.State == Running || j.State == Warning {
+		panic(fmt.Sprintf("job %d: StartMalleable while %v", j.ID, j.State))
+	}
+	if n < j.MinSize || n > j.Size {
+		panic(fmt.Sprintf("job %d: start size %d outside [%d,%d]", j.ID, n, j.MinSize, j.Size))
+	}
+	j.State = Running
+	j.CurSize = n
+	if j.StartTime < 0 {
+		j.StartTime = now
+	}
+	j.incStart = now
+	j.setupEnd = now + j.SetupTime
+	j.lastUpdate = now
+	j.incSetup = 0
+	j.incUseful = 0
+	return j.MalleableEnd(now)
+}
+
+// UpdateProgress advances the malleable work and setup accounting to now.
+// It must be called before reading RemainingWork or resizing.
+func (j *Job) UpdateProgress(now int64) {
+	if j.State != Running && j.State != Warning {
+		panic(fmt.Sprintf("job %d: UpdateProgress while %v", j.ID, j.State))
+	}
+	if now < j.lastUpdate {
+		panic(fmt.Sprintf("job %d: UpdateProgress going backwards (%d < %d)", j.ID, now, j.lastUpdate))
+	}
+	n := int64(j.CurSize)
+	// Portion of [lastUpdate, now] inside the setup window.
+	if j.lastUpdate < j.setupEnd {
+		end := now
+		if end > j.setupEnd {
+			end = j.setupEnd
+		}
+		j.incSetup += (end - j.lastUpdate) * n
+	}
+	// Portion past the setup window does useful work.
+	if now > j.setupEnd {
+		from := j.lastUpdate
+		if from < j.setupEnd {
+			from = j.setupEnd
+		}
+		done := (now - from) * n
+		if done > j.remWork {
+			done = j.remWork
+		}
+		j.remWork -= done
+		j.incUseful += done
+	}
+	j.lastUpdate = now
+}
+
+// MalleableEnd returns the completion time of the running malleable job at
+// its current size, as of the last progress update.
+func (j *Job) MalleableEnd(now int64) int64 {
+	n := int64(j.CurSize)
+	start := now
+	if j.setupEnd > start {
+		start = j.setupEnd
+	}
+	return start + ceilDiv(j.remWork, n)
+}
+
+// MalleableEstimatedEnd returns the scheduler-visible completion time using
+// the user's runtime estimate rather than the actual work.
+func (j *Job) MalleableEstimatedEnd(now int64) int64 {
+	n := int64(j.CurSize)
+	start := now
+	if j.setupEnd > start {
+		start = j.setupEnd
+	}
+	return start + ceilDiv(j.estRemainingWork(), n)
+}
+
+// estRemainingWork is the estimate-based outstanding node-seconds.
+func (j *Job) estRemainingWork() int64 {
+	done := j.totalWork - j.remWork
+	rem := j.Estimate*int64(j.Size) - done
+	if rem < j.remWork {
+		rem = j.remWork
+	}
+	return rem
+}
+
+// EstimatedMalleableWall returns the estimate-based wall length of starting
+// this waiting malleable job now on n nodes.
+func (j *Job) EstimatedMalleableWall(n int) int64 {
+	return j.SetupTime + ceilDiv(j.estRemainingWork(), int64(n))
+}
+
+// Resize changes the node count of a running malleable job at time now and
+// returns the new completion time. Progress is advanced first, so remaining
+// work is conserved exactly.
+func (j *Job) Resize(now int64, n int) int64 {
+	if j.State != Running {
+		panic(fmt.Sprintf("job %d: Resize while %v", j.ID, j.State))
+	}
+	if n < j.MinSize || n > j.Size {
+		panic(fmt.Sprintf("job %d: resize to %d outside [%d,%d]", j.ID, n, j.MinSize, j.Size))
+	}
+	j.UpdateProgress(now)
+	if n < j.CurSize {
+		j.ShrinkCount++
+	}
+	j.CurSize = n
+	return j.MalleableEnd(now)
+}
+
+// BeginWarning moves a running malleable job into its two-minute preemption
+// warning at time now. The job keeps computing during the warning; its nodes
+// are reclaimed by FinalizeWarning.
+func (j *Job) BeginWarning(now int64) {
+	if j.State != Running || j.Class != Malleable {
+		panic(fmt.Sprintf("job %d: BeginWarning while %v %v", j.ID, j.Class, j.State))
+	}
+	j.UpdateProgress(now)
+	j.State = Warning
+}
+
+// FinalizeWarning completes a malleable preemption at the end of the warning
+// period: progress is saved, nodes are released, and the job returns to
+// Waiting. The returned usage charges setup to Lost only when the incarnation
+// accrued no useful work at all.
+func (j *Job) FinalizeWarning(now int64) Usage {
+	if j.State != Warning {
+		panic(fmt.Sprintf("job %d: FinalizeWarning while %v", j.ID, j.State))
+	}
+	j.UpdateProgress(now)
+	var u Usage
+	u.Useful = j.incUseful
+	if j.incUseful > 0 {
+		u.Setup = j.incSetup
+	} else {
+		u.Lost = j.incSetup
+	}
+	j.State = Waiting
+	j.CurSize = 0
+	j.PreemptCount++
+	j.Acct.add(u)
+	return u
+}
+
+// FinalizeMalleableCompletion marks the running malleable job completed at
+// time now and returns the incarnation's usage. It panics if work remains.
+// Completion from the Warning state is allowed: a job may finish its
+// remaining tasks inside the two-minute warning window.
+func (j *Job) FinalizeMalleableCompletion(now int64) Usage {
+	if j.State != Running && j.State != Warning {
+		panic(fmt.Sprintf("job %d: FinalizeMalleableCompletion while %v", j.ID, j.State))
+	}
+	j.UpdateProgress(now)
+	if j.remWork > 0 {
+		panic(fmt.Sprintf("job %d: completion with %d node-seconds remaining", j.ID, j.remWork))
+	}
+	u := Usage{Useful: j.incUseful, Setup: j.incSetup}
+	j.State = Completed
+	j.EndTime = now
+	j.CurSize = 0
+	j.Acct.add(u)
+	return u
+}
+
+// ceilDiv returns ceil(a/b) for positive b.
+func ceilDiv(a, b int64) int64 {
+	if a <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}

@@ -1,0 +1,208 @@
+package job
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hybridsched/internal/checkpoint"
+)
+
+// Property: for any parameters, progress at elapsed=wall reaches completion,
+// pos is monotone in elapsed, retained <= pos, and retained only takes
+// checkpoint-mark values (or the saved starting position / total).
+func TestRigidProgressInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		total := int64(100 + r.Intn(10000))
+		saved := int64(0)
+		if r.Intn(2) == 0 {
+			saved = int64(r.Intn(int(total)))
+		}
+		s := int64(r.Intn(200))
+		var tau, delta int64
+		if r.Intn(4) != 0 {
+			tau = int64(1 + r.Intn(int(total)))
+			delta = int64(1 + r.Intn(100))
+		}
+		wall := rigidWall(saved, total, s, tau, delta)
+
+		prevPos, prevRet := saved, saved
+		steps := 50
+		for i := 0; i <= steps; i++ {
+			e := wall * int64(i) / int64(steps)
+			pos, ret, _ := rigidProgress(saved, total, s, tau, delta, e)
+			if pos < prevPos || ret < prevRet { // monotonicity
+				return false
+			}
+			if ret > pos || pos > total { // sanity bounds
+				return false
+			}
+			if tau > 0 && ret != saved && ret != total && ret%tau != 0 {
+				return false // retained must sit on a checkpoint mark
+			}
+			prevPos, prevRet = pos, ret
+		}
+		pos, ret, _ := rigidProgress(saved, total, s, tau, delta, wall)
+		return pos == total && ret == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: usage accounting is conservative — for any preemption time the
+// usage categories exactly cover elapsed * nodes, and a preempt+resume run
+// ends with lifetime useful == total work * nodes.
+func TestRigidAccountingConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		size := 1 + r.Intn(256)
+		work := int64(500 + r.Intn(5000))
+		setup := int64(r.Intn(100))
+		var plan checkpoint.Plan
+		if r.Intn(3) != 0 {
+			plan = checkpoint.Plan{Interval: int64(1 + r.Intn(int(work))), Overhead: int64(1 + r.Intn(60))}
+		}
+		j := NewRigid(1, 0, 0, size, work, work+int64(r.Intn(1000)), setup, plan)
+		j.State = Waiting
+
+		now := int64(0)
+		for hop := 0; hop < 4; hop++ {
+			wall := j.Start(now)
+			if hop == 3 || r.Intn(2) == 0 {
+				now += wall
+				u := j.FinalizeCompletion(now)
+				if u.Total() != wall*int64(size) {
+					return false
+				}
+				break
+			}
+			cut := int64(r.Intn(int(wall))) // preempt strictly before the end
+			now += cut
+			u := j.FinalizePreempt(now)
+			if u.Total() != cut*int64(size) {
+				return false
+			}
+			now += int64(1 + r.Intn(1000)) // wait in queue
+		}
+		if j.State != Completed {
+			// Loop may exit via the hop==3 branch which always completes.
+			return false
+		}
+		return j.Acct.Useful == work*int64(size)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: malleable work is conserved across arbitrary resize sequences,
+// and the completion event computed by MalleableEnd is exact.
+func TestMalleableWorkConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		max := 10 + r.Intn(500)
+		min := 1 + r.Intn(max)
+		work := int64(100 + r.Intn(5000))
+		setup := int64(r.Intn(120))
+		j := NewMalleable(1, 0, 0, max, min, work, work, setup)
+		j.State = Waiting
+
+		now := int64(0)
+		n := min + r.Intn(max-min+1)
+		end := j.StartMalleable(now, n)
+		for hop := 0; hop < 6; hop++ {
+			// Advance to somewhere before the current end, then resize.
+			if end <= now+1 {
+				break
+			}
+			now += 1 + r.Int63n(end-now-1)
+			n = min + r.Intn(max-min+1)
+			end = j.Resize(now, n)
+		}
+		u := j.FinalizeMalleableCompletion(end)
+		_ = u
+		return j.Acct.Useful == work*int64(max) && j.RemainingWork() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: preempting a malleable job at any point and resuming it
+// preserves total useful work (only setup is repeated).
+func TestMalleablePreemptResumeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		max := 10 + r.Intn(200)
+		min := 1 + r.Intn(max)
+		work := int64(1000 + r.Intn(5000))
+		setup := int64(1 + r.Intn(120))
+		j := NewMalleable(1, 0, 0, max, min, work, work, setup)
+		j.State = Waiting
+
+		end := j.StartMalleable(0, max)
+		cut := r.Int63n(end)
+		j.BeginWarning(cut)
+		if cut+WarningPeriod >= end {
+			// The job finishes inside the warning window; the engine fires
+			// the completion event (PrioEnd) before reclaiming the nodes.
+			j.FinalizeMalleableCompletion(end)
+			return j.Acct.Useful == work*int64(max)
+		}
+		u1 := j.FinalizeWarning(cut + WarningPeriod)
+		if u1.Useful+u1.Lost+u1.Setup != (cut+WarningPeriod)*int64(max) {
+			return false
+		}
+		resume := cut + WarningPeriod + int64(r.Intn(1000))
+		end2 := j.StartMalleable(resume, min)
+		j.FinalizeMalleableCompletion(end2)
+		return j.Acct.Useful == work*int64(max)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: NextCheckpointCompletion returns strictly increasing times that
+// match the retained-progress transitions observed by rigidProgress.
+func TestNextCheckpointCompletionConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		work := int64(500 + r.Intn(5000))
+		tau := int64(50 + r.Intn(int(work)))
+		delta := int64(1 + r.Intn(60))
+		setup := int64(r.Intn(100))
+		j := NewRigid(1, 0, 0, 8, work, work, setup, checkpoint.Plan{Interval: tau, Overhead: delta})
+		j.State = Waiting
+		start := int64(r.Intn(1000))
+		wall := j.Start(start)
+
+		now := start
+		for {
+			ct, ok := j.NextCheckpointCompletion(now)
+			if !ok {
+				break
+			}
+			if ct <= now || ct > start+wall {
+				return false
+			}
+			// Exactly at ct the retained position must be a fresh multiple of tau.
+			_, ret, _ := rigidProgress(0, work, setup, tau, delta, ct-start)
+			if ret == 0 || ret%tau != 0 {
+				return false
+			}
+			// Just before ct the retained position must be smaller.
+			_, retBefore, _ := rigidProgress(0, work, setup, tau, delta, ct-start-1)
+			if retBefore >= ret {
+				return false
+			}
+			now = ct
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,266 @@
+// Package metrics collects the user- and system-level measurements the paper
+// evaluates (§IV-D): job turnaround time (overall and per class), on-demand
+// instant-start rate, per-class preemption ratios, and system utilization
+// derived from an exact node-second ledger.
+//
+// The ledger partitions every node-second of the observation window into
+// useful work, setup overhead, checkpoint overhead, computation lost to
+// preemption, reserved-but-idle time, and plain idle time. Utilization
+// follows the paper's definition — node time that contributed to completed
+// execution, excluding computation wasted by preemption.
+package metrics
+
+import (
+	"time"
+
+	"hybridsched/internal/job"
+	"hybridsched/internal/simtime"
+	"hybridsched/internal/stats"
+)
+
+// InstantStartTolerance is the start delay still counted as an "instant"
+// start: the two-minute malleable warning is the one unavoidable delay the
+// mechanisms introduce when an on-demand job must wait for vacating nodes.
+const InstantStartTolerance = job.WarningPeriod
+
+// JobResult is the per-job outcome recorded at completion.
+type JobResult struct {
+	ID           int
+	Class        job.Class
+	Size         int
+	Submit       int64
+	Start        int64 // first start
+	End          int64
+	Turnaround   int64
+	StartDelay   int64
+	PreemptCount int
+	ShrinkCount  int
+}
+
+// Collector accumulates simulation measurements. Create with NewCollector.
+type Collector struct {
+	nodes int
+
+	haveWindow bool
+	winStart   int64
+	winEnd     int64
+
+	usage          job.Usage
+	reservedIdleNS int64
+	lastReserved   int
+	lastResTime    int64
+
+	results  []JobResult
+	decision stats.Welford
+	maxDecNS int64
+}
+
+// NewCollector returns a collector for a system of the given node count.
+func NewCollector(nodes int) *Collector {
+	return &Collector{nodes: nodes}
+}
+
+// NoteSubmit opens (or extends) the observation window at the first
+// submission instant.
+func (c *Collector) NoteSubmit(t int64) {
+	if !c.haveWindow || t < c.winStart {
+		if !c.haveWindow {
+			c.winEnd = t
+			c.lastResTime = t
+		}
+		c.winStart = t
+		c.haveWindow = true
+	}
+}
+
+// NoteReserved integrates reserved-node idle time up to now and records the
+// new reservation level. Call it whenever time advances in the simulation.
+func (c *Collector) NoteReserved(now int64, reservedNodes int) {
+	if now > c.lastResTime {
+		c.reservedIdleNS += int64(c.lastReserved) * (now - c.lastResTime)
+		c.lastResTime = now
+	}
+	c.lastReserved = reservedNodes
+}
+
+// AddUsage merges an incarnation's node-second usage into the ledger.
+func (c *Collector) AddUsage(u job.Usage) { c.usage = addUsage(c.usage, u) }
+
+func addUsage(a, b job.Usage) job.Usage {
+	a.Useful += b.Useful
+	a.Setup += b.Setup
+	a.Ckpt += b.Ckpt
+	a.Lost += b.Lost
+	return a
+}
+
+// NoteComplete records a completed job and extends the observation window.
+func (c *Collector) NoteComplete(j *job.Job) {
+	r := JobResult{
+		ID:           j.ID,
+		Class:        j.Class,
+		Size:         j.Size,
+		Submit:       j.SubmitTime,
+		Start:        j.StartTime,
+		End:          j.EndTime,
+		Turnaround:   j.Turnaround(),
+		StartDelay:   j.StartDelay(),
+		PreemptCount: j.PreemptCount,
+		ShrinkCount:  j.ShrinkCount,
+	}
+	c.results = append(c.results, r)
+	if j.EndTime > c.winEnd {
+		c.winEnd = j.EndTime
+	}
+}
+
+// NoteDecision records the wall-clock latency of one mechanism decision
+// (paper Obs. 10: decisions must complete in well under 10-30 s).
+func (c *Collector) NoteDecision(d time.Duration) {
+	ns := d.Nanoseconds()
+	c.decision.Add(float64(ns))
+	if ns > c.maxDecNS {
+		c.maxDecNS = ns
+	}
+}
+
+// Results returns the recorded per-job outcomes (shared slice; do not
+// modify).
+func (c *Collector) Results() []JobResult { return c.results }
+
+// ClassStats summarizes turnaround for one job class.
+type ClassStats struct {
+	Count           int
+	Turnaround      stats.Summary // seconds
+	PreemptedJobs   int
+	PreemptRatio    float64
+	MeanTurnaroundH float64
+}
+
+// UtilizationBreakdown partitions the window's node-seconds into fractions.
+type UtilizationBreakdown struct {
+	Useful       float64
+	Setup        float64
+	Ckpt         float64
+	Lost         float64
+	ReservedIdle float64
+	Idle         float64
+}
+
+// Report is the final set of measurements for one simulation run.
+type Report struct {
+	Nodes    int
+	Jobs     int
+	Makespan int64 // seconds, first submit to last completion
+
+	All       ClassStats
+	Rigid     ClassStats
+	OnDemand  ClassStats
+	Malleable ClassStats
+
+	// Utilization per the paper: (useful + setup + checkpoint) node-seconds
+	// over the whole window, excluding computation lost to preemption.
+	Utilization float64
+	Breakdown   UtilizationBreakdown
+
+	// On-demand responsiveness.
+	InstantStartRate       float64 // start delay <= InstantStartTolerance
+	StrictInstantStartRate float64 // start delay == 0
+	MeanStartDelay         float64 // seconds
+
+	// Mechanism decision latency (wall clock).
+	DecisionCount  int
+	MeanDecisionMs float64
+	MaxDecisionMs  float64
+
+	// PerJob lists the outcome of every completed job, in completion order.
+	PerJob []JobResult
+}
+
+// Report computes the final metrics. The reserved-idle integral is closed at
+// the window end.
+func (c *Collector) Report() Report {
+	r := Report{Nodes: c.nodes, Jobs: len(c.results), PerJob: c.results}
+	if !c.haveWindow {
+		return r
+	}
+	c.NoteReserved(c.winEnd, c.lastReserved) // close the integral
+	r.Makespan = c.winEnd - c.winStart
+
+	var turn, turnR, turnO, turnM []float64
+	var preR, preM, preO, preAll int
+	var odInstant, odStrict, odCount int
+	var delaySum float64
+	for _, res := range c.results {
+		t := float64(res.Turnaround)
+		turn = append(turn, t)
+		switch res.Class {
+		case job.Rigid:
+			turnR = append(turnR, t)
+			if res.PreemptCount > 0 {
+				preR++
+			}
+		case job.OnDemand:
+			turnO = append(turnO, t)
+			odCount++
+			delaySum += float64(res.StartDelay)
+			if res.StartDelay <= InstantStartTolerance {
+				odInstant++
+			}
+			if res.StartDelay == 0 {
+				odStrict++
+			}
+			if res.PreemptCount > 0 {
+				preO++
+			}
+		case job.Malleable:
+			turnM = append(turnM, t)
+			if res.PreemptCount > 0 {
+				preM++
+			}
+		}
+		if res.PreemptCount > 0 {
+			preAll++
+		}
+	}
+	r.All = classStats(turn, preAll)
+	r.Rigid = classStats(turnR, preR)
+	r.OnDemand = classStats(turnO, preO)
+	r.Malleable = classStats(turnM, preM)
+
+	if odCount > 0 {
+		r.InstantStartRate = float64(odInstant) / float64(odCount)
+		r.StrictInstantStartRate = float64(odStrict) / float64(odCount)
+		r.MeanStartDelay = delaySum / float64(odCount)
+	}
+
+	total := float64(c.nodes) * float64(r.Makespan)
+	if total > 0 {
+		u := c.usage
+		r.Utilization = (float64(u.Useful) + float64(u.Setup) + float64(u.Ckpt)) / total
+		r.Breakdown = UtilizationBreakdown{
+			Useful:       float64(u.Useful) / total,
+			Setup:        float64(u.Setup) / total,
+			Ckpt:         float64(u.Ckpt) / total,
+			Lost:         float64(u.Lost) / total,
+			ReservedIdle: float64(c.reservedIdleNS) / total,
+		}
+		r.Breakdown.Idle = 1 - r.Breakdown.Useful - r.Breakdown.Setup -
+			r.Breakdown.Ckpt - r.Breakdown.Lost - r.Breakdown.ReservedIdle
+	}
+
+	r.DecisionCount = c.decision.N()
+	r.MeanDecisionMs = c.decision.Mean() / 1e6
+	r.MaxDecisionMs = float64(c.maxDecNS) / 1e6
+	return r
+}
+
+func classStats(turn []float64, preempted int) ClassStats {
+	cs := ClassStats{Count: len(turn), PreemptedJobs: preempted}
+	cs.Turnaround = stats.Summarize(turn)
+	if cs.Count > 0 {
+		cs.PreemptRatio = float64(preempted) / float64(cs.Count)
+		cs.MeanTurnaroundH = cs.Turnaround.Mean / float64(simtime.Hour)
+	}
+	return cs
+}

@@ -1,0 +1,272 @@
+// Package nodeset provides a compact bitset of compute-node IDs.
+//
+// Node sets are the allocation currency of the cluster: every allocation,
+// reservation, and loan is an explicit set of node IDs rather than a bare
+// count. Carrying identity is what lets the mechanisms implement the paper's
+// "return leased nodes to the lender" semantics exactly — an on-demand job
+// returns the very nodes it borrowed from each preempted or shrunk job.
+package nodeset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a bitset over non-negative node IDs. The zero value is an empty set.
+// Sets are mutable; use Clone before sharing.
+type Set struct {
+	words []uint64
+	count int
+}
+
+// New returns an empty set with capacity hint n nodes.
+func New(n int) *Set {
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// Range returns the set {lo, lo+1, ..., hi-1}.
+func Range(lo, hi int) *Set {
+	s := New(hi)
+	for i := lo; i < hi; i++ {
+		s.Add(i)
+	}
+	return s
+}
+
+// FromIDs returns a set containing exactly ids.
+func FromIDs(ids ...int) *Set {
+	s := &Set{}
+	for _, id := range ids {
+		s.Add(id)
+	}
+	return s
+}
+
+func (s *Set) grow(word int) {
+	for len(s.words) <= word {
+		s.words = append(s.words, 0)
+	}
+}
+
+// Add inserts id. Adding an existing member is a no-op. It panics on a
+// negative id.
+func (s *Set) Add(id int) {
+	if id < 0 {
+		panic("nodeset: negative node id")
+	}
+	w, b := id/wordBits, uint(id%wordBits)
+	s.grow(w)
+	if s.words[w]&(1<<b) == 0 {
+		s.words[w] |= 1 << b
+		s.count++
+	}
+}
+
+// Remove deletes id. Removing a non-member is a no-op.
+func (s *Set) Remove(id int) {
+	if id < 0 {
+		return
+	}
+	w, b := id/wordBits, uint(id%wordBits)
+	if w >= len(s.words) {
+		return
+	}
+	if s.words[w]&(1<<b) != 0 {
+		s.words[w] &^= 1 << b
+		s.count--
+	}
+}
+
+// Contains reports whether id is a member.
+func (s *Set) Contains(id int) bool {
+	if id < 0 {
+		return false
+	}
+	w, b := id/wordBits, uint(id%wordBits)
+	return w < len(s.words) && s.words[w]&(1<<b) != 0
+}
+
+// Len returns the cardinality in O(1).
+func (s *Set) Len() int { return s.count }
+
+// Empty reports whether the set has no members.
+func (s *Set) Empty() bool { return s.count == 0 }
+
+// Clone returns a deep copy.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), count: s.count}
+	copy(c.words, s.words)
+	return c
+}
+
+// UnionWith adds all members of o to s.
+func (s *Set) UnionWith(o *Set) {
+	s.grow(len(o.words) - 1)
+	for i, w := range o.words {
+		added := w &^ s.words[i]
+		s.words[i] |= w
+		s.count += bits.OnesCount64(added)
+	}
+}
+
+// SubtractWith removes all members of o from s.
+func (s *Set) SubtractWith(o *Set) {
+	n := len(s.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		removed := s.words[i] & o.words[i]
+		s.words[i] &^= o.words[i]
+		s.count -= bits.OnesCount64(removed)
+	}
+}
+
+// IntersectWith keeps only members present in both sets.
+func (s *Set) IntersectWith(o *Set) {
+	for i := range s.words {
+		var ow uint64
+		if i < len(o.words) {
+			ow = o.words[i]
+		}
+		removed := s.words[i] &^ ow
+		s.words[i] &= ow
+		s.count -= bits.OnesCount64(removed)
+	}
+}
+
+// Union returns a new set s ∪ o.
+func Union(s, o *Set) *Set {
+	c := s.Clone()
+	c.UnionWith(o)
+	return c
+}
+
+// Difference returns a new set s \ o.
+func Difference(s, o *Set) *Set {
+	c := s.Clone()
+	c.SubtractWith(o)
+	return c
+}
+
+// Intersection returns a new set s ∩ o.
+func Intersection(s, o *Set) *Set {
+	c := s.Clone()
+	c.IntersectWith(o)
+	return c
+}
+
+// Intersects reports whether s and o share any member, without allocating.
+func (s *Set) Intersects(o *Set) bool {
+	n := len(s.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether s and o contain the same members.
+func (s *Set) Equal(o *Set) bool {
+	if s.count != o.count {
+		return false
+	}
+	n := len(s.words)
+	if len(o.words) > n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		var sw, ow uint64
+		if i < len(s.words) {
+			sw = s.words[i]
+		}
+		if i < len(o.words) {
+			ow = o.words[i]
+		}
+		if sw != ow {
+			return false
+		}
+	}
+	return true
+}
+
+// Pick removes up to k members (the lowest-numbered ones, for determinism)
+// and returns them as a new set. If the set has fewer than k members, all of
+// them are taken.
+func (s *Set) Pick(k int) *Set {
+	taken := &Set{}
+	if k <= 0 {
+		return taken
+	}
+	for wi := 0; wi < len(s.words) && k > 0; wi++ {
+		w := s.words[wi]
+		for w != 0 && k > 0 {
+			b := bits.TrailingZeros64(w)
+			id := wi*wordBits + b
+			taken.Add(id)
+			w &^= 1 << uint(b)
+			s.words[wi] &^= 1 << uint(b)
+			s.count--
+			k--
+		}
+	}
+	return taken
+}
+
+// IDs returns the members in ascending order.
+func (s *Set) IDs() []int {
+	out := make([]int, 0, s.count)
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*wordBits+b)
+			w &^= 1 << uint(b)
+		}
+	}
+	return out
+}
+
+// ForEach calls fn for every member in ascending order. Iteration stops if
+// fn returns false.
+func (s *Set) ForEach(fn func(id int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// String renders the set as compact ranges, e.g. "{0-3,7,9-10}".
+func (s *Set) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	ids := s.IDs()
+	for i := 0; i < len(ids); {
+		j := i
+		for j+1 < len(ids) && ids[j+1] == ids[j]+1 {
+			j++
+		}
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		if j > i {
+			fmt.Fprintf(&sb, "%d-%d", ids[i], ids[j])
+		} else {
+			fmt.Fprintf(&sb, "%d", ids[i])
+		}
+		i = j + 1
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

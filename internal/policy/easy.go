@@ -1,0 +1,312 @@
+package policy
+
+import (
+	"sort"
+
+	"hybridsched/internal/job"
+)
+
+// Running describes a running job for backfill planning: when the scheduler
+// expects its nodes back (estimate-based, never the actual end) and how many
+// nodes it holds.
+type Running struct {
+	EstEnd int64
+	Nodes  int
+}
+
+// Start is a planner decision: start job J on Size nodes now.
+type Start struct {
+	J    *job.Job
+	Size int
+}
+
+// maxInt64 stands in for an unbounded shadow time.
+const maxInt64 = int64(^uint64(0) >> 1)
+
+// PlanEASY computes the set of waiting jobs to start now under FCFS/EASY
+// semantics (Mu'alem & Feitelson, TPDS'01):
+//
+//  1. Jobs start from the head of the (already ordered) queue while they fit
+//     in the free pool.
+//  2. The first job that does not fit gets a reservation at the shadow time —
+//     the earliest instant at which enough running jobs will have released
+//     nodes (by their estimates).
+//  3. Jobs behind it may backfill if they fit now and either finish (by their
+//     estimate) before the shadow time or use only nodes the head job will
+//     not need (the "extra" nodes).
+//
+// Malleable jobs are sized greedily: the largest feasible size wins; a
+// malleable head job only needs its minimum size to start.
+//
+// ownReserve reports nodes privately reserved for a specific waiting job —
+// the directed returns of the paper's on-demand completion rule and the
+// partial gathers of an on-demand job that could not start instantly. A job
+// consumes its own reservation before touching the free pool, and private
+// nodes never count against the head job's extra-node slack. nil means no
+// private reservations.
+//
+// backfillExtra adds shared reserved-node capacity usable by backfill
+// candidates only (paper §III-B.1: nodes reserved for a future on-demand job
+// may host backfill jobs that are preempted the moment it arrives); the queue
+// head never starts on that capacity.
+// flexible enables malleable sizing: when false (the Table II baseline:
+// "no special treatments"), malleable jobs are scheduled rigidly at their
+// maximum size.
+func PlanEASY(now int64, queue []*job.Job, running []Running, free, backfillExtra int, ownReserve func(*job.Job) int, flexible bool) []Start {
+	own := func(j *job.Job) int {
+		if ownReserve == nil {
+			return 0
+		}
+		return ownReserve(j)
+	}
+	if !flexible {
+		return planEASYFixed(now, queue, running, free, backfillExtra, own)
+	}
+
+	var starts []Start
+	idx := 0
+
+	// Phase 1: run the head of the queue while it fits.
+	for idx < len(queue) {
+		j := queue[idx]
+		avail := free + own(j)
+		if minStart(j) > avail {
+			break
+		}
+		size := chooseSize(j, avail)
+		starts = append(starts, Start{J: j, Size: size})
+		fromOwn := own(j)
+		if fromOwn > size {
+			fromOwn = size
+		}
+		free -= size - fromOwn
+		idx++
+	}
+	if idx >= len(queue) {
+		return starts
+	}
+
+	// Phase 2: reservation for the blocked head. The head's own reservation
+	// reduces what it needs from the free pool and future releases.
+	head := queue[idx]
+	headNeed := minStart(head) - own(head)
+	shadow, extra := shadowAndExtra(running, free, headNeed)
+
+	// Phase 3: backfill the rest of the queue in priority order.
+	for _, j := range queue[idx+1:] {
+		// On-demand jobs never run on other jobs' reserved capacity: a
+		// squatter is preemptable, and on-demand jobs must not be.
+		bfExtra := backfillExtra
+		if j.Class == job.OnDemand {
+			bfExtra = 0
+		}
+		size, usedExtra, ok := chooseBackfillSize(now, j, free, own(j), bfExtra, shadow, extra)
+		if !ok {
+			continue
+		}
+		starts = append(starts, Start{J: j, Size: size})
+		// Consumption order: own reservation, then free pool, then shared
+		// reserved capacity.
+		rest := size - own(j)
+		if rest < 0 {
+			rest = 0
+		}
+		fromFree := rest
+		if fromFree > free {
+			backfillExtra -= fromFree - free
+			fromFree = free
+		}
+		free -= fromFree
+		if usedExtra {
+			extra -= fromFree
+			if extra < 0 {
+				extra = 0
+			}
+		}
+	}
+	return starts
+}
+
+// planEASYFixed is PlanEASY with every job treated as fixed-size (malleable
+// jobs at their maximum). It shares the same shadow/extra logic via the
+// rigid branch of the size chooser.
+func planEASYFixed(now int64, queue []*job.Job, running []Running, free, backfillExtra int, own func(*job.Job) int) []Start {
+	var starts []Start
+	idx := 0
+	for idx < len(queue) {
+		j := queue[idx]
+		if j.Size > free+own(j) {
+			break
+		}
+		starts = append(starts, Start{J: j, Size: j.Size})
+		fromOwn := own(j)
+		if fromOwn > j.Size {
+			fromOwn = j.Size
+		}
+		free -= j.Size - fromOwn
+		idx++
+	}
+	if idx >= len(queue) {
+		return starts
+	}
+	head := queue[idx]
+	shadow, extra := shadowAndExtra(running, free, head.Size-own(head))
+	for _, j := range queue[idx+1:] {
+		bfExtra := backfillExtra
+		if j.Class == job.OnDemand {
+			bfExtra = 0
+		}
+		size := j.Size
+		if size > free+own(j)+bfExtra {
+			continue
+		}
+		var wall int64
+		if j.Class == job.Malleable {
+			wall = j.EstimatedMalleableWall(size)
+		} else {
+			wall = j.EstimatedWallIfStarted()
+		}
+		usedExtra := false
+		if shadow != maxInt64 && now+wall > shadow {
+			fromFree := size - own(j)
+			if fromFree < 0 {
+				fromFree = 0
+			}
+			if fromFree > free {
+				fromFree = free
+			}
+			if fromFree > extra {
+				continue
+			}
+			usedExtra = true
+		}
+		starts = append(starts, Start{J: j, Size: size})
+		rest := size - own(j)
+		if rest < 0 {
+			rest = 0
+		}
+		fromFree := rest
+		if fromFree > free {
+			backfillExtra -= fromFree - free
+			fromFree = free
+		}
+		free -= fromFree
+		if usedExtra {
+			extra -= fromFree
+			if extra < 0 {
+				extra = 0
+			}
+		}
+	}
+	return starts
+}
+
+// shadowAndExtra computes the head job's reservation: the shadow time at
+// which headNeed nodes become available (estimate-based), and the number of
+// extra nodes left over at that instant beyond the head's need. If the head
+// can never be satisfied from running-job releases (e.g. reservations hold
+// nodes back), the shadow is unbounded and only the fits-now constraint
+// applies to backfill candidates.
+func shadowAndExtra(running []Running, free, headNeed int) (shadow int64, extra int) {
+	avail := free
+	if avail >= headNeed {
+		return maxInt64, avail - headNeed
+	}
+	rel := make([]Running, len(running))
+	copy(rel, running)
+	sort.Slice(rel, func(i, j int) bool { return rel[i].EstEnd < rel[j].EstEnd })
+	for _, r := range rel {
+		avail += r.Nodes
+		if avail >= headNeed {
+			return r.EstEnd, avail - headNeed
+		}
+	}
+	return maxInt64, 0
+}
+
+// minStart is the smallest node count on which j can be started.
+func minStart(j *job.Job) int {
+	if j.Class == job.Malleable {
+		return j.MinSize
+	}
+	return j.Size
+}
+
+// chooseSize picks the start size given available nodes: fixed jobs take
+// their size; malleable jobs take the largest size that fits.
+func chooseSize(j *job.Job, avail int) int {
+	if j.Class != job.Malleable {
+		return j.Size
+	}
+	if avail >= j.Size {
+		return j.Size
+	}
+	return avail // >= MinSize, checked by the caller
+}
+
+// estimatedWall returns the scheduler-visible wall time of starting j now on
+// n nodes.
+func estimatedWall(j *job.Job, n int) int64 {
+	if j.Class == job.Malleable {
+		return j.EstimatedMalleableWall(n)
+	}
+	return j.EstimatedWallIfStarted()
+}
+
+// chooseBackfillSize picks a feasible backfill size for j, or reports that
+// none exists. usedExtra reports that the job relies on the head's
+// extra-node slack (it will still be running at the shadow time).
+//
+// Feasibility of size n: n <= own+free+reservedExtra now, and either the
+// estimated end is before the shadow time, or the job's free-pool draw
+// min(n-own, free) fits within the head's extra nodes (private and shared
+// reserved nodes are invisible to the head). For malleable jobs the
+// estimated wall is non-increasing in n, so the largest candidate is optimal
+// for the time rule; the extra rule caps the free-pool draw at extra.
+func chooseBackfillSize(now int64, j *job.Job, free, own, reservedExtra int, shadow int64, extra int) (size int, usedExtra, ok bool) {
+	cap := own + free + reservedExtra
+	upper := j.Size
+	if upper > cap {
+		upper = cap
+	}
+	if upper < minStart(j) {
+		return 0, false, false
+	}
+	freeDraw := func(n int) int {
+		d := n - own
+		if d < 0 {
+			d = 0
+		}
+		if d > free {
+			d = free
+		}
+		return d
+	}
+	if j.Class != job.Malleable {
+		size = j.Size
+		if shadow == maxInt64 || now+estimatedWall(j, size) <= shadow {
+			return size, false, true
+		}
+		if freeDraw(size) <= extra {
+			return size, true, true
+		}
+		return 0, false, false
+	}
+	// Malleable: the time rule is easiest at the largest size.
+	if shadow == maxInt64 || now+estimatedWall(j, upper) <= shadow {
+		return upper, false, true
+	}
+	// Time rule fails at every size; fall back to the extra-node rule.
+	if free <= extra {
+		// Any free-pool draw fits inside the extra slack.
+		return upper, true, true
+	}
+	n := extra + own
+	if n > upper {
+		n = upper
+	}
+	if n >= j.MinSize {
+		return n, true, true
+	}
+	return 0, false, false
+}

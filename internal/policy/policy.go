@@ -1,0 +1,145 @@
+// Package policy implements the waiting-queue ordering policies and the
+// EASY-backfilling planner used by the simulated scheduler.
+//
+// The paper's mechanisms are deliberately orthogonal to the queue policy
+// ("while a scheduling policy determines the order of waiting jobs, our
+// mechanisms manipulate the running jobs", §I). The default policy is FCFS
+// with EASY backfilling (§IV-B); SJF, LJF, and WFP3 are provided for
+// ablations and to exercise the pluggable-policy interface CQSim exposes.
+package policy
+
+import (
+	"sort"
+
+	"hybridsched/internal/job"
+)
+
+// Ordering ranks two waiting jobs; it reports whether a should run before b.
+// now is the current virtual time (WFP3-style policies depend on it).
+type Ordering interface {
+	Name() string
+	Less(a, b *job.Job, now int64) bool
+}
+
+// FCFS orders by first submission time. Preempted jobs keep their original
+// submission time, so they naturally return to the front (paper §III-B.2).
+type FCFS struct{}
+
+// Name returns "fcfs".
+func (FCFS) Name() string { return "fcfs" }
+
+// Less orders by submission time, breaking ties by job ID.
+func (FCFS) Less(a, b *job.Job, _ int64) bool {
+	if a.SubmitTime != b.SubmitTime {
+		return a.SubmitTime < b.SubmitTime
+	}
+	return a.ID < b.ID
+}
+
+// SJF orders by estimated wall time, shortest first.
+type SJF struct{}
+
+// Name returns "sjf".
+func (SJF) Name() string { return "sjf" }
+
+// Less orders by estimate, breaking ties FCFS-style.
+func (SJF) Less(a, b *job.Job, _ int64) bool {
+	ea, eb := a.Estimate, b.Estimate
+	if ea != eb {
+		return ea < eb
+	}
+	if a.SubmitTime != b.SubmitTime {
+		return a.SubmitTime < b.SubmitTime
+	}
+	return a.ID < b.ID
+}
+
+// LJF orders by requested size, largest first, to reduce fragmentation.
+type LJF struct{}
+
+// Name returns "ljf".
+func (LJF) Name() string { return "ljf" }
+
+// Less orders by size descending, breaking ties FCFS-style.
+func (LJF) Less(a, b *job.Job, _ int64) bool {
+	if a.Size != b.Size {
+		return a.Size > b.Size
+	}
+	if a.SubmitTime != b.SubmitTime {
+		return a.SubmitTime < b.SubmitTime
+	}
+	return a.ID < b.ID
+}
+
+// WFP3 implements the utilization-fairness policy used on Theta-class
+// systems: priority grows with (wait/estimate)^3 * size, so large jobs and
+// long-waiting jobs climb the queue.
+type WFP3 struct{}
+
+// Name returns "wfp3".
+func (WFP3) Name() string { return "wfp3" }
+
+// Less orders by descending WFP3 score.
+func (WFP3) Less(a, b *job.Job, now int64) bool {
+	sa, sb := wfp3Score(a, now), wfp3Score(b, now)
+	if sa != sb {
+		return sa > sb
+	}
+	if a.SubmitTime != b.SubmitTime {
+		return a.SubmitTime < b.SubmitTime
+	}
+	return a.ID < b.ID
+}
+
+func wfp3Score(j *job.Job, now int64) float64 {
+	wait := float64(now - j.SubmitTime)
+	if wait < 0 {
+		wait = 0
+	}
+	est := float64(j.Estimate)
+	if est < 1 {
+		est = 1
+	}
+	r := wait / est
+	return r * r * r * float64(j.Size)
+}
+
+// ByName returns the ordering with the given name, defaulting to FCFS for an
+// empty string. Unknown names return nil.
+func ByName(name string) Ordering {
+	switch name {
+	case "", "fcfs":
+		return FCFS{}
+	case "sjf":
+		return SJF{}
+	case "ljf":
+		return LJF{}
+	case "wfp3":
+		return WFP3{}
+	}
+	return nil
+}
+
+// Sort orders queue in place under ord at time now. On-demand jobs always
+// sort ahead of other classes when onDemandFirst is set (the mechanisms place
+// an on-demand job that could not start instantly "to the front of the queue
+// waiting for additional available nodes", §III-B.2); among themselves they
+// keep arrival order.
+func Sort(queue []*job.Job, ord Ordering, now int64, onDemandFirst bool) {
+	sort.SliceStable(queue, func(i, k int) bool {
+		a, b := queue[i], queue[k]
+		if onDemandFirst {
+			ao, bo := a.Class == job.OnDemand, b.Class == job.OnDemand
+			if ao != bo {
+				return ao
+			}
+			if ao && bo {
+				if a.SubmitTime != b.SubmitTime {
+					return a.SubmitTime < b.SubmitTime
+				}
+				return a.ID < b.ID
+			}
+		}
+		return ord.Less(a, b, now)
+	})
+}

@@ -1,0 +1,448 @@
+// Package sim implements the trace-driven, event-driven scheduling simulator
+// the paper's evaluation runs on (a Go port of CQSim's architecture: job
+// trace module, queue manager, cluster module, scheduler, event engine).
+//
+// The engine owns the virtual clock, the event queue, the cluster, and the
+// waiting queue, and it executes the baseline FCFS/EASY scheduling loop. The
+// paper's contribution — the six hybrid-workload mechanisms — plugs in
+// through the Mechanism interface: the engine reports on-demand notices,
+// arrivals, job completions, warning expiries, and timer events; the
+// mechanism responds using the engine's resource primitives (preempt,
+// shrink, expand, reserve, start). sim deliberately never imports
+// internal/core, so the substrate stays reusable.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hybridsched/internal/cluster"
+	"hybridsched/internal/eventq"
+	"hybridsched/internal/job"
+	"hybridsched/internal/metrics"
+	"hybridsched/internal/nodeset"
+	"hybridsched/internal/policy"
+)
+
+// Config parameterizes an engine run.
+type Config struct {
+	// Nodes is the system size (default 4392, Theta).
+	Nodes int
+	// Policy orders the waiting queue (default FCFS).
+	Policy policy.Ordering
+	// BackfillReserved lets backfill candidates run on nodes reserved for
+	// pending on-demand jobs; such squatters are preempted the instant the
+	// on-demand job arrives (paper §III-B.1). Default off.
+	BackfillReserved bool
+	// Validate runs the cluster partition invariant after every event.
+	// Meant for tests; expensive on long traces.
+	Validate bool
+	// MaxSimTime aborts the run if the clock passes this bound (0 = none).
+	MaxSimTime int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 4392
+	}
+	if c.Policy == nil {
+		c.Policy = policy.FCFS{}
+	}
+	return c
+}
+
+// Mechanism is the plug-in interface for hybrid-workload scheduling logic.
+// The engine invokes the callbacks; implementations drive the engine's
+// resource primitives. The Baseline mechanism ignores everything.
+type Mechanism interface {
+	// Name identifies the mechanism in reports (e.g. "CUA&SPAA").
+	Name() string
+	// Attach wires the mechanism to the engine before the run starts.
+	Attach(e *Engine)
+	// QueueOnDemandFirst reports whether on-demand jobs that could not start
+	// instantly jump to the front of the waiting queue.
+	QueueOnDemandFirst() bool
+	// FlexibleMalleable reports whether the scheduler may size malleable
+	// jobs between their minimum and maximum. The Table II baseline gives
+	// malleable jobs "no special treatment" and runs them rigidly.
+	FlexibleMalleable() bool
+	// OnNotice fires when an on-demand job's advance notice arrives.
+	OnNotice(j *job.Job)
+	// OnODArrival fires when an on-demand job actually arrives. Returning
+	// true means the mechanism handled the job (started it or holds a
+	// pending start); false lets the engine queue it normally.
+	OnODArrival(j *job.Job) bool
+	// OnJobCompleted fires after any job completes and its nodes returned to
+	// the free pool; freed is the released node set.
+	OnJobCompleted(j *job.Job, freed *nodeset.Set)
+	// OnWarningExpired fires when a malleable preemption warning ends and
+	// the job's nodes (freed) have been returned to the free pool. claim is
+	// the reservation the preemption was made for (negative: none).
+	OnWarningExpired(j *job.Job, claim int, freed *nodeset.Set)
+	// OnODStarted fires whenever an on-demand job starts, from any path.
+	OnODStarted(j *job.Job)
+	// OnTimer delivers payloads scheduled with Engine.ScheduleTimer.
+	OnTimer(payload any)
+}
+
+// Baseline is the no-mechanism scheduler of Table II: on-demand jobs queue
+// like everyone else and nothing is ever preempted or shrunk.
+type Baseline struct{}
+
+// Name returns "FCFS/EASY".
+func (Baseline) Name() string { return "FCFS/EASY" }
+
+// Attach does nothing.
+func (Baseline) Attach(*Engine) {}
+
+// QueueOnDemandFirst returns false: no special treatment.
+func (Baseline) QueueOnDemandFirst() bool { return false }
+
+// FlexibleMalleable returns false: malleable jobs run rigidly at full size.
+func (Baseline) FlexibleMalleable() bool { return false }
+
+// OnNotice ignores advance notices.
+func (Baseline) OnNotice(*job.Job) {}
+
+// OnODArrival declines to handle the job, so it queues normally.
+func (Baseline) OnODArrival(*job.Job) bool { return false }
+
+// OnJobCompleted does nothing.
+func (Baseline) OnJobCompleted(*job.Job, *nodeset.Set) {}
+
+// OnWarningExpired does nothing (the baseline never preempts).
+func (Baseline) OnWarningExpired(*job.Job, int, *nodeset.Set) {}
+
+// OnODStarted does nothing.
+func (Baseline) OnODStarted(*job.Job) {}
+
+// OnTimer does nothing.
+func (Baseline) OnTimer(any) {}
+
+// squat records a backfilled job occupying nodes reserved for a claim.
+type squat struct {
+	claim int
+	nodes *nodeset.Set
+}
+
+// Engine is the simulator instance. Create with New, run with Run.
+type Engine struct {
+	cfg  Config
+	mech Mechanism
+	clk  int64
+
+	q   eventq.Queue
+	cl  *cluster.Cluster
+	met *metrics.Collector
+
+	jobs    []*job.Job
+	byID    map[int]*job.Job
+	queue   []*job.Job
+	inQueue map[int]bool
+	running map[int]*job.Job // Running or Warning (hold nodes)
+
+	endEv  map[int]*eventq.Event
+	warnEv map[int]*eventq.Event
+
+	schedPending bool
+	completed    int
+
+	// BackfillReserved bookkeeping.
+	backfillable map[int]bool    // claims whose reservations may host squatters
+	squats       map[int][]squat // squatter job ID -> occupied reserved nodes
+	squatted     map[int]int     // claim -> node count occupied by squatters
+
+	err error
+}
+
+// New builds an engine over jobs (any order) with the given mechanism. Job
+// IDs must be unique and sizes must fit the system.
+func New(cfg Config, jobs []*job.Job, mech Mechanism) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	seen := make(map[int]bool, len(jobs))
+	for _, j := range jobs {
+		if j.Size > cfg.Nodes {
+			return nil, fmt.Errorf("sim: job %d size %d exceeds system %d", j.ID, j.Size, cfg.Nodes)
+		}
+		if seen[j.ID] {
+			return nil, fmt.Errorf("sim: duplicate job ID %d", j.ID)
+		}
+		seen[j.ID] = true
+	}
+	byID := make(map[int]*job.Job, len(jobs))
+	for _, j := range jobs {
+		byID[j.ID] = j
+	}
+	e := &Engine{
+		cfg:          cfg,
+		mech:         mech,
+		cl:           cluster.New(cfg.Nodes),
+		met:          metrics.NewCollector(cfg.Nodes),
+		jobs:         jobs,
+		byID:         byID,
+		inQueue:      make(map[int]bool),
+		running:      make(map[int]*job.Job),
+		endEv:        make(map[int]*eventq.Event),
+		warnEv:       make(map[int]*eventq.Event),
+		backfillable: make(map[int]bool),
+		squats:       make(map[int][]squat),
+		squatted:     make(map[int]int),
+	}
+	mech.Attach(e)
+	return e, nil
+}
+
+// Now returns the virtual clock.
+func (e *Engine) Now() int64 { return e.clk }
+
+// Cluster exposes the node pool to mechanisms.
+func (e *Engine) Cluster() *cluster.Cluster { return e.cl }
+
+// Metrics exposes the collector (mechanisms record decision latencies).
+func (e *Engine) Metrics() *metrics.Collector { return e.met }
+
+// Running returns the currently running rigid and malleable jobs (the
+// preemption candidates: on-demand jobs are never preempted, and jobs
+// already in their warning are spoken for), sorted by ID for determinism.
+func (e *Engine) Running() []*job.Job {
+	out := make([]*job.Job, 0, len(e.running))
+	for _, j := range e.running {
+		if j.State == job.Running && j.Class != job.OnDemand {
+			out = append(out, j)
+		}
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// Queued reports whether job id is in the waiting queue.
+func (e *Engine) Queued(id int) bool { return e.inQueue[id] }
+
+// JobByID resolves a job by its ID (nil if unknown).
+func (e *Engine) JobByID(id int) *job.Job { return e.byID[id] }
+
+// EnqueueWaiting places a waiting job into the queue; mechanisms use it for
+// fallback paths after reporting an arrival as handled.
+func (e *Engine) EnqueueWaiting(j *job.Job) {
+	e.enqueue(j)
+	e.requestSchedule()
+}
+
+// IsRunningOrWarning reports whether job id currently holds nodes.
+func (e *Engine) IsRunningOrWarning(id int) bool {
+	_, ok := e.running[id]
+	return ok
+}
+
+// Run executes the simulation to completion and returns the metrics report.
+func (e *Engine) Run() (metrics.Report, error) {
+	if len(e.jobs) == 0 {
+		return e.met.Report(), nil
+	}
+	minSubmit := e.jobs[0].SubmitTime
+	for _, j := range e.jobs {
+		if j.SubmitTime < minSubmit {
+			minSubmit = j.SubmitTime
+		}
+		e.q.Push(j.SubmitTime, eventq.PrioArrive, evArrive{j})
+		if j.Class == job.OnDemand && j.NoticeTime < j.SubmitTime {
+			e.q.Push(j.NoticeTime, eventq.PrioNotice, evNotice{j})
+		}
+	}
+	e.met.NoteSubmit(minSubmit)
+	// The clock stays at zero until the first event: all trace times are
+	// non-negative, and mechanism timers may have been scheduled at attach
+	// time, before the first submission.
+
+	for {
+		ev := e.q.Pop()
+		if ev == nil {
+			if e.completed < len(e.jobs) {
+				if e.breakHoldDeadlock() {
+					continue
+				}
+				return e.met.Report(), fmt.Errorf("sim: stalled with %d/%d jobs incomplete at t=%d",
+					len(e.jobs)-e.completed, len(e.jobs), e.clk)
+			}
+			break
+		}
+		if ev.Time < e.clk {
+			return e.met.Report(), fmt.Errorf("sim: time went backwards (%d < %d)", ev.Time, e.clk)
+		}
+		if e.cfg.MaxSimTime > 0 && ev.Time > e.cfg.MaxSimTime {
+			return e.met.Report(), fmt.Errorf("sim: exceeded MaxSimTime at t=%d", ev.Time)
+		}
+		e.met.NoteReserved(ev.Time, e.cl.TotalReserved())
+		e.clk = ev.Time
+		e.dispatch(ev)
+		e.met.NoteReserved(e.clk, e.cl.TotalReserved())
+		if e.err != nil {
+			return e.met.Report(), e.err
+		}
+		if e.cfg.Validate {
+			if err := e.cl.CheckInvariant(); err != nil {
+				return e.met.Report(), fmt.Errorf("sim: after %T at t=%d: %w", ev.Payload, e.clk, err)
+			}
+		}
+	}
+	return e.met.Report(), nil
+}
+
+// breakHoldDeadlock dissolves private reservations held for waiting jobs
+// when the event queue drains with work outstanding. Directed returns can in
+// rare cases mutually starve large waiting jobs; a production resource
+// manager would time such holds out. Returns true if anything was released.
+func (e *Engine) breakHoldDeadlock() bool {
+	released := false
+	for _, j := range e.queue {
+		if e.cl.ReservedCount(j.ID) > 0 {
+			e.cl.UnreserveAll(j.ID)
+			released = true
+		}
+	}
+	if released {
+		e.requestSchedule()
+	}
+	return released
+}
+
+// fail records a fatal internal error, terminating the run.
+func (e *Engine) fail(format string, args ...any) {
+	if e.err == nil {
+		e.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Event payloads.
+type (
+	evArrive struct{ j *job.Job }
+	evNotice struct{ j *job.Job }
+	evEnd    struct{ j *job.Job }
+	evWarn   struct {
+		j     *job.Job
+		claim int
+	}
+	evTimer struct{ payload any }
+	evSched struct{}
+)
+
+func (e *Engine) dispatch(ev *eventq.Event) {
+	switch p := ev.Payload.(type) {
+	case evArrive:
+		e.handleArrive(p.j)
+	case evNotice:
+		e.handleNotice(p.j)
+	case evEnd:
+		e.handleEnd(p.j)
+	case evWarn:
+		e.handleWarnExpired(p.j, p.claim)
+	case evTimer:
+		e.mech.OnTimer(p.payload)
+		e.requestSchedule()
+	case evSched:
+		e.schedPending = false
+		e.schedulePass()
+	default:
+		e.fail("sim: unknown event payload %T", ev.Payload)
+	}
+}
+
+func (e *Engine) handleArrive(j *job.Job) {
+	j.State = job.Waiting
+	if j.Class == job.OnDemand {
+		t0 := time.Now()
+		handled := e.mech.OnODArrival(j)
+		e.met.NoteDecision(time.Since(t0))
+		if handled {
+			e.requestSchedule()
+			return
+		}
+	}
+	e.enqueue(j)
+	e.requestSchedule()
+}
+
+func (e *Engine) handleNotice(j *job.Job) {
+	t0 := time.Now()
+	e.mech.OnNotice(j)
+	e.met.NoteDecision(time.Since(t0))
+	e.requestSchedule()
+}
+
+func (e *Engine) handleEnd(j *job.Job) {
+	if j.State != job.Running && j.State != job.Warning {
+		e.fail("sim: end event for job %d in state %v", j.ID, j.State)
+		return
+	}
+	var u job.Usage
+	if j.Class == job.Malleable {
+		u = j.FinalizeMalleableCompletion(e.clk)
+	} else {
+		u = j.FinalizeCompletion(e.clk)
+	}
+	e.met.AddUsage(u)
+	e.met.NoteComplete(j)
+	e.completed++
+	delete(e.endEv, j.ID)
+	if wev, ok := e.warnEv[j.ID]; ok {
+		// Completed inside its warning window; the expiry must not fire.
+		e.q.Cancel(wev)
+		delete(e.warnEv, j.ID)
+	}
+	freed := e.cl.Release(j.ID)
+	delete(e.running, j.ID)
+	freed.SubtractWith(e.restoreSquattedNodes(j.ID))
+	e.mech.OnJobCompleted(j, freed)
+	e.requestSchedule()
+}
+
+func (e *Engine) handleWarnExpired(j *job.Job, claim int) {
+	if j.State != job.Warning {
+		// Completed at this exact instant (end events dispatch first) or
+		// state changed; nothing to reclaim.
+		return
+	}
+	u := j.FinalizeWarning(e.clk)
+	e.met.AddUsage(u)
+	delete(e.warnEv, j.ID)
+	if ev, ok := e.endEv[j.ID]; ok {
+		e.q.Cancel(ev)
+		delete(e.endEv, j.ID)
+	}
+	freed := e.cl.Release(j.ID)
+	delete(e.running, j.ID)
+	freed.SubtractWith(e.restoreSquattedNodes(j.ID))
+	e.enqueue(j)
+	e.mech.OnWarningExpired(j, claim, freed)
+	e.requestSchedule()
+}
+
+func (e *Engine) enqueue(j *job.Job) {
+	if e.inQueue[j.ID] {
+		return
+	}
+	j.State = job.Waiting
+	e.queue = append(e.queue, j)
+	e.inQueue[j.ID] = true
+}
+
+func (e *Engine) removeFromQueue(j *job.Job) {
+	if !e.inQueue[j.ID] {
+		return
+	}
+	for i, q := range e.queue {
+		if q.ID == j.ID {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			break
+		}
+	}
+	delete(e.inQueue, j.ID)
+}
+
+func (e *Engine) requestSchedule() {
+	if !e.schedPending {
+		e.q.Push(e.clk, eventq.PrioSchedule, evSched{})
+		e.schedPending = true
+	}
+}

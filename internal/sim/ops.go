@@ -1,0 +1,408 @@
+package sim
+
+import (
+	"sort"
+
+	"hybridsched/internal/eventq"
+	"hybridsched/internal/job"
+	"hybridsched/internal/nodeset"
+	"hybridsched/internal/policy"
+)
+
+// schedulePass runs the queue policy and EASY backfilling over the current
+// state and starts every planned job.
+func (e *Engine) schedulePass() {
+	if len(e.queue) == 0 {
+		return
+	}
+	policy.Sort(e.queue, e.cfg.Policy, e.clk, e.mech.QueueOnDemandFirst())
+
+	ri := make([]policy.Running, 0, len(e.running))
+	ids := make([]int, 0, len(e.running))
+	for id := range e.running {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		j := e.running[id]
+		switch j.State {
+		case job.Running:
+			if j.Class == job.Malleable {
+				j.UpdateProgress(e.clk)
+				ri = append(ri, policy.Running{EstEnd: j.MalleableEstimatedEnd(e.clk), Nodes: j.CurSize})
+			} else {
+				ri = append(ri, policy.Running{EstEnd: j.EstimatedEnd(), Nodes: j.CurSize})
+			}
+		case job.Warning:
+			if ev, ok := e.warnEv[id]; ok {
+				ri = append(ri, policy.Running{EstEnd: ev.Time, Nodes: j.CurSize})
+			}
+		}
+	}
+
+	bfExtra := 0
+	if e.cfg.BackfillReserved {
+		for claim, ok := range e.backfillable {
+			if ok {
+				bfExtra += e.cl.ReservedCount(claim)
+			}
+		}
+	}
+	own := func(j *job.Job) int { return e.cl.ReservedCount(j.ID) }
+
+	starts := policy.PlanEASY(e.clk, e.queue, ri, e.cl.FreeCount(), bfExtra, own, e.mech.FlexibleMalleable())
+	for _, s := range starts {
+		e.startJob(s.J, s.Size, true)
+	}
+}
+
+// startJob launches j on size nodes, drawing first from the job's own
+// reservation, then the free pool, then (when allowSquat and configured)
+// reservations marked backfillable, recording squats for later eviction.
+func (e *Engine) startJob(j *job.Job, size int, allowSquat bool) {
+	need := size
+	need -= e.cl.AllocReserved(j.ID, j.ID, need).Len()
+	if free := e.cl.FreeCount(); need > 0 && free > 0 {
+		take := need
+		if take > free {
+			take = free
+		}
+		e.cl.AllocFree(j.ID, take)
+		need -= take
+	}
+	if need > 0 && allowSquat && e.cfg.BackfillReserved && j.Class != job.OnDemand {
+		claims := make([]int, 0, len(e.backfillable))
+		for claim, ok := range e.backfillable {
+			if ok {
+				claims = append(claims, claim)
+			}
+		}
+		sort.Ints(claims)
+		for _, claim := range claims {
+			if need == 0 {
+				break
+			}
+			taken := e.cl.AllocReserved(j.ID, claim, need)
+			if taken.Len() == 0 {
+				continue
+			}
+			e.squats[j.ID] = append(e.squats[j.ID], squat{claim: claim, nodes: taken})
+			e.squatted[claim] += taken.Len()
+			need -= taken.Len()
+		}
+	}
+	if need > 0 {
+		e.fail("sim: planner overcommitted: job %d short %d nodes at t=%d", j.ID, need, e.clk)
+		return
+	}
+	// Any leftover private reservation dissolves once the job runs.
+	e.cl.UnreserveAll(j.ID)
+
+	e.removeFromQueue(j)
+	var end int64
+	if j.Class == job.Malleable {
+		end = j.StartMalleable(e.clk, size)
+	} else {
+		end = e.clk + j.Start(e.clk)
+	}
+	e.running[j.ID] = j
+	e.endEv[j.ID] = e.q.Push(end, eventq.PrioEnd, evEnd{j})
+	if j.Class == job.OnDemand {
+		e.mech.OnODStarted(j)
+	}
+}
+
+// --- Mechanism-facing primitives -----------------------------------------
+
+// StartOnDemand starts an on-demand job immediately from its own reservation
+// plus the free pool. The caller must have gathered enough nodes; the engine
+// fails the run otherwise.
+func (e *Engine) StartOnDemand(j *job.Job) {
+	if j.Class != job.OnDemand {
+		e.fail("sim: StartOnDemand on %v job %d", j.Class, j.ID)
+		return
+	}
+	if e.cl.ReservedCount(j.ID)+e.cl.FreeCount() < j.Size {
+		e.fail("sim: StartOnDemand job %d: %d reserved + %d free < %d",
+			j.ID, e.cl.ReservedCount(j.ID), e.cl.FreeCount(), j.Size)
+		return
+	}
+	e.startJob(j, j.Size, false)
+}
+
+// PreemptRigid preempts a running rigid (or, in principle, on-demand) job
+// immediately: its progress falls back to the last checkpoint, its nodes
+// return to the free pool, and the job re-enters the waiting queue with its
+// original submission time. The freed node set is returned.
+func (e *Engine) PreemptRigid(j *job.Job) *nodeset.Set {
+	if j.State != job.Running || j.Class == job.Malleable {
+		e.fail("sim: PreemptRigid on job %d (%v, %v)", j.ID, j.Class, j.State)
+		return &nodeset.Set{}
+	}
+	if ev, ok := e.endEv[j.ID]; ok {
+		e.q.Cancel(ev)
+		delete(e.endEv, j.ID)
+	}
+	u := j.FinalizePreempt(e.clk)
+	e.met.AddUsage(u)
+	freed := e.cl.Release(j.ID)
+	delete(e.running, j.ID)
+	freed.SubtractWith(e.restoreSquattedNodes(j.ID))
+	e.enqueue(j)
+	return freed
+}
+
+// PreemptMalleableNow preempts a running malleable job with no warning (a
+// node crash or a squatter eviction). Completed tasks survive — the loosely
+// coupled task model persists finished work — but the setup must be repeated
+// and any unfinished in-flight tasks rerun (charged as the setup loss). The
+// freed node set is returned.
+func (e *Engine) PreemptMalleableNow(j *job.Job) *nodeset.Set {
+	if j.State != job.Running || j.Class != job.Malleable {
+		e.fail("sim: PreemptMalleableNow on job %d (%v, %v)", j.ID, j.Class, j.State)
+		return &nodeset.Set{}
+	}
+	j.BeginWarning(e.clk) // zero-length warning
+	u := j.FinalizeWarning(e.clk)
+	e.met.AddUsage(u)
+	if ev, ok := e.endEv[j.ID]; ok {
+		e.q.Cancel(ev)
+		delete(e.endEv, j.ID)
+	}
+	freed := e.cl.Release(j.ID)
+	delete(e.running, j.ID)
+	freed.SubtractWith(e.restoreSquattedNodes(j.ID))
+	e.enqueue(j)
+	return freed
+}
+
+// PreemptMalleableWithWarning starts the two-minute warning on a running
+// malleable job. When the warning expires the engine frees the job's nodes,
+// requeues it, and calls Mechanism.OnWarningExpired with claim. If the job
+// completes inside the window, the completion wins and the mechanism instead
+// sees OnJobCompleted.
+func (e *Engine) PreemptMalleableWithWarning(j *job.Job, claim int) {
+	if j.State != job.Running || j.Class != job.Malleable {
+		e.fail("sim: warning on job %d (%v, %v)", j.ID, j.Class, j.State)
+		return
+	}
+	j.BeginWarning(e.clk)
+	e.warnEv[j.ID] = e.q.Push(e.clk+job.WarningPeriod, eventq.PrioPreempt, evWarn{j: j, claim: claim})
+}
+
+// ShrinkMalleable shrinks a running malleable job to newSize, reschedules its
+// completion, and returns the freed node set (left in the free pool for the
+// caller to claim).
+func (e *Engine) ShrinkMalleable(j *job.Job, newSize int) *nodeset.Set {
+	if j.State != job.Running || j.Class != job.Malleable {
+		e.fail("sim: shrink on job %d (%v, %v)", j.ID, j.Class, j.State)
+		return &nodeset.Set{}
+	}
+	old := j.CurSize
+	if newSize >= old {
+		e.fail("sim: shrink job %d from %d to %d", j.ID, old, newSize)
+		return &nodeset.Set{}
+	}
+	end := j.Resize(e.clk, newSize)
+	freed := e.cl.ReleasePartial(j.ID, old-newSize)
+	e.trimSquats(j.ID, freed)
+	e.rescheduleEnd(j, end)
+	return freed
+}
+
+// trimSquats drops released nodes from a job's squat records: once a
+// squatted node leaves the job's allocation (a shrink), the original claim
+// has permanently lost it and must not try to reclaim it later.
+func (e *Engine) trimSquats(jobID int, released *nodeset.Set) {
+	sqs, ok := e.squats[jobID]
+	if !ok {
+		return
+	}
+	kept := sqs[:0]
+	for _, s := range sqs {
+		overlap := nodeset.Intersection(s.nodes, released)
+		if !overlap.Empty() {
+			s.nodes.SubtractWith(overlap)
+			e.squatted[s.claim] -= overlap.Len()
+			if e.squatted[s.claim] <= 0 {
+				delete(e.squatted, s.claim)
+			}
+		}
+		if !s.nodes.Empty() {
+			kept = append(kept, s)
+		}
+	}
+	if len(kept) == 0 {
+		delete(e.squats, jobID)
+	} else {
+		e.squats[jobID] = kept
+	}
+}
+
+// ExpandMalleable grows a running malleable job by the specific free nodes
+// in grant and reschedules its completion.
+func (e *Engine) ExpandMalleable(j *job.Job, grant *nodeset.Set) {
+	if j.State != job.Running || j.Class != job.Malleable {
+		e.fail("sim: expand on job %d (%v, %v)", j.ID, j.Class, j.State)
+		return
+	}
+	if grant.Empty() {
+		return
+	}
+	newSize := j.CurSize + grant.Len()
+	if newSize > j.Size {
+		e.fail("sim: expand job %d past max (%d > %d)", j.ID, newSize, j.Size)
+		return
+	}
+	e.cl.AllocExact(j.ID, grant)
+	end := j.Resize(e.clk, newSize)
+	e.rescheduleEnd(j, end)
+}
+
+func (e *Engine) rescheduleEnd(j *job.Job, end int64) {
+	if ev, ok := e.endEv[j.ID]; ok {
+		e.q.Cancel(ev)
+	}
+	e.endEv[j.ID] = e.q.Push(end, eventq.PrioEnd, evEnd{j})
+}
+
+// TryResumeNow starts a waiting job immediately if its private reservation
+// plus the free pool covers its (minimum) size, bypassing the queue order.
+// The paper's directed-return rule uses this: an on-demand job's lenders
+// "resume immediately if possible" when their leased nodes come back
+// (§III-B.3). Returns false if the job is not waiting or cannot fit.
+func (e *Engine) TryResumeNow(j *job.Job) bool {
+	if !e.inQueue[j.ID] {
+		return false
+	}
+	avail := e.cl.ReservedCount(j.ID) + e.cl.FreeCount()
+	size := j.Size
+	if j.Class == job.Malleable {
+		if avail < j.MinSize {
+			return false
+		}
+		if size > avail {
+			size = avail
+		}
+	} else if avail < size {
+		return false
+	}
+	e.startJob(j, size, false)
+	return true
+}
+
+// ScheduleTimer delivers payload to Mechanism.OnTimer at time t.
+// It returns a handle that can be cancelled with CancelTimer.
+func (e *Engine) ScheduleTimer(t int64, payload any) *eventq.Event {
+	if t < e.clk {
+		t = e.clk
+	}
+	return e.q.Push(t, eventq.PrioTimeout, evTimer{payload: payload})
+}
+
+// CancelTimer cancels a pending timer handle (nil-safe).
+func (e *Engine) CancelTimer(ev *eventq.Event) { e.q.Cancel(ev) }
+
+// RequestSchedule enqueues a scheduler pass at the current instant.
+func (e *Engine) RequestSchedule() { e.requestSchedule() }
+
+// --- BackfillReserved squatting -------------------------------------------
+
+// SetClaimBackfillable marks or unmarks a reservation as available to
+// backfill squatters (only meaningful with Config.BackfillReserved).
+func (e *Engine) SetClaimBackfillable(claim int, ok bool) {
+	if ok {
+		e.backfillable[claim] = true
+	} else {
+		delete(e.backfillable, claim)
+	}
+}
+
+// SquattedCount returns how many of claim's reserved nodes are currently
+// occupied by backfill squatters.
+func (e *Engine) SquattedCount(claim int) int { return e.squatted[claim] }
+
+// DropClaimSquats forgets all squat records against claim without disturbing
+// the squatter jobs (used when a reservation times out: the squatters simply
+// keep their nodes as ordinary allocations).
+func (e *Engine) DropClaimSquats(claim int) {
+	for id, sqs := range e.squats {
+		kept := sqs[:0]
+		for _, s := range sqs {
+			if s.claim == claim {
+				e.squatted[claim] -= s.nodes.Len()
+				continue
+			}
+			kept = append(kept, s)
+		}
+		if len(kept) == 0 {
+			delete(e.squats, id)
+		} else {
+			e.squats[id] = kept
+		}
+	}
+	if e.squatted[claim] <= 0 {
+		delete(e.squatted, claim)
+	}
+}
+
+// EvictSquatters immediately preempts every backfill job squatting on
+// claim's reserved nodes (paper §III-B.1: "once the on-demand job arrives,
+// all these backfilled jobs have to be preempted immediately"). The evicted
+// jobs' squatted nodes return to their claims' reservations; everything else
+// they held returns to the free pool. Evicted malleable jobs keep their
+// progress (their state save is assumed instantaneous on eviction); rigid
+// squatters fall back to their last checkpoint.
+func (e *Engine) EvictSquatters(claim int) {
+	victims := make([]int, 0)
+	for id, sqs := range e.squats {
+		for _, s := range sqs {
+			if s.claim == claim {
+				victims = append(victims, id)
+				break
+			}
+		}
+	}
+	sort.Ints(victims)
+	for _, id := range victims {
+		j := e.running[id]
+		if j == nil {
+			continue
+		}
+		switch {
+		case j.Class == job.Malleable && j.State == job.Running:
+			e.PreemptMalleableNow(j)
+		case j.State == job.Running:
+			e.PreemptRigid(j)
+		default:
+			continue // already in a warning for someone else; leave it
+		}
+	}
+}
+
+// restoreSquattedNodes returns a finished/preempted squatter's reserved-pool
+// nodes to the claims that own them (if the claims are still live), drops
+// the squat records, and returns the set of nodes that went back into
+// reservations (callers must subtract it from any freed set they report to
+// the mechanism, since those nodes are no longer free).
+func (e *Engine) restoreSquattedNodes(jobID int) *nodeset.Set {
+	reclaimed := &nodeset.Set{}
+	sqs, ok := e.squats[jobID]
+	if !ok {
+		return reclaimed
+	}
+	delete(e.squats, jobID)
+	for _, s := range sqs {
+		e.squatted[s.claim] -= s.nodes.Len()
+		if e.squatted[s.claim] <= 0 {
+			delete(e.squatted, s.claim)
+		}
+		if e.backfillable[s.claim] {
+			// Nodes were released to the free pool by the caller; move them
+			// back into the claim's reservation.
+			e.cl.ReserveExact(s.claim, s.nodes)
+			reclaimed.UnionWith(s.nodes)
+		}
+	}
+	return reclaimed
+}

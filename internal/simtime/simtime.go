@@ -1,0 +1,39 @@
+// Package simtime defines the virtual-time conventions shared by the whole
+// simulator: time is int64 seconds from the start of the trace. Using plain
+// integers keeps the event engine exact and deterministic (no floating-point
+// clock drift) while remaining trivially convertible for reporting.
+package simtime
+
+import "fmt"
+
+// Common durations, in seconds.
+const (
+	Second int64 = 1
+	Minute int64 = 60
+	Hour   int64 = 3600
+	Day    int64 = 24 * Hour
+	Week   int64 = 7 * Day
+)
+
+// Hours converts seconds to fractional hours.
+func Hours(sec int64) float64 { return float64(sec) / float64(Hour) }
+
+// FromHours converts fractional hours to whole seconds (truncated).
+func FromHours(h float64) int64 { return int64(h * float64(Hour)) }
+
+// Format renders a duration compactly for reports, e.g. "15.6h", "42m", "30s".
+func Format(sec int64) string {
+	neg := ""
+	if sec < 0 {
+		neg = "-"
+		sec = -sec
+	}
+	switch {
+	case sec >= Hour:
+		return fmt.Sprintf("%s%.1fh", neg, float64(sec)/float64(Hour))
+	case sec >= Minute:
+		return fmt.Sprintf("%s%.0fm", neg, float64(sec)/float64(Minute))
+	default:
+		return fmt.Sprintf("%s%ds", neg, sec)
+	}
+}

@@ -1,0 +1,37 @@
+package simtime
+
+import "testing"
+
+func TestConstants(t *testing.T) {
+	if Minute != 60 || Hour != 3600 || Day != 86400 || Week != 604800 {
+		t.Fatal("duration constants wrong")
+	}
+}
+
+func TestHoursRoundTrip(t *testing.T) {
+	if Hours(5400) != 1.5 {
+		t.Fatalf("Hours(5400) = %g", Hours(5400))
+	}
+	if FromHours(1.5) != 5400 {
+		t.Fatalf("FromHours(1.5) = %d", FromHours(1.5))
+	}
+}
+
+func TestFormat(t *testing.T) {
+	cases := []struct {
+		sec  int64
+		want string
+	}{
+		{56160, "15.6h"},
+		{3600, "1.0h"},
+		{120, "2m"},
+		{59, "59s"},
+		{0, "0s"},
+		{-7200, "-2.0h"},
+	}
+	for _, c := range cases {
+		if got := Format(c.sec); got != c.want {
+			t.Errorf("Format(%d) = %q, want %q", c.sec, got, c.want)
+		}
+	}
+}

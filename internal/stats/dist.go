@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Lognormal is a lognormal distribution parameterized by the mean (Mu) and
+// standard deviation (Sigma) of the underlying normal. Job runtimes on
+// production HPC machines are classically heavy-tailed and well described by
+// a lognormal body with a hard cap at the site's maximum walltime.
+type Lognormal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// LognormalFromMedian builds a lognormal whose median equals median and whose
+// shape is sigma. The median of a lognormal is exp(mu).
+func LognormalFromMedian(median, sigma float64) Lognormal {
+	if median <= 0 {
+		panic("stats: lognormal median must be positive")
+	}
+	return Lognormal{Mu: math.Log(median), Sigma: sigma}
+}
+
+// Sample draws one value.
+func (d Lognormal) Sample(g *RNG) float64 {
+	return math.Exp(d.Mu + d.Sigma*g.NormFloat64())
+}
+
+// SampleClamped draws one value clamped into [lo, hi].
+func (d Lognormal) SampleClamped(g *RNG, lo, hi float64) float64 {
+	v := d.Sample(g)
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Zipf assigns weights w_k = 1/(k+1)^S to ranks k = 0..N-1. It is used to
+// spread a year of jobs over the 211 Theta projects: a few projects dominate
+// the submission volume, a long tail submits a handful of jobs each, which is
+// what produces the strongly different type mixes across relabelled traces
+// (paper Fig. 4).
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s > 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("stats: Zipf needs at least one rank")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += 1 / math.Pow(float64(k+1), s)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Sample draws a rank in [0, N).
+func (z *Zipf) Sample(g *RNG) int {
+	u := g.Float64()
+	// Binary search for the first cdf entry >= u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Weight returns the probability mass of rank k.
+func (z *Zipf) Weight(k int) float64 {
+	if k == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[k] - z.cdf[k-1]
+}
+
+// Discrete is a weighted discrete distribution over len(Weights) categories.
+type Discrete struct {
+	cdf []float64
+}
+
+// NewDiscrete builds a sampler from non-negative weights (not necessarily
+// normalized). It panics if all weights are zero or any is negative.
+func NewDiscrete(weights []float64) *Discrete {
+	if len(weights) == 0 {
+		panic("stats: Discrete needs at least one weight")
+	}
+	cdf := make([]float64, len(weights))
+	sum := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			panic(fmt.Sprintf("stats: negative weight %g at index %d", w, i))
+		}
+		sum += w
+		cdf[i] = sum
+	}
+	if sum == 0 {
+		panic("stats: Discrete weights sum to zero")
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Discrete{cdf: cdf}
+}
+
+// Sample draws a category index.
+func (d *Discrete) Sample(g *RNG) int {
+	u := g.Float64()
+	for i, c := range d.cdf {
+		if u <= c {
+			return i
+		}
+	}
+	return len(d.cdf) - 1
+}

@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"hybridsched/internal/job"
+	"hybridsched/internal/simtime"
+	"hybridsched/internal/trace"
+)
+
+// Summary condenses a trace the way the paper's Table I describes Theta.
+type Summary struct {
+	Jobs        int
+	Projects    int
+	Nodes       int
+	Weeks       int
+	MinJobSize  int
+	MaxRuntime  int64
+	NodeSeconds float64 // offered node-seconds
+	OfferedLoad float64 // offered node-seconds / capacity
+}
+
+// Summarize computes the Table I style summary for a trace generated under
+// cfg (used for its system size and span).
+func Summarize(records []trace.Record, cfg Config) Summary {
+	cfg, _ = cfg.Normalize()
+	s := Summary{Nodes: cfg.Nodes, Weeks: cfg.Weeks}
+	projects := map[int]bool{}
+	s.MinJobSize = 1 << 30
+	for _, r := range records {
+		s.Jobs++
+		projects[r.Project] = true
+		if r.Size < s.MinJobSize {
+			s.MinJobSize = r.Size
+		}
+		if r.Work > s.MaxRuntime {
+			s.MaxRuntime = r.Work
+		}
+		s.NodeSeconds += float64(r.Size) * float64(r.Work)
+	}
+	s.Projects = len(projects)
+	if s.Jobs == 0 {
+		s.MinJobSize = 0
+	}
+	s.OfferedLoad = s.NodeSeconds / (float64(cfg.Nodes) * float64(cfg.Span))
+	return s
+}
+
+// SizeBucket is one slice of the Fig. 3 characterization: how many jobs fall
+// in a size range and how many core-hours (node-hours here — Theta reports
+// core-hours, a fixed 64x multiple) they consume.
+type SizeBucket struct {
+	Lo, Hi    int // node range [Lo, Hi]
+	Jobs      int
+	NodeHours float64
+}
+
+// SizeHistogram buckets jobs by size range, reproducing Fig. 3. Bounds
+// follow the bucket upper edges in cfg.SizeBuckets.
+func SizeHistogram(records []trace.Record, cfg Config) []SizeBucket {
+	cfg, _ = cfg.Normalize()
+	edges := cfg.SizeBuckets
+	buckets := make([]SizeBucket, len(edges))
+	lo := 0
+	for i, hi := range edges {
+		buckets[i] = SizeBucket{Lo: lo + 1, Hi: hi}
+		lo = hi
+	}
+	for _, r := range records {
+		for i := range buckets {
+			if r.Size <= buckets[i].Hi || i == len(buckets)-1 {
+				buckets[i].Jobs++
+				buckets[i].NodeHours += float64(r.Size) * simtime.Hours(r.Work)
+				break
+			}
+		}
+	}
+	return buckets
+}
+
+// ClassShare is one class's slice of the Fig. 4 characterization.
+type ClassShare struct {
+	Class     job.Class
+	Jobs      int
+	JobFrac   float64
+	NodeHours float64
+	HourFrac  float64
+}
+
+// TypeDistribution reports the per-class job and node-hour shares of a
+// trace, reproducing one bar of Fig. 4.
+func TypeDistribution(records []trace.Record) []ClassShare {
+	shares := []ClassShare{{Class: job.Rigid}, {Class: job.OnDemand}, {Class: job.Malleable}}
+	var totalHours float64
+	for _, r := range records {
+		h := float64(r.Size) * simtime.Hours(r.Work)
+		totalHours += h
+		for i := range shares {
+			if shares[i].Class == r.Class {
+				shares[i].Jobs++
+				shares[i].NodeHours += h
+			}
+		}
+	}
+	for i := range shares {
+		if len(records) > 0 {
+			shares[i].JobFrac = float64(shares[i].Jobs) / float64(len(records))
+		}
+		if totalHours > 0 {
+			shares[i].HourFrac = shares[i].NodeHours / totalHours
+		}
+	}
+	return shares
+}
+
+// WeeklyOnDemand counts on-demand submissions per week, reproducing one line
+// of Fig. 5 (the bursty on-demand arrival pattern).
+func WeeklyOnDemand(records []trace.Record, weeks int) []int {
+	if weeks < 1 {
+		weeks = 1
+	}
+	counts := make([]int, weeks)
+	for _, r := range records {
+		if r.Class != job.OnDemand {
+			continue
+		}
+		w := int(r.Submit / simtime.Week)
+		if w < 0 {
+			w = 0
+		}
+		if w >= weeks {
+			w = weeks - 1
+		}
+		counts[w]++
+	}
+	return counts
+}

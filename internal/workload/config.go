@@ -1,0 +1,198 @@
+// Package workload synthesizes hybrid job traces that reproduce the
+// published marginals of the 2019 Theta workload (paper Table I, Fig. 3–5)
+// and relabels projects into job classes exactly as the paper's experiment
+// setup describes (§IV-A, §IV-B):
+//
+//   - 4392 nodes, minimum job size 128, maximum job length 24 h;
+//   - ~37 k jobs per year spread over 211 projects with strongly skewed
+//     (Zipf) per-project activity;
+//   - all jobs of a project share one class; 10 % of projects submit
+//     on-demand jobs, 60 % rigid, the rest malleable;
+//   - on-demand jobs are small (large ones are reassigned) and arrive in
+//     bursts because a project's jobs cluster into submission sessions;
+//   - each on-demand job falls into one of the four advance-notice
+//     categories of Fig. 1 with workload-dependent proportions (Table III).
+//
+// The generator is deterministic per seed; ten seeds reproduce the paper's
+// "ten randomly generated traces".
+package workload
+
+import (
+	"fmt"
+
+	"hybridsched/internal/simtime"
+)
+
+// NoticeMix is the distribution of on-demand jobs over the four notice
+// categories, in the order: no notice, accurate, early, late (Table III).
+type NoticeMix [4]float64
+
+// The five workload mixes of Table III.
+var (
+	W1 = NoticeMix{0.70, 0.10, 0.10, 0.10}
+	W2 = NoticeMix{0.10, 0.70, 0.10, 0.10}
+	W3 = NoticeMix{0.10, 0.10, 0.70, 0.10}
+	W4 = NoticeMix{0.10, 0.10, 0.10, 0.70}
+	W5 = NoticeMix{0.25, 0.25, 0.25, 0.25}
+)
+
+// MixByName returns a Table III mix by its paper name ("W1".."W5").
+func MixByName(name string) (NoticeMix, error) {
+	switch name {
+	case "W1":
+		return W1, nil
+	case "W2":
+		return W2, nil
+	case "W3":
+		return W3, nil
+	case "W4":
+		return W4, nil
+	case "W5":
+		return W5, nil
+	}
+	return NoticeMix{}, fmt.Errorf("workload: unknown mix %q", name)
+}
+
+// Config parameterizes trace generation. Zero values take the paper's
+// defaults via Normalize.
+type Config struct {
+	Seed  int64
+	Nodes int   // system size; default 4392 (Theta)
+	Weeks int   // trace length; default 4
+	Span  int64 // derived: Weeks * simtime.Week
+
+	Projects    int     // default 211 (Theta)
+	TargetLoad  float64 // offered node-time / capacity; default 0.88
+	MinJobSize  int     // default 128 (Theta minimum allocation)
+	MaxRuntime  int64   // default 24h (Theta maximum job length)
+	MinRuntime  int64   // default 10 minutes
+	SizeWeights []float64
+	SizeBuckets []int
+
+	// Runtime distribution (lognormal on seconds).
+	RuntimeMedian int64   // default 40 minutes
+	RuntimeSigma  float64 // default 1.1
+
+	// Class mix over projects (paper §IV-B).
+	OnDemandProjectFrac float64 // default 0.10
+	RigidProjectFrac    float64 // default 0.60 (remainder malleable)
+
+	// On-demand parameters.
+	Mix            NoticeMix // default W5
+	NoticeLeadMin  int64     // default 15 minutes
+	NoticeLeadMax  int64     // default 30 minutes
+	LateWindow     int64     // default 30 minutes (arrive-late spread)
+	OnDemandMaxGen int       // size cap for generated on-demand jobs; default 1024
+
+	// Malleable parameters.
+	MalleableMinFrac float64 // min size fraction of max; default 0.20
+
+	// Setup-time fractions of runtime (paper §IV-B).
+	RigidSetupMin, RigidSetupMax         float64 // defaults 0.05, 0.10
+	MalleableSetupMin, MalleableSetupMax float64 // defaults 0.00, 0.05
+
+	// Burstiness: mean jobs per submission session.
+	JobsPerSession         float64 // default 5
+	OnDemandJobsPerSession float64 // default 10 (burstier)
+}
+
+// Normalize fills defaults and validates; it returns the completed config.
+func (c Config) Normalize() (Config, error) {
+	if c.Nodes == 0 {
+		c.Nodes = 4392
+	}
+	if c.Weeks == 0 {
+		c.Weeks = 4
+	}
+	c.Span = int64(c.Weeks) * simtime.Week
+	if c.Projects == 0 {
+		c.Projects = 211
+	}
+	if c.TargetLoad == 0 {
+		// Calibrated so the FCFS/EASY baseline lands near the paper's
+		// Table II operating point (util ~84-91 %, mean turnaround ~16 h).
+		c.TargetLoad = 0.92
+	}
+	if c.MinJobSize == 0 {
+		c.MinJobSize = 128
+	}
+	if c.MaxRuntime == 0 {
+		c.MaxRuntime = simtime.Day
+	}
+	if c.MinRuntime == 0 {
+		c.MinRuntime = 10 * simtime.Minute
+	}
+	if c.SizeBuckets == nil {
+		// Approximate Theta's Fig. 3 size mix: small jobs dominate counts
+		// while mid-to-large jobs dominate node-hours (and produce the
+		// fragmentation the paper's baseline exhibits).
+		c.SizeBuckets = []int{128, 256, 512, 1024, 2048, 3072, 4096}
+		c.SizeWeights = []float64{0.18, 0.15, 0.15, 0.17, 0.18, 0.09, 0.08}
+	}
+	if len(c.SizeBuckets) != len(c.SizeWeights) {
+		return c, fmt.Errorf("workload: %d size buckets vs %d weights", len(c.SizeBuckets), len(c.SizeWeights))
+	}
+	if c.RuntimeMedian == 0 {
+		c.RuntimeMedian = 40 * simtime.Minute
+	}
+	if c.RuntimeSigma == 0 {
+		c.RuntimeSigma = 1.1
+	}
+	if c.OnDemandProjectFrac == 0 {
+		c.OnDemandProjectFrac = 0.10
+	}
+	if c.RigidProjectFrac == 0 {
+		c.RigidProjectFrac = 0.60
+	}
+	if c.OnDemandProjectFrac+c.RigidProjectFrac > 1 {
+		return c, fmt.Errorf("workload: project fractions exceed 1")
+	}
+	var zero NoticeMix
+	if c.Mix == zero {
+		c.Mix = W5
+	}
+	sum := 0.0
+	for _, p := range c.Mix {
+		if p < 0 {
+			return c, fmt.Errorf("workload: negative notice fraction")
+		}
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return c, fmt.Errorf("workload: notice mix sums to %g, want 1", sum)
+	}
+	if c.NoticeLeadMin == 0 {
+		c.NoticeLeadMin = 15 * simtime.Minute
+	}
+	if c.NoticeLeadMax == 0 {
+		c.NoticeLeadMax = 30 * simtime.Minute
+	}
+	if c.LateWindow == 0 {
+		c.LateWindow = 30 * simtime.Minute
+	}
+	if c.OnDemandMaxGen == 0 {
+		c.OnDemandMaxGen = 1024
+	}
+	if c.MalleableMinFrac == 0 {
+		c.MalleableMinFrac = 0.20
+	}
+	if c.MalleableMinFrac < 0 || c.MalleableMinFrac > 1 {
+		return c, fmt.Errorf("workload: malleable min fraction %g outside [0,1]", c.MalleableMinFrac)
+	}
+	if c.RigidSetupMax == 0 {
+		c.RigidSetupMin, c.RigidSetupMax = 0.05, 0.10
+	}
+	if c.MalleableSetupMax == 0 {
+		c.MalleableSetupMin, c.MalleableSetupMax = 0.0, 0.05
+	}
+	if c.JobsPerSession == 0 {
+		c.JobsPerSession = 5
+	}
+	if c.OnDemandJobsPerSession == 0 {
+		c.OnDemandJobsPerSession = 10
+	}
+	if c.Nodes < c.MinJobSize {
+		return c, fmt.Errorf("workload: system of %d nodes smaller than min job size %d", c.Nodes, c.MinJobSize)
+	}
+	return c, nil
+}

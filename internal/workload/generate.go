@@ -1,0 +1,285 @@
+package workload
+
+import (
+	"math"
+	"sort"
+
+	"hybridsched/internal/job"
+	"hybridsched/internal/simtime"
+	"hybridsched/internal/stats"
+	"hybridsched/internal/trace"
+)
+
+// Generate synthesizes a hybrid trace under cfg. The same config and seed
+// always produce the same trace.
+func Generate(cfg Config) ([]trace.Record, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	g := newGenerator(cfg)
+	recs := g.run()
+	for i := range recs {
+		if err := recs[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return recs, nil
+}
+
+type generator struct {
+	cfg Config
+
+	// Independent random streams so that a change to one dimension of the
+	// generator does not reshuffle the others.
+	projRNG    *stats.RNG
+	sizeRNG    *stats.RNG
+	timeRNG    *stats.RNG
+	arriveRNG  *stats.RNG
+	classRNG   *stats.RNG
+	noticeRNG  *stats.RNG
+	setupRNG   *stats.RNG
+	estimate   *stats.RNG
+	projZipf   *stats.Zipf
+	sizeDist   *stats.Discrete
+	noticeDist *stats.Discrete
+	runtime    stats.Lognormal
+
+	classOf []job.Class // project -> class
+}
+
+func newGenerator(cfg Config) *generator {
+	root := stats.NewRNG(cfg.Seed)
+	g := &generator{
+		cfg:        cfg,
+		projRNG:    root.Derive(1),
+		sizeRNG:    root.Derive(2),
+		timeRNG:    root.Derive(3),
+		arriveRNG:  root.Derive(4),
+		classRNG:   root.Derive(5),
+		noticeRNG:  root.Derive(6),
+		setupRNG:   root.Derive(7),
+		estimate:   root.Derive(8),
+		projZipf:   stats.NewZipf(cfg.Projects, 1.1),
+		sizeDist:   stats.NewDiscrete(cfg.SizeWeights),
+		noticeDist: stats.NewDiscrete(cfg.Mix[:]),
+		runtime:    stats.LognormalFromMedian(float64(cfg.RuntimeMedian), cfg.RuntimeSigma),
+	}
+	g.assignProjectClasses()
+	return g
+}
+
+// assignProjectClasses splits projects into on-demand / rigid / malleable
+// groups (paper §IV-B: 10 % / 60 % / 30 % of projects). The Zipf activity
+// ranks are shuffled independently of class, which is what makes the class
+// shares of individual traces vary widely (paper Fig. 4).
+func (g *generator) assignProjectClasses() {
+	p := g.cfg.Projects
+	perm := g.classRNG.Perm(p)
+	nOD := int(math.Ceil(g.cfg.OnDemandProjectFrac * float64(p)))
+	nRigid := int(math.Round(g.cfg.RigidProjectFrac * float64(p)))
+	g.classOf = make([]job.Class, p)
+	for i, idx := range perm {
+		switch {
+		case i < nOD:
+			g.classOf[idx] = job.OnDemand
+		case i < nOD+nRigid:
+			g.classOf[idx] = job.Rigid
+		default:
+			g.classOf[idx] = job.Malleable
+		}
+	}
+}
+
+// run draws jobs until the offered load reaches the target, then lays out
+// arrival times per project session and finalizes records.
+func (g *generator) run() []trace.Record {
+	cfg := g.cfg
+	targetNodeSec := cfg.TargetLoad * float64(cfg.Nodes) * float64(cfg.Span)
+
+	type protoJob struct {
+		project int
+		class   job.Class
+		size    int
+		work    int64
+		est     int64
+	}
+	var protos []protoJob
+	var offered float64
+	for offered < targetNodeSec {
+		p := g.projZipf.Sample(g.projRNG)
+		class := g.classOf[p]
+		size := g.drawSize(class)
+		work := g.drawRuntime()
+		// Large on-demand jobs become rigid or malleable (paper §IV-A).
+		if class == job.OnDemand && size > cfg.Nodes/2 {
+			if g.classRNG.Bool(0.5) {
+				class = job.Rigid
+			} else {
+				class = job.Malleable
+			}
+		}
+		protos = append(protos, protoJob{project: p, class: class, size: size, work: work, est: g.drawEstimate(work)})
+		offered += float64(size) * float64(work)
+	}
+
+	// Group by project to lay out bursty session arrivals.
+	byProject := map[int][]int{}
+	for i, pj := range protos {
+		byProject[pj.project] = append(byProject[pj.project], i)
+	}
+	arrivals := make([]int64, len(protos))
+	projects := make([]int, 0, len(byProject))
+	for p := range byProject {
+		projects = append(projects, p)
+	}
+	sort.Ints(projects) // deterministic iteration
+	for _, p := range projects {
+		idxs := byProject[p]
+		perSession := cfg.JobsPerSession
+		spread := 30 * simtime.Minute
+		if g.classOf[p] == job.OnDemand {
+			perSession = cfg.OnDemandJobsPerSession
+			spread = 10 * simtime.Minute
+		}
+		nSessions := int(math.Max(1, math.Round(float64(len(idxs))/perSession)))
+		sessions := make([]int64, nSessions)
+		for s := range sessions {
+			sessions[s] = g.arriveRNG.UniformInt64(0, cfg.Span-1)
+		}
+		for _, i := range idxs {
+			epoch := sessions[g.arriveRNG.Intn(nSessions)]
+			at := epoch + int64(g.arriveRNG.ExpFloat64(float64(spread)))
+			if at >= cfg.Span {
+				at = cfg.Span - 1
+			}
+			arrivals[i] = at
+		}
+	}
+
+	// Finalize records in arrival order.
+	order := make([]int, len(protos))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return arrivals[order[a]] < arrivals[order[b]] })
+
+	recs := make([]trace.Record, 0, len(protos))
+	for n, i := range order {
+		pj := protos[i]
+		r := trace.Record{
+			ID:       n + 1,
+			Project:  pj.project,
+			Class:    pj.class,
+			Submit:   arrivals[i],
+			Size:     pj.size,
+			MinSize:  pj.size,
+			Work:     pj.work,
+			Estimate: pj.est,
+		}
+		switch pj.class {
+		case job.Rigid:
+			r.Setup = g.drawSetup(pj.work, cfg.RigidSetupMin, cfg.RigidSetupMax)
+			r.NoticeTime, r.EstArrival = r.Submit, r.Submit
+		case job.Malleable:
+			r.MinSize = minSize(pj.size, cfg.MalleableMinFrac)
+			r.Setup = g.drawSetup(pj.work, cfg.MalleableSetupMin, cfg.MalleableSetupMax)
+			r.NoticeTime, r.EstArrival = r.Submit, r.Submit
+		case job.OnDemand:
+			g.fillNotice(&r)
+		}
+		recs = append(recs, r)
+	}
+	return recs
+}
+
+// drawSize samples a node count from the bucket mix. On-demand jobs are
+// drawn from the buckets at or below the on-demand cap ("real on-demand jobs
+// are relatively small in size", §IV-A).
+func (g *generator) drawSize(class job.Class) int {
+	for {
+		size := g.cfg.SizeBuckets[g.sizeDist.Sample(g.sizeRNG)]
+		if size > g.cfg.Nodes {
+			size = g.cfg.Nodes
+		}
+		if class == job.OnDemand && size > g.cfg.OnDemandMaxGen {
+			continue // resample small
+		}
+		if size < g.cfg.MinJobSize {
+			size = g.cfg.MinJobSize
+		}
+		return size
+	}
+}
+
+func (g *generator) drawRuntime() int64 {
+	v := g.runtime.SampleClamped(g.timeRNG, float64(g.cfg.MinRuntime), float64(g.cfg.MaxRuntime))
+	return int64(v)
+}
+
+// drawEstimate inflates the actual runtime by U(1,3), rounds up to 15-minute
+// granularity (users pick round numbers), and caps at the site's maximum
+// walltime while never dropping below the actual runtime.
+func (g *generator) drawEstimate(work int64) int64 {
+	est := int64(float64(work) * g.estimate.Uniform(1.0, 3.0))
+	const granule = 15 * simtime.Minute
+	est = (est + granule - 1) / granule * granule
+	if est > g.cfg.MaxRuntime {
+		est = g.cfg.MaxRuntime
+	}
+	if est < work {
+		est = work
+	}
+	return est
+}
+
+func (g *generator) drawSetup(work int64, lo, hi float64) int64 {
+	return int64(g.setupRNG.Uniform(lo, hi) * float64(work))
+}
+
+// fillNotice draws the advance-notice category and derives the notice and
+// estimated-arrival instants around the actual arrival r.Submit, following
+// Fig. 1 and §IV-B: the notice leads the estimated arrival by 15–30 minutes;
+// early arrivals land between notice and estimate; late arrivals land up to
+// 30 minutes past the estimate.
+func (g *generator) fillNotice(r *trace.Record) {
+	lead := g.noticeRNG.UniformInt64(g.cfg.NoticeLeadMin, g.cfg.NoticeLeadMax)
+	switch job.NoticeCategory(g.noticeDist.Sample(g.noticeRNG)) {
+	case job.NoNotice:
+		r.Notice = job.NoNotice
+		r.NoticeTime, r.EstArrival = r.Submit, r.Submit
+	case job.AccurateNotice:
+		r.Notice = job.AccurateNotice
+		r.EstArrival = r.Submit
+		r.NoticeTime = r.Submit - lead
+	case job.ArriveEarly:
+		r.Notice = job.ArriveEarly
+		r.EstArrival = r.Submit + g.noticeRNG.UniformInt64(0, lead)
+		r.NoticeTime = r.EstArrival - lead
+	case job.ArriveLate:
+		r.Notice = job.ArriveLate
+		r.EstArrival = r.Submit - g.noticeRNG.UniformInt64(0, g.cfg.LateWindow)
+		r.NoticeTime = r.EstArrival - lead
+	}
+	if r.NoticeTime < 0 {
+		r.NoticeTime = 0
+	}
+	if r.EstArrival < r.NoticeTime {
+		r.EstArrival = r.NoticeTime
+	}
+	if r.NoticeTime > r.Submit {
+		r.NoticeTime = r.Submit
+	}
+}
+
+// minSize returns ceil(frac * max), at least 1.
+func minSize(max int, frac float64) int {
+	m := int(math.Ceil(frac * float64(max)))
+	if m < 1 {
+		m = 1
+	}
+	if m > max {
+		m = max
+	}
+	return m
+}

@@ -1,0 +1,371 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hybridsched/internal/job"
+	"hybridsched/internal/simtime"
+	"hybridsched/internal/trace"
+)
+
+func genDefault(t *testing.T, seed int64) ([]trace.Record, Config) {
+	t.Helper()
+	cfg := Config{Seed: seed, Weeks: 2}
+	recs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, _ := cfg.Normalize()
+	return recs, norm
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := genDefault(t, 42)
+	b, _ := genDefault(t, 42)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs across runs", i)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, _ := genDefault(t, 1)
+	b, _ := genDefault(t, 2)
+	if len(a) == len(b) {
+		same := true
+		for i := range a {
+			if a[i].Size != b[i].Size || a[i].Submit != b[i].Submit {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestGenerateRecordsValid(t *testing.T) {
+	recs, cfg := genDefault(t, 7)
+	if len(recs) == 0 {
+		t.Fatal("no jobs generated")
+	}
+	prev := int64(-1)
+	for i, r := range recs {
+		if err := r.Validate(); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if r.Submit < prev {
+			t.Fatalf("record %d out of submit order", i)
+		}
+		prev = r.Submit
+		if r.Submit >= cfg.Span {
+			t.Fatalf("record %d submits after span", i)
+		}
+		if r.ID != i+1 {
+			t.Fatalf("record %d has ID %d", i, r.ID)
+		}
+		if r.Size < cfg.MinJobSize || r.Size > cfg.Nodes {
+			t.Fatalf("record %d size %d out of range", i, r.Size)
+		}
+		if r.Work < cfg.MinRuntime || r.Work > cfg.MaxRuntime {
+			t.Fatalf("record %d work %d out of range", i, r.Work)
+		}
+	}
+}
+
+func TestGenerateOfferedLoadNearTarget(t *testing.T) {
+	recs, cfg := genDefault(t, 11)
+	s := Summarize(recs, cfg)
+	if s.OfferedLoad < cfg.TargetLoad || s.OfferedLoad > cfg.TargetLoad+0.1 {
+		t.Fatalf("offered load %.3f not in [%.2f, %.2f]", s.OfferedLoad, cfg.TargetLoad, cfg.TargetLoad+0.1)
+	}
+}
+
+func TestGenerateClassMixAcrossSeeds(t *testing.T) {
+	// Class shares vary per trace (paper Fig. 4) but across many seeds the
+	// on-demand share of jobs should be noticeable and bounded, and all
+	// three classes must appear.
+	var odShare, rigidShare, mallShare float64
+	const seeds = 10
+	for seed := int64(0); seed < seeds; seed++ {
+		recs, _ := genDefault(t, seed)
+		dist := TypeDistribution(recs)
+		for _, d := range dist {
+			switch d.Class {
+			case job.OnDemand:
+				odShare += d.JobFrac
+			case job.Rigid:
+				rigidShare += d.JobFrac
+			case job.Malleable:
+				mallShare += d.JobFrac
+			}
+		}
+	}
+	odShare /= seeds
+	rigidShare /= seeds
+	mallShare /= seeds
+	// Paper Fig. 4: on-demand 3-15% of jobs; rigid the majority.
+	if odShare < 0.01 || odShare > 0.30 {
+		t.Fatalf("mean on-demand share %.3f implausible", odShare)
+	}
+	if rigidShare < 0.35 {
+		t.Fatalf("mean rigid share %.3f too low", rigidShare)
+	}
+	if mallShare < 0.05 {
+		t.Fatalf("mean malleable share %.3f too low", mallShare)
+	}
+}
+
+func TestGenerateOnDemandSmall(t *testing.T) {
+	recs, cfg := genDefault(t, 3)
+	for _, r := range recs {
+		if r.Class == job.OnDemand && r.Size > cfg.Nodes/2 {
+			t.Fatalf("on-demand job of size %d exceeds half the system", r.Size)
+		}
+	}
+}
+
+func TestGenerateMalleableMinSizes(t *testing.T) {
+	recs, cfg := genDefault(t, 5)
+	seen := false
+	for _, r := range recs {
+		if r.Class != job.Malleable {
+			continue
+		}
+		seen = true
+		want := minSize(r.Size, cfg.MalleableMinFrac)
+		if r.MinSize != want {
+			t.Fatalf("malleable job %d min %d, want %d", r.ID, r.MinSize, want)
+		}
+	}
+	if !seen {
+		t.Fatal("no malleable jobs generated")
+	}
+}
+
+func TestGenerateNoticeGeometry(t *testing.T) {
+	recs, cfg := genDefault(t, 9)
+	counts := map[job.NoticeCategory]int{}
+	for _, r := range recs {
+		if r.Class != job.OnDemand {
+			continue
+		}
+		counts[r.Notice]++
+		switch r.Notice {
+		case job.NoNotice:
+			if r.NoticeTime != r.Submit || r.EstArrival != r.Submit {
+				t.Fatalf("job %d: no-notice geometry wrong", r.ID)
+			}
+		case job.AccurateNotice:
+			if r.EstArrival != r.Submit {
+				t.Fatalf("job %d: accurate estimate must equal arrival", r.ID)
+			}
+			if r.NoticeTime > r.Submit-cfg.NoticeLeadMin && r.NoticeTime != 0 {
+				t.Fatalf("job %d: notice lead too short", r.ID)
+			}
+		case job.ArriveEarly:
+			if !(r.NoticeTime <= r.Submit && r.Submit <= r.EstArrival) {
+				t.Fatalf("job %d: early arrival outside [notice, estimate]", r.ID)
+			}
+		case job.ArriveLate:
+			if !(r.EstArrival <= r.Submit && r.Submit <= r.EstArrival+cfg.LateWindow) {
+				t.Fatalf("job %d: late arrival outside window", r.ID)
+			}
+		}
+	}
+	// W5 mix: all four categories should appear in a 2-week trace.
+	for cat := job.NoNotice; cat <= job.ArriveLate; cat++ {
+		if counts[cat] == 0 {
+			t.Errorf("category %v never generated", cat)
+		}
+	}
+}
+
+func TestGenerateSetupFractions(t *testing.T) {
+	recs, _ := genDefault(t, 13)
+	for _, r := range recs {
+		frac := float64(r.Setup) / float64(r.Work)
+		switch r.Class {
+		case job.Rigid:
+			if frac < 0.048 || frac > 0.101 {
+				t.Fatalf("rigid setup fraction %.3f outside [0.05,0.10]", frac)
+			}
+		case job.Malleable:
+			if frac < 0 || frac > 0.051 {
+				t.Fatalf("malleable setup fraction %.3f outside [0,0.05]", frac)
+			}
+		case job.OnDemand:
+			if r.Setup != 0 {
+				t.Fatalf("on-demand setup should be 0, got %d", r.Setup)
+			}
+		}
+	}
+}
+
+func TestMixByName(t *testing.T) {
+	for _, name := range []string{"W1", "W2", "W3", "W4", "W5"} {
+		mix, err := MixByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, p := range mix {
+			sum += p
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("%s sums to %g", name, sum)
+		}
+	}
+	if _, err := MixByName("W9"); err == nil {
+		t.Fatal("unknown mix should fail")
+	}
+}
+
+func TestMixProportionsRealized(t *testing.T) {
+	cfg := Config{Seed: 17, Weeks: 8, Mix: W1} // 70% no-notice
+	recs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total, noNotice int
+	for _, r := range recs {
+		if r.Class == job.OnDemand {
+			total++
+			if r.Notice == job.NoNotice {
+				noNotice++
+			}
+		}
+	}
+	if total < 20 {
+		t.Skipf("only %d on-demand jobs; not enough to check proportions", total)
+	}
+	frac := float64(noNotice) / float64(total)
+	if frac < 0.5 || frac > 0.9 {
+		t.Fatalf("W1 no-notice share %.2f, want ~0.7", frac)
+	}
+}
+
+func TestConfigNormalizeErrors(t *testing.T) {
+	bad := []Config{
+		{SizeBuckets: []int{128}, SizeWeights: []float64{0.5, 0.5}},
+		{OnDemandProjectFrac: 0.6, RigidProjectFrac: 0.6},
+		{Mix: NoticeMix{0.5, 0.1, 0.1, 0.1}},
+		{Mix: NoticeMix{-0.1, 0.5, 0.3, 0.3}},
+		{MalleableMinFrac: 1.5},
+		{Nodes: 64}, // smaller than min job size 128
+	}
+	for i, cfg := range bad {
+		if _, err := cfg.Normalize(); err == nil {
+			t.Errorf("config %d should fail normalization", i)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	recs, cfg := genDefault(t, 21)
+	s := Summarize(recs, cfg)
+	if s.Jobs != len(recs) {
+		t.Fatalf("jobs %d != %d", s.Jobs, len(recs))
+	}
+	if s.Projects < 2 || s.Projects > cfg.Projects {
+		t.Fatalf("projects %d implausible", s.Projects)
+	}
+	if s.MinJobSize < cfg.MinJobSize {
+		t.Fatalf("min size %d below configured floor", s.MinJobSize)
+	}
+	if s.MaxRuntime > cfg.MaxRuntime {
+		t.Fatalf("max runtime %d above cap", s.MaxRuntime)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil, Config{})
+	if s.Jobs != 0 || s.MinJobSize != 0 || s.OfferedLoad != 0 {
+		t.Fatalf("empty summary wrong: %+v", s)
+	}
+}
+
+func TestSizeHistogramCoversAllJobs(t *testing.T) {
+	recs, cfg := genDefault(t, 23)
+	buckets := SizeHistogram(recs, cfg)
+	total := 0
+	var hours float64
+	for _, b := range buckets {
+		total += b.Jobs
+		hours += b.NodeHours
+	}
+	if total != len(recs) {
+		t.Fatalf("histogram covers %d of %d jobs", total, len(recs))
+	}
+	s := Summarize(recs, cfg)
+	if diff := hours - s.NodeSeconds/float64(simtime.Hour); diff > 1 || diff < -1 {
+		t.Fatalf("node-hours mismatch: %g vs %g", hours, s.NodeSeconds/3600)
+	}
+	// Small jobs dominate counts (Fig. 3 outer ring).
+	if buckets[0].Jobs < buckets[len(buckets)-1].Jobs {
+		t.Fatal("smallest bucket should hold more jobs than the largest")
+	}
+}
+
+func TestTypeDistributionFractionsSum(t *testing.T) {
+	recs, _ := genDefault(t, 29)
+	dist := TypeDistribution(recs)
+	var jf, hf float64
+	for _, d := range dist {
+		jf += d.JobFrac
+		hf += d.HourFrac
+	}
+	if jf < 0.999 || jf > 1.001 || hf < 0.999 || hf > 1.001 {
+		t.Fatalf("fractions do not sum to 1: jobs %g hours %g", jf, hf)
+	}
+}
+
+func TestWeeklyOnDemandBuckets(t *testing.T) {
+	recs, cfg := genDefault(t, 31)
+	weekly := WeeklyOnDemand(recs, cfg.Weeks)
+	if len(weekly) != cfg.Weeks {
+		t.Fatalf("weeks %d", len(weekly))
+	}
+	sum := 0
+	for _, c := range weekly {
+		sum += c
+	}
+	var want int
+	for _, r := range recs {
+		if r.Class == job.OnDemand {
+			want++
+		}
+	}
+	if sum != want {
+		t.Fatalf("weekly sum %d != on-demand jobs %d", sum, want)
+	}
+}
+
+// Property: any seed yields a valid, ordered, span-bounded trace.
+func TestGeneratePropertyAcrossSeeds(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := Config{Seed: seed, Weeks: 1, Nodes: 512, Projects: 20, TargetLoad: 0.5}
+		recs, err := Generate(cfg)
+		if err != nil || len(recs) == 0 {
+			return false
+		}
+		norm, _ := cfg.Normalize()
+		prev := int64(0)
+		for _, r := range recs {
+			if r.Validate() != nil || r.Submit < prev || r.Submit >= norm.Span {
+				return false
+			}
+			prev = r.Submit
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
