@@ -1,19 +1,31 @@
 // Command expdriver regenerates the paper's tables and figures
 // (Table I-III, Figures 3-7, the Observation-10 latency check, and the
-// DESIGN.md ablations) and prints them as aligned text tables.
+// DESIGN.md ablations). Every simulation-backed experiment runs as a
+// declarative grid through the parallel sweep runner, so adding -workers
+// uses every core while producing output identical to a serial run.
 //
 // Usage:
 //
-//	expdriver                       # everything at paper scale (10 seeds)
-//	expdriver -exp fig6 -seeds 3    # one experiment, reduced averaging
-//	expdriver -o results.txt        # write to file, progress on stderr
+//	expdriver                            # everything at paper scale (10 seeds)
+//	expdriver -exp fig6 -seeds 3         # one experiment, reduced averaging
+//	expdriver -exp fig6,fig7 -workers 8  # a selection, 8-way parallel
+//	expdriver -format csv -o cells.csv   # averaged cells as CSV
+//	expdriver -format json -o all.json   # result structs as JSON
+//
+// The csv form contains only deterministic metrics and is byte-identical for
+// any -workers value; json serializes the full result structs, whose decision
+// -latency fields are wall clock and so vary between runs and machines.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"slices"
+	"strings"
+	"time"
 
 	"hybridsched/internal/exp"
 )
@@ -21,11 +33,13 @@ import (
 func main() {
 	var (
 		which = flag.String("exp", "all",
-			"experiment: all, tablei, tableii, tableiii, fig3, fig4, fig5, fig6, fig7, latency, ablations")
+			"comma-separated experiments: all, tablei, tableii, tableiii, fig3, fig4, fig5, fig6, fig7, latency, ablations")
 		seeds    = flag.Int("seeds", 10, "traces averaged per data point")
 		weeks    = flag.Int("weeks", 4, "trace length in weeks")
 		nodes    = flag.Int("nodes", 4392, "system size in nodes")
 		baseSeed = flag.Int64("seed", 1, "first seed")
+		workers  = flag.Int("workers", 0, "parallel sweep workers (0 = all CPU cores)")
+		format   = flag.String("format", "text", "output format: text, json, csv")
 		out      = flag.String("o", "", "output file (default stdout)")
 		quiet    = flag.Bool("q", false, "suppress progress messages")
 	)
@@ -45,98 +59,182 @@ func main() {
 		Weeks:    *weeks,
 		Seeds:    *seeds,
 		BaseSeed: *baseSeed,
+		Workers:  *workers,
 	}
 	if !*quiet {
 		opt.Progress = os.Stderr
 	}
 
-	run := func(name string, fn func() error) {
-		if *which != "all" && *which != name {
-			return
+	switch *format {
+	case "text", "json", "csv":
+	default:
+		fatal(fmt.Errorf("unknown format %q (want text, json, or csv)", *format))
+	}
+	known := []string{"all", "tablei", "fig3", "fig4", "fig5",
+		"tableii", "tableiii", "fig6", "fig7", "latency", "ablations"}
+	selected := map[string]bool{}
+	for _, name := range strings.Split(*which, ",") {
+		name = strings.TrimSpace(name)
+		if !slices.Contains(known, name) {
+			fatal(fmt.Errorf("unknown experiment %q (want one of %s)", name, strings.Join(known, ", ")))
 		}
-		fmt.Fprintln(w)
-		if err := fn(); err != nil {
-			fatal(fmt.Errorf("%s: %w", name, err))
-		}
+		selected[name] = true
 	}
 
-	run("tablei", func() error {
+	d := &driver{w: w, format: *format, selected: selected}
+	start := time.Now()
+
+	d.run("tablei", func() (renderer, []exp.CellGroup, error) {
 		r, err := exp.TableI(opt)
-		if err == nil {
-			r.Render(w)
-		}
-		return err
+		return r, nil, err
 	})
-	run("fig3", func() error {
+	d.run("fig3", func() (renderer, []exp.CellGroup, error) {
 		r, err := exp.Figure3(opt)
-		if err == nil {
-			r.Render(w)
-		}
-		return err
+		return r, nil, err
 	})
-	run("fig4", func() error {
+	d.run("fig4", func() (renderer, []exp.CellGroup, error) {
 		r, err := exp.Figure4(opt)
-		if err == nil {
-			r.Render(w)
-		}
-		return err
+		return r, nil, err
 	})
-	run("fig5", func() error {
+	d.run("fig5", func() (renderer, []exp.CellGroup, error) {
 		r, err := exp.Figure5(opt)
-		if err == nil {
-			r.Render(w)
-		}
-		return err
+		return r, nil, err
 	})
-	run("tableii", func() error {
+	d.run("tableii", func() (renderer, []exp.CellGroup, error) {
 		r, err := exp.TableII(opt)
-		if err == nil {
-			r.Render(w)
-		}
-		return err
+		return r, []exp.CellGroup{{Experiment: "tableii", Cells: r.Flatten()}}, err
 	})
-	run("tableiii", func() error {
-		exp.TableIII().Render(w)
-		return nil
+	d.run("tableiii", func() (renderer, []exp.CellGroup, error) {
+		return exp.TableIII(), nil, nil
 	})
-	run("fig6", func() error {
+	d.run("fig6", func() (renderer, []exp.CellGroup, error) {
 		r, err := exp.Figure6(opt)
-		if err == nil {
-			r.Render(w)
-		}
-		return err
+		return r, []exp.CellGroup{{Experiment: "fig6", Cells: r.Flatten()}}, err
 	})
-	run("fig7", func() error {
+	d.run("fig7", func() (renderer, []exp.CellGroup, error) {
 		r, err := exp.Figure7(opt)
-		if err == nil {
-			r.Render(w)
-		}
-		return err
+		return r, []exp.CellGroup{{Experiment: "fig7", Cells: r.Flatten()}}, err
 	})
-	run("latency", func() error {
+	d.run("latency", func() (renderer, []exp.CellGroup, error) {
 		r, err := exp.DecisionLatency(opt)
-		if err == nil {
-			r.Render(w)
-		}
-		return err
+		return r, []exp.CellGroup{{Experiment: "latency", Cells: r.Flatten()}}, err
 	})
-	run("ablations", func() error {
-		for _, fn := range []func(exp.Options) (exp.AblationResult, error){
-			exp.AblationBackfillReserved,
-			exp.AblationDirectedReturn,
-			exp.AblationMinSizeFraction,
-			exp.AblationNoticeLead,
-			exp.AblationQueuePolicy,
-		} {
-			r, err := fn(opt)
+	d.run("ablations", func() (renderer, []exp.CellGroup, error) {
+		ablations := []struct {
+			name string
+			fn   func(exp.Options) (exp.AblationResult, error)
+		}{
+			{"ablation-bfres", exp.AblationBackfillReserved},
+			{"ablation-return", exp.AblationDirectedReturn},
+			{"ablation-minsize", exp.AblationMinSizeFraction},
+			{"ablation-lead", exp.AblationNoticeLead},
+			{"ablation-policy", exp.AblationQueuePolicy},
+		}
+		var rs multiRender
+		var groups []exp.CellGroup
+		for _, a := range ablations {
+			r, err := a.fn(opt)
 			if err != nil {
-				return err
+				return nil, nil, err
 			}
-			r.Render(w)
+			rs = append(rs, r)
+			groups = append(groups, exp.CellGroup{Experiment: a.name, Cells: r.Flatten()})
+		}
+		return rs, groups, nil
+	})
+
+	if err := d.finish(); err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "expdriver: total %s\n", time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// renderer is the common face of every experiment result.
+type renderer interface{ Render(io.Writer) }
+
+// multiRender renders several results in sequence (the ablation bundle).
+type multiRender []renderer
+
+func (m multiRender) Render(w io.Writer) {
+	for i, r := range m {
+		if i > 0 {
 			fmt.Fprintln(w)
 		}
-		return nil
-	})
+		r.Render(w)
+	}
+}
+
+// driver runs selected experiments and accumulates output in the requested
+// format: text renders immediately; json and csv collect and emit at finish.
+type driver struct {
+	w        io.Writer
+	format   string
+	selected map[string]bool
+
+	jsonOut []jsonEntry
+	csvOut  []exp.CellGroup
+}
+
+type jsonEntry struct {
+	Experiment string `json:"experiment"`
+	Result     any    `json:"result"`
+}
+
+// cellLess names the experiments with no averaged-cell form; csv mode skips
+// them before paying for their (potentially paper-scale) runs.
+var cellLess = map[string]bool{
+	"tablei": true, "fig3": true, "fig4": true, "fig5": true, "tableiii": true,
+}
+
+func (d *driver) run(name string, fn func() (renderer, []exp.CellGroup, error)) {
+	if !d.selected["all"] && !d.selected[name] {
+		return
+	}
+	if d.format == "csv" && cellLess[name] {
+		fmt.Fprintf(os.Stderr, "expdriver: %s has no cell form, skipped in csv output\n", name)
+		return
+	}
+	r, groups, err := fn()
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", name, err))
+	}
+	switch d.format {
+	case "text":
+		fmt.Fprintln(d.w)
+		r.Render(d.w)
+	case "json":
+		if m, ok := r.(multiRender); ok {
+			// Ablations serialize one entry per sweep, named like their CSV groups.
+			for i, sub := range m {
+				d.jsonOut = append(d.jsonOut, jsonEntry{Experiment: d.csvNameFor(groups, i), Result: sub})
+			}
+		} else {
+			d.jsonOut = append(d.jsonOut, jsonEntry{Experiment: name, Result: r})
+		}
+	case "csv":
+		d.csvOut = append(d.csvOut, groups...)
+	}
+}
+
+func (d *driver) csvNameFor(groups []exp.CellGroup, i int) string {
+	if i < len(groups) {
+		return groups[i].Experiment
+	}
+	return fmt.Sprintf("ablation-%d", i)
+}
+
+func (d *driver) finish() error {
+	switch d.format {
+	case "json":
+		enc := json.NewEncoder(d.w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(d.jsonOut)
+	case "csv":
+		return exp.WriteCellsCSV(d.w, d.csvOut...)
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -1,19 +1,23 @@
 // Command hybridsim replays a job trace under one scheduling mechanism and
 // prints the paper's evaluation metrics (§IV-D): per-class turnaround,
 // on-demand instant-start rates, preemption ratios, and the node-second
-// utilization ledger.
+// utilization ledger. With -mechs/-seeds it becomes a sweep: the grid of
+// (mechanism × seed) cells runs in parallel through the sweep runner with
+// deterministic, grid-ordered output.
 //
 // Usage:
 //
 //	hybridsim -trace trace.csv -mech CUA\&SPAA
-//	hybridsim -seed 1 -weeks 4 -mech N\&PAA          # generate on the fly
+//	hybridsim -seed 1 -weeks 4 -mech N\&PAA             # generate on the fly
 //	hybridsim -trace jobs.swf -format swf -mech baseline
+//	hybridsim -mechs all -seeds 3 -workers 8 -out csv   # parallel sweep
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"hybridsched"
 )
@@ -23,65 +27,136 @@ func main() {
 		tracePath = flag.String("trace", "", "input trace (empty: generate synthetically)")
 		format    = flag.String("format", "csv", "trace format: csv or swf")
 		mech      = flag.String("mech", "CUA&SPAA", "scheduler: baseline, N&PAA, N&SPAA, CUA&PAA, CUA&SPAA, CUP&PAA, CUP&SPAA")
+		mechs     = flag.String("mechs", "", "sweep schedulers: comma-separated names or \"all\" (overrides -mech)")
 		pol       = flag.String("policy", "fcfs", "queue policy: fcfs, sjf, ljf, wfp3")
 		nodes     = flag.Int("nodes", 4392, "system size in nodes")
-		seed      = flag.Int64("seed", 1, "workload seed when generating")
+		seed      = flag.Int64("seed", 1, "first workload seed when generating")
+		seeds     = flag.Int("seeds", 1, "seeds per mechanism when generating (sweep mode)")
 		weeks     = flag.Int("weeks", 4, "workload weeks when generating")
 		mixName   = flag.String("mix", "W5", "notice mix W1..W5 when generating")
 		ckptMult  = flag.Float64("ckpt", 1.0, "checkpoint interval multiplier (0.5 = twice as frequent)")
 		bfres     = flag.Bool("backfill-reserved", false, "backfill jobs onto reserved nodes (evicted on arrival)")
 		noReturn  = flag.Bool("no-directed-return", false, "drop returned lease nodes into the common pool")
+		workers   = flag.Int("workers", 0, "parallel sweep workers (0 = all CPU cores)")
+		out       = flag.String("out", "text", "output format: text, json, csv")
+		quiet     = flag.Bool("q", false, "suppress sweep progress messages")
 	)
 	flag.Parse()
 
-	var records []hybridsched.Record
-	var err error
-	if *tracePath != "" {
-		f, ferr := os.Open(*tracePath)
-		if ferr != nil {
-			fatal(ferr)
-		}
-		defer f.Close()
-		if *format == "swf" {
-			records, err = hybridsched.ReadSWF(f)
+	if *seeds < 1 {
+		fatal(fmt.Errorf("-seeds must be >= 1, got %d", *seeds))
+	}
+	switch *out {
+	case "text", "json", "csv":
+	default:
+		fatal(fmt.Errorf("unknown output format %q (want text, json, or csv)", *out))
+	}
+	mechList := []string{*mech}
+	if *mechs != "" {
+		if *mechs == "all" {
+			mechList = hybridsched.Mechanisms()
 		} else {
-			records, err = hybridsched.ReadTraceCSV(f)
+			mechList = strings.Split(*mechs, ",")
+			for i := range mechList {
+				mechList[i] = strings.TrimSpace(mechList[i])
+				if mechList[i] == "" {
+					fatal(fmt.Errorf("empty mechanism name in -mechs %q", *mechs))
+				}
+			}
 		}
-	} else {
-		var mix hybridsched.NoticeMix
-		switch *mixName {
-		case "W1":
-			mix = hybridsched.W1
-		case "W2":
-			mix = hybridsched.W2
-		case "W3":
-			mix = hybridsched.W3
-		case "W4":
-			mix = hybridsched.W4
-		default:
-			mix = hybridsched.W5
+	}
+	simCfg := func(m string) hybridsched.SimulationConfig {
+		return hybridsched.SimulationConfig{
+			Nodes:              *nodes,
+			Mechanism:          m,
+			Policy:             *pol,
+			CheckpointFreqMult: *ckptMult,
+			BackfillReserved:   *bfres,
+			NoDirectedReturn:   *noReturn,
 		}
-		records, err = hybridsched.GenerateWorkload(hybridsched.WorkloadConfig{
-			Seed: *seed, Weeks: *weeks, Nodes: *nodes, Mix: mix,
-		})
+	}
+
+	// A fixed input trace can't go through the generator-driven sweep
+	// runner: replay it serially under each requested mechanism.
+	if *tracePath != "" {
+		if *out != "text" {
+			fatal(fmt.Errorf("-out %s requires generated workloads (drop -trace)", *out))
+		}
+		records, err := readTrace(*tracePath, *format)
+		if err != nil {
+			fatal(err)
+		}
+		for i, m := range mechList {
+			if i > 0 {
+				fmt.Println()
+			}
+			rep, err := hybridsched.Simulate(simCfg(m), records)
+			if err != nil {
+				fatal(err)
+			}
+			printReport(m, *pol, rep)
+		}
+		return
+	}
+
+	mix, err := hybridsched.MixByName(*mixName)
+	if err != nil {
+		fatal(err)
+	}
+	var specs []hybridsched.SweepSpec
+	for _, m := range mechList {
+		for s := 0; s < *seeds; s++ {
+			specs = append(specs, hybridsched.SweepSpec{
+				Label: m,
+				Workload: hybridsched.WorkloadConfig{
+					Seed: *seed + int64(s), Weeks: *weeks, Nodes: *nodes, Mix: mix,
+				},
+				Sim: simCfg(m),
+			})
+		}
+	}
+	opt := hybridsched.SweepOptions{Workers: *workers}
+	if !*quiet && len(specs) > 1 {
+		opt.Progress = os.Stderr
+	}
+	report, err := hybridsched.RunSweep(specs, opt)
+	if err != nil {
+		fatal(err)
+	}
+	switch *out {
+	case "json":
+		err = report.WriteJSON(os.Stdout)
+	case "csv":
+		err = report.WriteCSV(os.Stdout)
+	case "text":
+		for i, res := range report.Results {
+			if i > 0 {
+				fmt.Println()
+			}
+			printReport(res.Spec.Label, *pol, res.Report)
+		}
 	}
 	if err != nil {
 		fatal(err)
 	}
+}
 
-	rep, err := hybridsched.Simulate(hybridsched.SimulationConfig{
-		Nodes:              *nodes,
-		Mechanism:          *mech,
-		Policy:             *pol,
-		CheckpointFreqMult: *ckptMult,
-		BackfillReserved:   *bfres,
-		NoDirectedReturn:   *noReturn,
-	}, records)
+// readTrace loads a fixed input trace in the native CSV or SWF schema.
+func readTrace(path, format string) ([]hybridsched.Record, error) {
+	f, err := os.Open(path)
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
+	defer f.Close()
+	if format == "swf" {
+		return hybridsched.ReadSWF(f)
+	}
+	return hybridsched.ReadTraceCSV(f)
+}
 
-	fmt.Printf("mechanism           %s (policy %s)\n", *mech, *pol)
+// printReport writes the single-run metrics block.
+func printReport(mech, pol string, rep hybridsched.Report) {
+	fmt.Printf("mechanism           %s (policy %s)\n", mech, pol)
 	fmt.Printf("jobs                %d (rigid %d, on-demand %d, malleable %d)\n",
 		rep.Jobs, rep.Rigid.Count, rep.OnDemand.Count, rep.Malleable.Count)
 	fmt.Printf("makespan            %s\n", hybridsched.FormatDuration(rep.Makespan))

@@ -1,0 +1,3 @@
+module hybridsched
+
+go 1.24

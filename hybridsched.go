@@ -23,6 +23,14 @@
 //	fmt.Printf("utilization %.1f%%, instant starts %.1f%%\n",
 //		100*report.Utilization, 100*report.InstantStartRate)
 //
+// # Sweeps
+//
+// RunSweep executes whole experiment grids — (mechanism × workload × seed ×
+// config) cells — across a bounded worker pool with deterministic, grid-
+// ordered results: the same grid serializes to byte-identical JSON/CSV for
+// any worker count, identical workload configs share one generated trace,
+// and a failing cell never aborts its siblings.
+//
 // See examples/ for runnable scenarios and cmd/ for the CLI tools.
 package hybridsched
 
@@ -91,6 +99,9 @@ var (
 	W4 = workload.W4
 	W5 = workload.W5
 )
+
+// MixByName returns a Table III mix by its paper name ("W1".."W5").
+func MixByName(name string) (NoticeMix, error) { return workload.MixByName(name) }
 
 // ExperimentOptions scale the paper-reproduction experiment drivers.
 type ExperimentOptions = exp.Options

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"io"
 
-	"hybridsched/internal/core"
+	"hybridsched/internal/runner"
 	"hybridsched/internal/simtime"
 	"hybridsched/internal/workload"
 )
@@ -14,6 +14,9 @@ type AblationResult struct {
 	Title string
 	Cells []Cell
 }
+
+// Flatten returns the grid-ordered cells for serialization.
+func (r AblationResult) Flatten() []Cell { return r.Cells }
 
 // Render writes the sweep as a table.
 func (r AblationResult) Render(w io.Writer) {
@@ -38,22 +41,24 @@ func (r AblationResult) Render(w io.Writer) {
 func AblationBackfillReserved(o Options) (AblationResult, error) {
 	o = o.withDefaults()
 	out := AblationResult{Title: "Ablation: backfill onto reserved nodes (CUA&SPAA, W2)"}
+	var specs []runner.Spec
 	for _, on := range []bool{false, true} {
-		coreCfg := core.DefaultConfig()
-		coreCfg.BackfillReserved = on
-		simCfg := simCfgFor(o)
-		simCfg.BackfillReserved = on
 		name := "off"
 		if on {
 			name = "on"
 		}
 		o.logf("ablation bfres: %s", name)
-		cell, err := o.runCell("CUA&SPAA", name, workload.W2, coreCfg, simCfg)
-		if err != nil {
-			return out, err
-		}
-		out.Cells = append(out.Cells, cell)
+		specs = append(specs, o.cellSpecs("ablation-bfres", name, "CUA&SPAA", workload.W2,
+			func(sp *runner.Spec) {
+				sp.Core.BackfillReserved = on
+				sp.BackfillReserved = on
+			})...)
 	}
+	cells, err := o.runGrid(specs)
+	if err != nil {
+		return out, err
+	}
+	out.Cells = cells
 	return out, nil
 }
 
@@ -63,20 +68,21 @@ func AblationBackfillReserved(o Options) (AblationResult, error) {
 func AblationDirectedReturn(o Options) (AblationResult, error) {
 	o = o.withDefaults()
 	out := AblationResult{Title: "Ablation: directed return to lenders (N&PAA, W5)"}
+	var specs []runner.Spec
 	for _, on := range []bool{true, false} {
-		coreCfg := core.DefaultConfig()
-		coreCfg.DirectedReturn = on
 		name := "directed"
 		if !on {
 			name = "common-pool"
 		}
 		o.logf("ablation return: %s", name)
-		cell, err := o.runCell("N&PAA", name, workload.W5, coreCfg, simCfgFor(o))
-		if err != nil {
-			return out, err
-		}
-		out.Cells = append(out.Cells, cell)
+		specs = append(specs, o.cellSpecs("ablation-return", name, "N&PAA", workload.W5,
+			func(sp *runner.Spec) { sp.Core.DirectedReturn = on })...)
 	}
+	cells, err := o.runGrid(specs)
+	if err != nil {
+		return out, err
+	}
+	out.Cells = cells
 	return out, nil
 }
 
@@ -85,26 +91,18 @@ func AblationDirectedReturn(o Options) (AblationResult, error) {
 func AblationMinSizeFraction(o Options) (AblationResult, error) {
 	o = o.withDefaults()
 	out := AblationResult{Title: "Ablation: malleable min-size fraction (CUA&SPAA, W5)"}
+	var specs []runner.Spec
 	for _, frac := range []float64{0.1, 0.2, 0.3, 0.5} {
 		name := fmt.Sprintf("%.0f%%", 100*frac)
 		o.logf("ablation minsize: %s", name)
-		cell := Cell{Mechanism: "CUA&SPAA", Workload: name}
-		for s := 0; s < o.Seeds; s++ {
-			cfg := o.workloadConfig(o.BaseSeed+int64(s), workload.W5)
-			cfg.MalleableMinFrac = frac
-			recs, err := workload.Generate(cfg)
-			if err != nil {
-				return out, err
-			}
-			rep, err := o.simulate(recs, "CUA&SPAA", core.DefaultConfig(), simCfgFor(o))
-			if err != nil {
-				return out, err
-			}
-			cell.accumulate(rep)
-		}
-		cell.finish()
-		out.Cells = append(out.Cells, cell)
+		specs = append(specs, o.cellSpecs("ablation-minsize", name, "CUA&SPAA", workload.W5,
+			func(sp *runner.Spec) { sp.Workload.MalleableMinFrac = frac })...)
 	}
+	cells, err := o.runGrid(specs)
+	if err != nil {
+		return out, err
+	}
+	out.Cells = cells
 	return out, nil
 }
 
@@ -113,27 +111,21 @@ func AblationMinSizeFraction(o Options) (AblationResult, error) {
 func AblationNoticeLead(o Options) (AblationResult, error) {
 	o = o.withDefaults()
 	out := AblationResult{Title: "Ablation: advance-notice lead time (CUA&PAA, W2)"}
+	var specs []runner.Spec
 	for _, lead := range []int64{5, 15, 30, 60} {
 		name := fmt.Sprintf("%dm", lead)
 		o.logf("ablation lead: %s", name)
-		cell := Cell{Mechanism: "CUA&PAA", Workload: name}
-		for s := 0; s < o.Seeds; s++ {
-			cfg := o.workloadConfig(o.BaseSeed+int64(s), workload.W2)
-			cfg.NoticeLeadMin = lead * simtime.Minute
-			cfg.NoticeLeadMax = 2 * lead * simtime.Minute
-			recs, err := workload.Generate(cfg)
-			if err != nil {
-				return out, err
-			}
-			rep, err := o.simulate(recs, "CUA&PAA", core.DefaultConfig(), simCfgFor(o))
-			if err != nil {
-				return out, err
-			}
-			cell.accumulate(rep)
-		}
-		cell.finish()
-		out.Cells = append(out.Cells, cell)
+		specs = append(specs, o.cellSpecs("ablation-lead", name, "CUA&PAA", workload.W2,
+			func(sp *runner.Spec) {
+				sp.Workload.NoticeLeadMin = lead * simtime.Minute
+				sp.Workload.NoticeLeadMax = 2 * lead * simtime.Minute
+			})...)
 	}
+	cells, err := o.runGrid(specs)
+	if err != nil {
+		return out, err
+	}
+	out.Cells = cells
 	return out, nil
 }
 
@@ -143,15 +135,16 @@ func AblationNoticeLead(o Options) (AblationResult, error) {
 func AblationQueuePolicy(o Options) (AblationResult, error) {
 	o = o.withDefaults()
 	out := AblationResult{Title: "Ablation: waiting-queue policy (CUA&SPAA, W5)"}
+	var specs []runner.Spec
 	for _, pol := range []string{"fcfs", "sjf", "wfp3"} {
 		o.logf("ablation policy: %s", pol)
-		oo := o
-		oo.Policy = pol
-		cell, err := oo.runCell("CUA&SPAA", pol, workload.W5, core.DefaultConfig(), simCfgFor(oo))
-		if err != nil {
-			return out, err
-		}
-		out.Cells = append(out.Cells, cell)
+		specs = append(specs, o.cellSpecs("ablation-policy", pol, "CUA&SPAA", workload.W5,
+			func(sp *runner.Spec) { sp.Policy = pol })...)
 	}
+	cells, err := o.runGrid(specs)
+	if err != nil {
+		return out, err
+	}
+	out.Cells = cells
 	return out, nil
 }

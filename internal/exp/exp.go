@@ -5,22 +5,23 @@
 // the checkpoint-frequency sweep (Fig. 7), the decision-latency check
 // (Obs. 10), and the ablations DESIGN.md calls out.
 //
-// Every driver is deterministic given Options.BaseSeed and averages over
-// Options.Seeds independently generated traces, mirroring the paper's "ten
-// randomly generated traces".
+// Every experiment is expressed as a declarative grid of runner.Spec cells —
+// (mechanism × workload × policy × seed × config-ablation) coordinates —
+// executed through the parallel sweep runner (internal/runner) and folded
+// into averaged Cells. Results are deterministic given Options.BaseSeed and
+// independent of Options.Workers (the wall-clock decision-latency fields of
+// Cell excepted); each data point averages Options.Seeds independently
+// generated traces, mirroring the paper's "ten randomly generated traces".
 package exp
 
 import (
 	"fmt"
 	"io"
 
-	"hybridsched/internal/checkpoint"
 	"hybridsched/internal/core"
 	"hybridsched/internal/metrics"
-	"hybridsched/internal/policy"
-	"hybridsched/internal/sim"
+	"hybridsched/internal/runner"
 	"hybridsched/internal/simtime"
-	"hybridsched/internal/trace"
 	"hybridsched/internal/workload"
 )
 
@@ -36,17 +37,18 @@ type Options struct {
 	CkptFreqMult float64 // checkpoint interval multiplier; default 1.0
 
 	Policy   string    // queue policy name; default "fcfs"
+	Workers  int       // parallel sweep workers; default runtime.NumCPU()
 	Progress io.Writer // optional progress log (nil = quiet)
 }
 
 func (o Options) withDefaults() Options {
-	if o.Nodes == 0 {
+	if o.Nodes < 1 {
 		o.Nodes = 4392
 	}
-	if o.Weeks == 0 {
+	if o.Weeks < 1 {
 		o.Weeks = 4
 	}
-	if o.Seeds == 0 {
+	if o.Seeds < 1 {
 		o.Seeds = 10
 	}
 	if o.BaseSeed == 0 {
@@ -86,32 +88,81 @@ func Mechanisms() []string {
 	return append([]string{"baseline"}, core.Names()...)
 }
 
-// simulate runs one trace under one mechanism and returns the report.
-func (o Options) simulate(recs []trace.Record, mechName string, coreCfg core.Config, simCfg sim.Config) (metrics.Report, error) {
-	jobs := trace.Materialize(recs, func(size int) checkpoint.Plan {
-		return checkpoint.NewPlan(size, o.MTBF, o.CkptFreqMult)
-	})
-	var mech sim.Mechanism
-	if mechName == "baseline" {
-		mech = sim.Baseline{}
-	} else {
-		m, err := core.ByName(mechName, coreCfg)
-		if err != nil {
-			return metrics.Report{}, err
+// spec builds the runner cell for one (group, variant, mechanism, workload)
+// coordinate with the experiment-wide defaults applied.
+func (o Options) spec(group, variant, mech string, wcfg workload.Config) runner.Spec {
+	return runner.Spec{
+		Group:        group,
+		Variant:      variant,
+		Mechanism:    mech,
+		Policy:       o.Policy,
+		Nodes:        o.Nodes,
+		Workload:     wcfg,
+		Core:         core.DefaultConfig(),
+		MTBF:         o.MTBF,
+		CkptFreqMult: o.CkptFreqMult,
+	}
+}
+
+// cellSpecs expands one averaged data point into its o.Seeds replica cells.
+// mutate, when non-nil, applies per-variant ablation overrides to each spec.
+func (o Options) cellSpecs(group, variant, mech string, mix workload.NoticeMix, mutate func(*runner.Spec)) []runner.Spec {
+	specs := make([]runner.Spec, 0, o.Seeds)
+	for s := 0; s < o.Seeds; s++ {
+		sp := o.spec(group, variant, mech, o.workloadConfig(o.BaseSeed+int64(s), mix))
+		if mutate != nil {
+			mutate(&sp)
 		}
-		mech = m
+		specs = append(specs, sp)
 	}
-	if simCfg.Nodes == 0 {
-		simCfg.Nodes = o.Nodes
+	return specs
+}
+
+// runGrid executes a grid through the parallel runner and folds the per-seed
+// results into one finished Cell per (variant, mechanism), in grid order.
+func (o Options) runGrid(specs []runner.Spec) ([]Cell, error) {
+	sweep := runner.Run(specs, runner.Options{Workers: o.Workers, Progress: o.Progress})
+	if err := sweep.Err(); err != nil {
+		return nil, err
 	}
-	if simCfg.Policy == nil {
-		simCfg.Policy = policy.ByName(o.Policy)
+	type key struct{ variant, mech string }
+	idx := map[key]int{}
+	var cells []Cell
+	for _, res := range sweep.Results {
+		k := key{res.Spec.Variant, res.Spec.Mechanism}
+		i, ok := idx[k]
+		if !ok {
+			i = len(cells)
+			idx[k] = i
+			cells = append(cells, Cell{Mechanism: res.Spec.Mechanism, Workload: res.Spec.Variant})
+		}
+		cells[i].accumulate(res.Report)
 	}
-	e, err := sim.New(simCfg, jobs, mech)
+	for i := range cells {
+		cells[i].finish()
+	}
+	return cells, nil
+}
+
+// runCell averages one mechanism over o.Seeds traces with the given mix.
+func (o Options) runCell(group, variant, mech string, mix workload.NoticeMix, mutate func(*runner.Spec)) (Cell, error) {
+	cells, err := o.runGrid(o.cellSpecs(group, variant, mech, mix, mutate))
 	if err != nil {
-		return metrics.Report{}, err
+		return Cell{Mechanism: mech, Workload: variant}, err
 	}
-	return e.Run()
+	return cells[0], nil
+}
+
+// cellMap indexes cells as workload/variant -> mechanism -> cell.
+func cellMap(cells []Cell) map[string]map[string]Cell {
+	m := map[string]map[string]Cell{}
+	for _, c := range cells {
+		if m[c.Workload] == nil {
+			m[c.Workload] = map[string]Cell{}
+		}
+		m[c.Workload][c.Mechanism] = c
+	}
+	return m
 }
 
 // Cell is one averaged data point of Fig. 6 / Fig. 7: the metrics the paper
@@ -176,22 +227,4 @@ func (c *Cell) finish() {
 	c.LostFrac /= n
 	c.MeanDecMs /= n
 	c.MeanDelayS /= n
-}
-
-// runCell averages a mechanism over o.Seeds traces with the given mix.
-func (o Options) runCell(mechName, wlName string, mix workload.NoticeMix, coreCfg core.Config, simCfg sim.Config) (Cell, error) {
-	cell := Cell{Mechanism: mechName, Workload: wlName}
-	for s := 0; s < o.Seeds; s++ {
-		recs, err := workload.Generate(o.workloadConfig(o.BaseSeed+int64(s), mix))
-		if err != nil {
-			return cell, err
-		}
-		rep, err := o.simulate(recs, mechName, coreCfg, simCfg)
-		if err != nil {
-			return cell, fmt.Errorf("%s/%s seed %d: %w", mechName, wlName, s, err)
-		}
-		cell.accumulate(rep)
-	}
-	cell.finish()
-	return cell, nil
 }

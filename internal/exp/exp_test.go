@@ -227,6 +227,54 @@ func TestAblations(t *testing.T) {
 	}
 }
 
+func TestGridDeterminismAcrossWorkers(t *testing.T) {
+	run := func(workers int) AblationResult {
+		o := tiny()
+		o.Seeds = 2
+		o.Workers = workers
+		r, err := AblationQueuePolicy(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	serial, parallel := run(1), run(8)
+	var a, b bytes.Buffer
+	if err := WriteCellsCSV(&a, CellGroup{"policy", serial.Cells}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCellsCSV(&b, CellGroup{"policy", parallel.Cells}); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("workers=8 cells differ from workers=1:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestFlattenAndCellsCSV(t *testing.T) {
+	o := tiny()
+	o.Seeds = 1
+	r, err := TableII(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := r.Flatten()
+	if len(cells) != 1 || cells[0].Mechanism != "baseline" {
+		t.Fatalf("flatten %+v", cells)
+	}
+	var buf bytes.Buffer
+	if err := WriteCellsCSV(&buf, CellGroup{"tableii", cells}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "experiment,variant,mechanism,seeds") {
+		t.Fatalf("csv header wrong: %s", out)
+	}
+	if !strings.Contains(out, "tableii,W5,baseline,1") {
+		t.Fatalf("csv row missing: %s", out)
+	}
+}
+
 func TestProgressLogging(t *testing.T) {
 	o := tiny()
 	o.Seeds = 1

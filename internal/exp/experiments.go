@@ -5,7 +5,7 @@ import (
 	"io"
 
 	"hybridsched/internal/core"
-	"hybridsched/internal/sim"
+	"hybridsched/internal/runner"
 	"hybridsched/internal/simtime"
 	"hybridsched/internal/workload"
 )
@@ -188,9 +188,12 @@ type TableIIResult struct {
 // TableII measures the baseline across o.Seeds traces under the W5 mix.
 func TableII(o Options) (TableIIResult, error) {
 	o = o.withDefaults()
-	cell, err := o.runCell("baseline", "W5", workload.W5, core.DefaultConfig(), simCfgFor(o))
+	cell, err := o.runCell("tableii", "W5", "baseline", workload.W5, nil)
 	return TableIIResult{Cell: cell}, err
 }
+
+// Flatten returns the grid-ordered cells for serialization.
+func (r TableIIResult) Flatten() []Cell { return []Cell{r.Cell} }
 
 // Render writes the baseline table next to the paper's numbers.
 func (r TableIIResult) Render(w io.Writer) {
@@ -240,23 +243,37 @@ type Figure6Result struct {
 }
 
 // Figure6 runs the six mechanisms (plus the baseline for reference) over the
-// five Table III workloads, averaging each point over o.Seeds traces.
+// five Table III workloads as one declarative grid — 7 mechanisms × 5 mixes
+// × o.Seeds traces — executed in parallel through the sweep runner.
 func Figure6(o Options) (Figure6Result, error) {
 	o = o.withDefaults()
 	t3 := TableIII()
-	out := Figure6Result{Workloads: t3.Names, Cells: map[string]map[string]Cell{}}
+	var specs []runner.Spec
 	for i, wl := range t3.Names {
-		out.Cells[wl] = map[string]Cell{}
 		for _, mech := range Mechanisms() {
-			o.logf("fig6: %s %s", wl, mech)
-			cell, err := o.runCell(mech, wl, t3.Mixes[i], core.DefaultConfig(), simCfgFor(o))
-			if err != nil {
-				return out, err
-			}
-			out.Cells[wl][mech] = cell
+			specs = append(specs, o.cellSpecs("fig6", wl, mech, t3.Mixes[i], nil)...)
 		}
 	}
-	return out, nil
+	o.logf("fig6: %d cells (%d mechanisms x %d workloads x %d seeds)",
+		len(specs), len(Mechanisms()), len(t3.Names), o.Seeds)
+	cells, err := o.runGrid(specs)
+	if err != nil {
+		return Figure6Result{Workloads: t3.Names}, err
+	}
+	return Figure6Result{Workloads: t3.Names, Cells: cellMap(cells)}, nil
+}
+
+// Flatten returns the grid-ordered cells for serialization.
+func (r Figure6Result) Flatten() []Cell {
+	var out []Cell
+	for _, wl := range r.Workloads {
+		for _, mech := range Mechanisms() {
+			if c, ok := r.Cells[wl][mech]; ok {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
 }
 
 // Render writes one sub-table per metric, mirroring the panels of Fig. 6.
@@ -298,31 +315,41 @@ type Figure7Result struct {
 }
 
 // Figure7 sweeps the rigid checkpointing frequency around the Daly optimum
-// under the W5 mix (paper: "50% means checkpoints twice as frequent").
+// under the W5 mix (paper: "50% means checkpoints twice as frequent") as one
+// grid: the multiplier is a per-cell coordinate, not a shared option.
 func Figure7(o Options) (Figure7Result, error) {
 	o = o.withDefaults()
-	out := Figure7Result{
-		Multipliers: []float64{0.5, 1.0, 1.5, 2.0},
-		Cells:       map[string]map[string]Cell{},
-	}
-	for _, mult := range out.Multipliers {
-		key := multKey(mult)
-		out.Cells[key] = map[string]Cell{}
-		oo := o
-		oo.CkptFreqMult = mult
+	mults := []float64{0.5, 1.0, 1.5, 2.0}
+	var specs []runner.Spec
+	for _, mult := range mults {
 		for _, mech := range core.Names() {
-			oo.logf("fig7: x%.2f %s", mult, mech)
-			cell, err := oo.runCell(mech, key, workload.W5, core.DefaultConfig(), simCfgFor(oo))
-			if err != nil {
-				return out, err
-			}
-			out.Cells[key][mech] = cell
+			specs = append(specs, o.cellSpecs("fig7", multKey(mult), mech, workload.W5,
+				func(sp *runner.Spec) { sp.CkptFreqMult = mult })...)
 		}
 	}
-	return out, nil
+	o.logf("fig7: %d cells (%d mechanisms x %d multipliers x %d seeds)",
+		len(specs), len(core.Names()), len(mults), o.Seeds)
+	cells, err := o.runGrid(specs)
+	if err != nil {
+		return Figure7Result{Multipliers: mults}, err
+	}
+	return Figure7Result{Multipliers: mults, Cells: cellMap(cells)}, nil
 }
 
 func multKey(m float64) string { return fmt.Sprintf("%.0f%%", 100*m) }
+
+// Flatten returns the grid-ordered cells for serialization.
+func (r Figure7Result) Flatten() []Cell {
+	var out []Cell
+	for _, m := range r.Multipliers {
+		for _, mech := range core.Names() {
+			if c, ok := r.Cells[multKey(m)][mech]; ok {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
 
 // Render writes the checkpoint sweep panels.
 func (r Figure7Result) Render(w io.Writer) {
@@ -365,38 +392,31 @@ type DecisionLatencyResult struct {
 
 // DecisionLatency measures wall-clock decision latency for each mechanism on
 // a trace dense with small jobs (paper Obs. 10: decisions < 10 ms, versus a
-// 10-30 s production requirement).
+// 10-30 s production requirement). The timing numbers are wall clock and so
+// machine-dependent; only they escape the runner's determinism guarantee.
 func DecisionLatency(o Options) (DecisionLatencyResult, error) {
 	o = o.withDefaults()
-	var out DecisionLatencyResult
-	for _, mech := range core.Names() {
-		cell := Cell{Mechanism: mech, Workload: "dense"}
-		for s := 0; s < o.Seeds; s++ {
-			cfg := workload.Config{
-				Seed:  o.BaseSeed + int64(s),
-				Nodes: o.Nodes,
-				Weeks: 1,
-				// Dense: hundreds of small jobs running concurrently.
-				MinJobSize:  8,
-				SizeBuckets: []int{8, 16, 32, 64, 128},
-				SizeWeights: []float64{0.4, 0.3, 0.15, 0.1, 0.05},
-				Mix:         workload.W5,
-			}
-			recs, err := workload.Generate(cfg)
-			if err != nil {
-				return out, err
-			}
-			rep, err := o.simulate(recs, mech, core.DefaultConfig(), simCfgFor(o))
-			if err != nil {
-				return out, err
-			}
-			cell.accumulate(rep)
-		}
-		cell.finish()
-		out.Cells = append(out.Cells, cell)
+	dense := func(sp *runner.Spec) {
+		sp.Workload.Weeks = 1
+		// Dense: hundreds of small jobs running concurrently.
+		sp.Workload.MinJobSize = 8
+		sp.Workload.SizeBuckets = []int{8, 16, 32, 64, 128}
+		sp.Workload.SizeWeights = []float64{0.4, 0.3, 0.15, 0.1, 0.05}
 	}
-	return out, nil
+	var specs []runner.Spec
+	for _, mech := range core.Names() {
+		specs = append(specs, o.cellSpecs("latency", "dense", mech, workload.W5, dense)...)
+	}
+	o.logf("latency: %d cells", len(specs))
+	cells, err := o.runGrid(specs)
+	if err != nil {
+		return DecisionLatencyResult{}, err
+	}
+	return DecisionLatencyResult{Cells: cells}, nil
 }
+
+// Flatten returns the grid-ordered cells for serialization.
+func (r DecisionLatencyResult) Flatten() []Cell { return r.Cells }
 
 // Render writes the latency table.
 func (r DecisionLatencyResult) Render(w io.Writer) {
@@ -411,6 +431,3 @@ func (r DecisionLatencyResult) Render(w io.Writer) {
 	}
 	tw.flush()
 }
-
-// simCfgFor builds the engine config for an experiment.
-func simCfgFor(o Options) sim.Config { return sim.Config{Nodes: o.Nodes} }

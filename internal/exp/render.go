@@ -1,8 +1,10 @@
 package exp
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 )
 
@@ -61,4 +63,46 @@ func pad(s string, w int) string {
 		return s
 	}
 	return s + strings.Repeat(" ", w-len(s))
+}
+
+// CellGroup tags a set of averaged cells with their experiment name for
+// serialization.
+type CellGroup struct {
+	Experiment string
+	Cells      []Cell
+}
+
+// WriteCellsCSV emits averaged experiment cells as CSV, one row per
+// (variant, mechanism) data point, tagged with the experiment name. The
+// columns hold the deterministic averaged metrics only; wall-clock decision
+// latencies are excluded so output is stable across machines.
+func WriteCellsCSV(w io.Writer, groups ...CellGroup) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"experiment", "variant", "mechanism", "seeds",
+		"turnaround_h", "turnaround_rigid_h", "turnaround_ondemand_h", "turnaround_malleable_h",
+		"utilization", "instant_start_rate", "strict_instant_start_rate",
+		"preempt_rigid_ratio", "preempt_malleable_ratio",
+		"lost_frac", "mean_start_delay_s",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, g := range groups {
+		for _, c := range g.Cells {
+			rec := []string{
+				g.Experiment, c.Workload, c.Mechanism, strconv.Itoa(c.Seeds),
+				f(c.TurnAllH), f(c.TurnRigidH), f(c.TurnODH), f(c.TurnMallH),
+				f(c.Util), f(c.Instant), f(c.Strict),
+				f(c.PreemptRigid), f(c.PreemptMall),
+				f(c.LostFrac), f(c.MeanDelayS),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }

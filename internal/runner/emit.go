@@ -1,0 +1,139 @@
+package runner
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Row is the deterministic serialized form of one Result: the cell
+// coordinates plus the simulation measurements. Wall-clock quantities
+// (decision latency, cell elapsed time) are deliberately excluded so that
+// the JSON and CSV forms of a sweep are byte-identical across runs, machines,
+// and worker counts.
+type Row struct {
+	Group     string `json:"group,omitempty"`
+	Variant   string `json:"variant,omitempty"`
+	Mechanism string `json:"mechanism"`
+	Policy    string `json:"policy"`
+	Seed      int64  `json:"seed"`
+	Nodes     int    `json:"nodes"`
+
+	Jobs      int   `json:"jobs"`
+	MakespanS int64 `json:"makespan_s"`
+
+	TurnH      float64 `json:"turnaround_h"`
+	TurnRigidH float64 `json:"turnaround_rigid_h"`
+	TurnODH    float64 `json:"turnaround_ondemand_h"`
+	TurnMallH  float64 `json:"turnaround_malleable_h"`
+
+	Util         float64 `json:"utilization"`
+	Useful       float64 `json:"useful_frac"`
+	Setup        float64 `json:"setup_frac"`
+	Ckpt         float64 `json:"ckpt_frac"`
+	Lost         float64 `json:"lost_frac"`
+	ReservedIdle float64 `json:"reserved_idle_frac"`
+	Idle         float64 `json:"idle_frac"`
+
+	Instant       float64 `json:"instant_start_rate"`
+	StrictInstant float64 `json:"strict_instant_start_rate"`
+	MeanDelayS    float64 `json:"mean_start_delay_s"`
+
+	PreemptRigid float64 `json:"preempt_rigid_ratio"`
+	PreemptMall  float64 `json:"preempt_malleable_ratio"`
+
+	Err string `json:"err,omitempty"`
+}
+
+// Rows flattens the sweep into its deterministic serialized form, in grid
+// order. Failed cells carry their coordinates and Err with zero metrics.
+func (s Sweep) Rows() []Row {
+	rows := make([]Row, 0, len(s.Results))
+	for _, res := range s.Results {
+		r := Row{
+			Group:     res.Spec.Group,
+			Variant:   res.Spec.Variant,
+			Mechanism: res.Spec.Mechanism,
+			Policy:    res.Spec.Policy,
+			Seed:      res.Spec.Workload.Seed,
+			Nodes:     res.Spec.Nodes,
+			Err:       res.Err,
+		}
+		if !res.Failed() {
+			rep := res.Report
+			r.Jobs = rep.Jobs
+			r.MakespanS = rep.Makespan
+			r.TurnH = rep.All.MeanTurnaroundH
+			r.TurnRigidH = rep.Rigid.MeanTurnaroundH
+			r.TurnODH = rep.OnDemand.MeanTurnaroundH
+			r.TurnMallH = rep.Malleable.MeanTurnaroundH
+			r.Util = rep.Utilization
+			r.Useful = rep.Breakdown.Useful
+			r.Setup = rep.Breakdown.Setup
+			r.Ckpt = rep.Breakdown.Ckpt
+			r.Lost = rep.Breakdown.Lost
+			r.ReservedIdle = rep.Breakdown.ReservedIdle
+			r.Idle = rep.Breakdown.Idle
+			r.Instant = rep.InstantStartRate
+			r.StrictInstant = rep.StrictInstantStartRate
+			r.MeanDelayS = rep.MeanStartDelay
+			r.PreemptRigid = rep.Rigid.PreemptRatio
+			r.PreemptMall = rep.Malleable.PreemptRatio
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// WriteJSON emits the sweep as an indented JSON array of Rows.
+func (s Sweep) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(s.Rows(), "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// csvHeader is the CSV column order, matching the Row JSON tags.
+var csvHeader = []string{
+	"group", "variant", "mechanism", "policy", "seed", "nodes",
+	"jobs", "makespan_s",
+	"turnaround_h", "turnaround_rigid_h", "turnaround_ondemand_h", "turnaround_malleable_h",
+	"utilization", "useful_frac", "setup_frac", "ckpt_frac", "lost_frac",
+	"reserved_idle_frac", "idle_frac",
+	"instant_start_rate", "strict_instant_start_rate", "mean_start_delay_s",
+	"preempt_rigid_ratio", "preempt_malleable_ratio", "err",
+}
+
+// WriteCSV emits the sweep as CSV, one Row per cell in grid order.
+func (s Sweep) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, r := range s.Rows() {
+		rec := []string{
+			r.Group, r.Variant, r.Mechanism, r.Policy,
+			strconv.FormatInt(r.Seed, 10), strconv.Itoa(r.Nodes),
+			strconv.Itoa(r.Jobs), strconv.FormatInt(r.MakespanS, 10),
+			f(r.TurnH), f(r.TurnRigidH), f(r.TurnODH), f(r.TurnMallH),
+			f(r.Util), f(r.Useful), f(r.Setup), f(r.Ckpt), f(r.Lost),
+			f(r.ReservedIdle), f(r.Idle),
+			f(r.Instant), f(r.StrictInstant), f(r.MeanDelayS),
+			f(r.PreemptRigid), f(r.PreemptMall), r.Err,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("runner: csv: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,384 @@
+// Package runner executes experiment sweeps — (mechanism × notice-mix ×
+// policy × seed × config-ablation) grids — across a bounded pool of worker
+// goroutines while keeping every result bit-identical to a serial run.
+//
+// A sweep is a flat slice of Spec cells. Each cell is self-contained: it
+// names its workload generator config, scheduling mechanism, queue policy,
+// and system knobs, so cells can execute in any order on any worker. The
+// runner guarantees:
+//
+//   - Determinism. Every random quantity of a cell derives from the cell's
+//     own coordinates (the workload seed, or DeriveSeed of the coordinate
+//     strings when no seed is given), never from scheduling order, so the
+//     same grid produces byte-identical serialized reports under any worker
+//     count. Results are returned in grid order, not completion order.
+//   - Failure isolation. A cell that returns an error or panics is recorded
+//     as a failed Result; the rest of the sweep completes.
+//   - Trace sharing. Workload traces are memoized by generator config: each
+//     unique trace is generated once and shared read-only by every cell that
+//     replays it (e.g. the seven mechanisms of one Figure 6 column).
+//
+// Emitters serialize a finished Sweep as JSON or CSV (see Row); wall-clock
+// measurements are excluded from those forms so emitted sweeps are stable
+// across machines and worker counts.
+package runner
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"hybridsched/internal/checkpoint"
+	"hybridsched/internal/core"
+	"hybridsched/internal/metrics"
+	"hybridsched/internal/policy"
+	"hybridsched/internal/sim"
+	"hybridsched/internal/simtime"
+	"hybridsched/internal/trace"
+	"hybridsched/internal/workload"
+)
+
+// Spec is the declarative coordinate of one sweep cell: everything needed to
+// generate (or reuse) a workload trace and replay it under one scheduler
+// configuration. The zero values of the knob fields take the paper-faithful
+// defaults (4392 nodes, FCFS, 24 h MTBF, Daly-optimal checkpointing).
+type Spec struct {
+	// Group and Variant locate the cell in an experiment grid, e.g.
+	// ("fig6", "W2"). They aggregate replicas into averaged data points and
+	// label emitter rows; the runner itself only uses them for seed
+	// derivation and progress lines.
+	Group   string `json:"group,omitempty"`
+	Variant string `json:"variant,omitempty"`
+
+	// Mechanism is "baseline" or one of the six core mechanism names.
+	Mechanism string `json:"mechanism"`
+	// Policy orders the waiting queue: fcfs (default), sjf, ljf, wfp3.
+	Policy string `json:"policy,omitempty"`
+	// Nodes is the simulated system size; 0 takes Workload.Nodes, then 4392.
+	Nodes int `json:"nodes,omitempty"`
+
+	// Workload configures the trace generator. A zero Seed is filled with
+	// DeriveSeed(Group, Variant, Mechanism) so ad-hoc grids stay
+	// deterministic without hand-assigned seeds.
+	Workload workload.Config `json:"-"`
+
+	// Core configures the mechanism (release threshold, directed return,
+	// backfill-reserved). Zero value means core.DefaultConfig().
+	Core core.Config `json:"-"`
+
+	// MTBF is the system mean time between failures in seconds, driving the
+	// Daly checkpoint interval (default 24 h).
+	MTBF float64 `json:"-"`
+	// CkptFreqMult scales the checkpoint interval around the Daly optimum
+	// (Fig. 7); default 1.0.
+	CkptFreqMult float64 `json:"-"`
+	// BackfillReserved lets backfill jobs squat on reserved nodes (§III-B.1).
+	BackfillReserved bool `json:"-"`
+	// Validate checks the cluster partition invariant after every event.
+	Validate bool `json:"-"`
+	// MaxSimTime aborts a run whose virtual clock passes this bound (0 = none).
+	MaxSimTime int64 `json:"-"`
+}
+
+// withDefaults fills the paper-faithful defaults into zero fields.
+func (s Spec) withDefaults() Spec {
+	if s.Mechanism == "" {
+		s.Mechanism = "CUA&SPAA"
+	}
+	if s.Policy == "" {
+		s.Policy = "fcfs"
+	}
+	if s.Nodes == 0 {
+		s.Nodes = s.Workload.Nodes
+	}
+	if s.Nodes == 0 {
+		s.Nodes = 4392
+	}
+	if s.Workload.Nodes == 0 {
+		s.Workload.Nodes = s.Nodes
+	}
+	if s.Workload.Seed == 0 {
+		s.Workload.Seed = DeriveSeed(s.Group, s.Variant, s.Mechanism)
+	}
+	if s.Core == (core.Config{}) {
+		s.Core = core.DefaultConfig()
+	}
+	if s.MTBF == 0 {
+		s.MTBF = 24 * float64(simtime.Hour)
+	}
+	if s.CkptFreqMult == 0 {
+		s.CkptFreqMult = 1.0
+	}
+	return s
+}
+
+// Key renders the cell coordinates compactly for progress lines and errors.
+func (s Spec) Key() string {
+	key := s.Mechanism
+	if s.Variant != "" {
+		key = s.Variant + "/" + key
+	}
+	if s.Group != "" {
+		key = s.Group + "/" + key
+	}
+	return fmt.Sprintf("%s/seed%d", key, s.Workload.Seed)
+}
+
+// DeriveSeed hashes coordinate strings into a stable positive seed (FNV-1a),
+// so a cell's randomness depends only on where it sits in the grid — never
+// on worker count or completion order.
+func DeriveSeed(parts ...string) int64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0}) // separator: ("ab","c") != ("a","bc")
+	}
+	v := int64(h.Sum64() &^ (1 << 63))
+	if v == 0 {
+		v = 1
+	}
+	return v
+}
+
+// Result is the structured outcome of one cell.
+type Result struct {
+	// Spec echoes the executed cell with defaults applied (so the actual
+	// seed and node count are visible even when derived).
+	Spec Spec
+	// Report holds the simulation measurements when the cell succeeded.
+	Report metrics.Report
+	// Err is non-empty when the cell failed; panics are captured here as
+	// "panic: ..." and do not abort the sweep.
+	Err string
+	// ElapsedMS is the cell's wall-clock runtime (excluded from emitters).
+	ElapsedMS float64
+}
+
+// Failed reports whether the cell errored or panicked.
+func (r Result) Failed() bool { return r.Err != "" }
+
+// Sweep is a completed grid execution: one Result per Spec, in grid order.
+type Sweep struct {
+	Results []Result
+	// Workers is the pool size the sweep actually ran with.
+	Workers int
+	// Wall is the sweep's total wall-clock time.
+	Wall time.Duration
+}
+
+// Failed counts the cells that errored or panicked.
+func (s Sweep) Failed() int {
+	n := 0
+	for _, r := range s.Results {
+		if r.Failed() {
+			n++
+		}
+	}
+	return n
+}
+
+// Err returns the first cell failure in grid order, or nil if every cell
+// succeeded.
+func (s Sweep) Err() error {
+	for _, r := range s.Results {
+		if r.Failed() {
+			return fmt.Errorf("runner: cell %s: %s", r.Spec.Key(), r.Err)
+		}
+	}
+	return nil
+}
+
+// Options control sweep execution. They never affect results, only speed and
+// reporting.
+type Options struct {
+	// Workers bounds the goroutine pool; <= 0 means runtime.NumCPU().
+	Workers int
+	// Progress receives one line per completed cell plus a final summary
+	// (nil = quiet). Lines appear in completion order.
+	Progress io.Writer
+	// NoTraceCache disables workload memoization (each cell regenerates its
+	// trace; useful only for measuring the cache itself).
+	NoTraceCache bool
+}
+
+// runHook, when non-nil, runs before each cell executes. It is a test seam
+// for failure-isolation coverage (a hook that panics simulates a crashing
+// cell); set it only before calling Run.
+var runHook func(Spec)
+
+// Run executes every cell of the grid across the worker pool and returns the
+// results in grid order. Cell failures are isolated into their Results (see
+// Sweep.Err); Run itself does not fail.
+func Run(specs []Spec, opt Options) Sweep {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	start := time.Now()
+	results := make([]Result, len(specs))
+	if len(specs) > 0 {
+		cache := newTraceCache(!opt.NoTraceCache)
+		var (
+			wg   sync.WaitGroup
+			mu   sync.Mutex // guards done + Progress interleaving
+			done int
+		)
+		idx := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					res := runOne(specs[i], cache)
+					results[i] = res
+					if opt.Progress != nil {
+						mu.Lock()
+						done++
+						status := "ok"
+						if res.Failed() {
+							status = "FAIL: " + res.Err
+						}
+						fmt.Fprintf(opt.Progress, "runner: [%d/%d] %s %.1fs %s\n",
+							done, len(specs), res.Spec.Key(), res.ElapsedMS/1000, status)
+						mu.Unlock()
+					}
+				}
+			}()
+		}
+		for i := range specs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	sweep := Sweep{Results: results, Workers: workers, Wall: time.Since(start)}
+	if opt.Progress != nil {
+		fmt.Fprintf(opt.Progress, "runner: %d cells (%d failed) in %s with %d workers\n",
+			len(specs), sweep.Failed(), sweep.Wall.Round(time.Millisecond), workers)
+	}
+	return sweep
+}
+
+// runOne executes a single cell, converting errors and panics into the
+// Result so one bad cell cannot kill the sweep.
+func runOne(spec Spec, cache *traceCache) (res Result) {
+	start := time.Now()
+	s := spec.withDefaults()
+	res.Spec = s
+	defer func() {
+		res.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+		if p := recover(); p != nil {
+			res.Err = fmt.Sprintf("panic: %v", p)
+		}
+	}()
+	if runHook != nil {
+		runHook(s)
+	}
+	recs, err := cache.get(s.Workload)
+	if err != nil {
+		res.Err = err.Error()
+		return
+	}
+	jobs := trace.Materialize(recs, func(size int) checkpoint.Plan {
+		return checkpoint.NewPlan(size, s.MTBF, s.CkptFreqMult)
+	})
+	var mech sim.Mechanism
+	if s.Mechanism == "baseline" {
+		mech = sim.Baseline{}
+	} else {
+		m, err := core.ByName(s.Mechanism, s.Core)
+		if err != nil {
+			res.Err = err.Error()
+			return
+		}
+		mech = m
+	}
+	ord := policy.ByName(s.Policy)
+	if ord == nil {
+		res.Err = fmt.Sprintf("unknown policy %q", s.Policy)
+		return
+	}
+	engine, err := sim.New(sim.Config{
+		Nodes:            s.Nodes,
+		Policy:           ord,
+		BackfillReserved: s.BackfillReserved,
+		Validate:         s.Validate,
+		MaxSimTime:       s.MaxSimTime,
+	}, jobs, mech)
+	if err != nil {
+		res.Err = err.Error()
+		return
+	}
+	rep, err := engine.Run()
+	if err != nil {
+		res.Err = err.Error()
+		return
+	}
+	res.Report = rep
+	return
+}
+
+// traceCache memoizes generated workload traces by normalized generator
+// config. Records are immutable after generation (Materialize only reads
+// them), so one trace is safely shared by every cell that replays it; cells
+// needing the same in-flight trace block on its sync.Once.
+type traceCache struct {
+	enabled bool
+	mu      sync.Mutex
+	entries map[string]*traceEntry
+	gens    int // generator invocations, for tests
+}
+
+type traceEntry struct {
+	once sync.Once
+	recs []trace.Record
+	err  error
+}
+
+func newTraceCache(enabled bool) *traceCache {
+	return &traceCache{enabled: enabled, entries: map[string]*traceEntry{}}
+}
+
+// generate is swapped out by tests that need a crashing generator.
+var generate = workload.Generate
+
+func (c *traceCache) get(cfg workload.Config) ([]trace.Record, error) {
+	norm, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if !c.enabled {
+		c.mu.Lock()
+		c.gens++
+		c.mu.Unlock()
+		return generate(norm)
+	}
+	key := fmt.Sprintf("%+v", norm)
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &traceEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		c.mu.Lock()
+		c.gens++
+		c.mu.Unlock()
+		// A panicking generator must poison the entry, not leave it nil-and-
+		// no-error: every sibling cell sharing this trace has to fail too.
+		defer func() {
+			if p := recover(); p != nil {
+				e.err = fmt.Errorf("workload generator panic: %v", p)
+			}
+		}()
+		e.recs, e.err = generate(norm)
+	})
+	return e.recs, e.err
+}

@@ -1,0 +1,287 @@
+package runner
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"hybridsched/internal/trace"
+	"hybridsched/internal/workload"
+)
+
+// tinyGrid builds a small but real mechanism × seed grid (512 nodes, 1 week)
+// that exercises trace sharing: every mechanism of one seed replays the same
+// generated trace.
+func tinyGrid(t testing.TB) []Spec {
+	t.Helper()
+	var specs []Spec
+	for _, mech := range []string{"baseline", "N&PAA", "CUA&SPAA", "CUP&SPAA"} {
+		for s := int64(1); s <= 2; s++ {
+			specs = append(specs, Spec{
+				Group:     "test",
+				Variant:   "W5",
+				Mechanism: mech,
+				Nodes:     512,
+				Workload: workload.Config{
+					Seed: s, Nodes: 512, Weeks: 1,
+					MinJobSize:  16,
+					SizeBuckets: []int{16, 32, 64, 128},
+					SizeWeights: []float64{0.4, 0.3, 0.2, 0.1},
+				},
+			})
+		}
+	}
+	return specs
+}
+
+// serialize renders the sweep in both emitter formats for byte comparison.
+func serialize(t *testing.T, s Sweep) (string, string) {
+	t.Helper()
+	var j, c bytes.Buffer
+	if err := s.WriteJSON(&j); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteCSV(&c); err != nil {
+		t.Fatal(err)
+	}
+	return j.String(), c.String()
+}
+
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	specs := tinyGrid(t)
+	serial := Run(specs, Options{Workers: 1})
+	if err := serial.Err(); err != nil {
+		t.Fatal(err)
+	}
+	j1, c1 := serialize(t, serial)
+	for _, workers := range []int{2, 8} {
+		par := Run(specs, Options{Workers: workers})
+		if err := par.Err(); err != nil {
+			t.Fatal(err)
+		}
+		jN, cN := serialize(t, par)
+		if jN != j1 {
+			t.Fatalf("workers=%d JSON differs from workers=1", workers)
+		}
+		if cN != c1 {
+			t.Fatalf("workers=%d CSV differs from workers=1", workers)
+		}
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	specs := tinyGrid(t)[:4]
+	runHook = func(s Spec) {
+		if s.Mechanism == "N&PAA" {
+			panic("injected cell crash")
+		}
+	}
+	defer func() { runHook = nil }()
+	sweep := Run(specs, Options{Workers: 4})
+	if got := sweep.Failed(); got != 2 {
+		t.Fatalf("failed cells = %d, want 2 (both N&PAA seeds)", got)
+	}
+	for _, res := range sweep.Results {
+		if res.Spec.Mechanism == "N&PAA" {
+			if !res.Failed() || !strings.Contains(res.Err, "injected cell crash") {
+				t.Fatalf("panicking cell not captured: %+v", res.Err)
+			}
+		} else {
+			if res.Failed() {
+				t.Fatalf("healthy cell %s failed: %s", res.Spec.Key(), res.Err)
+			}
+			if res.Report.Jobs == 0 {
+				t.Fatalf("healthy cell %s has empty report", res.Spec.Key())
+			}
+		}
+	}
+	if sweep.Err() == nil {
+		t.Fatal("Err() must surface the first failed cell")
+	}
+}
+
+func TestErrorIsolation(t *testing.T) {
+	specs := tinyGrid(t)[:2]
+	bad := specs[0]
+	bad.Mechanism = "NOPE&NOPE"
+	sweep := Run(append([]Spec{bad}, specs...), Options{Workers: 2})
+	if sweep.Failed() != 1 {
+		t.Fatalf("failed = %d, want 1", sweep.Failed())
+	}
+	if !sweep.Results[0].Failed() {
+		t.Fatal("unknown mechanism must fail its own cell")
+	}
+	if sweep.Results[1].Failed() || sweep.Results[2].Failed() {
+		t.Fatal("healthy cells must complete despite a failing sibling")
+	}
+}
+
+func TestTraceCacheSharesRecords(t *testing.T) {
+	cache := newTraceCache(true)
+	cfg := workload.Config{Seed: 7, Nodes: 512, Weeks: 1,
+		MinJobSize:  16,
+		SizeBuckets: []int{16, 64},
+		SizeWeights: []float64{0.5, 0.5},
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := cache.get(cfg); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	a, err := cache.get(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := cache.get(cfg)
+	if cache.gens != 1 {
+		t.Fatalf("generator ran %d times for one config, want 1", cache.gens)
+	}
+	if len(a) == 0 || &a[0] != &b[0] {
+		t.Fatal("cache must hand out the same shared record slice")
+	}
+	// A different seed is a different trace.
+	cfg2 := cfg
+	cfg2.Seed = 8
+	if _, err := cache.get(cfg2); err != nil {
+		t.Fatal(err)
+	}
+	if cache.gens != 2 {
+		t.Fatalf("generator ran %d times for two configs, want 2", cache.gens)
+	}
+}
+
+func TestTraceCachePanicPoisonsEntry(t *testing.T) {
+	// A generator panic must fail every cell sharing the trace, not hand
+	// silent nil records to the siblings that arrive after the sync.Once.
+	generate = func(workload.Config) ([]trace.Record, error) { panic("generator crash") }
+	defer func() { generate = workload.Generate }()
+	cache := newTraceCache(true)
+	cfg := workload.Config{Seed: 7, Nodes: 512, Weeks: 1,
+		MinJobSize:  16,
+		SizeBuckets: []int{16, 64},
+		SizeWeights: []float64{0.5, 0.5},
+	}
+	for i := 0; i < 2; i++ {
+		recs, err := cache.get(cfg)
+		if err == nil || !strings.Contains(err.Error(), "generator crash") || recs != nil {
+			t.Fatalf("call %d: poisoned entry returned (%d records, %v), want generator-crash error", i, len(recs), err)
+		}
+	}
+}
+
+func TestNoTraceCacheRegenerates(t *testing.T) {
+	cache := newTraceCache(false)
+	cfg := workload.Config{Seed: 7, Nodes: 512, Weeks: 1,
+		MinJobSize:  16,
+		SizeBuckets: []int{16, 64},
+		SizeWeights: []float64{0.5, 0.5},
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := cache.get(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cache.gens != 3 {
+		t.Fatalf("disabled cache generated %d times, want 3", cache.gens)
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	a := DeriveSeed("fig6", "W2", "CUA&SPAA")
+	if a <= 0 {
+		t.Fatalf("seed must be positive, got %d", a)
+	}
+	if b := DeriveSeed("fig6", "W2", "CUA&SPAA"); b != a {
+		t.Fatalf("unstable: %d vs %d", a, b)
+	}
+	if b := DeriveSeed("fig6", "W2", "CUA&PAA"); b == a {
+		t.Fatal("different coordinates must derive different seeds")
+	}
+	// The separator keeps part boundaries significant.
+	if DeriveSeed("ab", "c") == DeriveSeed("a", "bc") {
+		t.Fatal("part boundaries must matter")
+	}
+}
+
+func TestSpecDefaults(t *testing.T) {
+	s := Spec{Group: "g", Variant: "v"}.withDefaults()
+	if s.Mechanism != "CUA&SPAA" || s.Policy != "fcfs" || s.Nodes != 4392 {
+		t.Fatalf("defaults wrong: %+v", s)
+	}
+	if s.Workload.Seed == 0 {
+		t.Fatal("zero seed must be derived from coordinates")
+	}
+	if s.Workload.Seed != DeriveSeed("g", "v", "CUA&SPAA") {
+		t.Fatal("derived seed must come from the cell coordinates")
+	}
+	if s.MTBF == 0 || s.CkptFreqMult != 1.0 {
+		t.Fatalf("knob defaults wrong: %+v", s)
+	}
+	// Workload.Nodes implies Spec.Nodes.
+	s2 := Spec{Workload: workload.Config{Nodes: 512}}.withDefaults()
+	if s2.Nodes != 512 {
+		t.Fatalf("Nodes = %d, want 512 from workload config", s2.Nodes)
+	}
+}
+
+func TestEmitters(t *testing.T) {
+	specs := tinyGrid(t)[:2]
+	sweep := Run(specs, Options{Workers: 2})
+	if err := sweep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	j, c := serialize(t, sweep)
+	if !strings.Contains(j, `"mechanism": "baseline"`) {
+		t.Fatalf("JSON missing mechanism field:\n%s", j)
+	}
+	if strings.Contains(j, "elapsed") || strings.Contains(j, "decision") {
+		t.Fatal("JSON must exclude wall-clock fields")
+	}
+	lines := strings.Split(strings.TrimSpace(c), "\n")
+	if len(lines) != 1+len(specs) {
+		t.Fatalf("CSV has %d lines, want header + %d rows", len(lines), len(specs))
+	}
+	if !strings.HasPrefix(lines[0], "group,variant,mechanism,policy,seed,nodes") {
+		t.Fatalf("CSV header wrong: %s", lines[0])
+	}
+	rows := sweep.Rows()
+	if rows[0].Jobs == 0 || rows[0].Util <= 0 || rows[0].Util > 1 {
+		t.Fatalf("row metrics wrong: %+v", rows[0])
+	}
+}
+
+func TestProgressOutput(t *testing.T) {
+	var buf bytes.Buffer
+	sweep := Run(tinyGrid(t)[:2], Options{Workers: 2, Progress: &buf})
+	if err := sweep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "[1/2]") || !strings.Contains(out, "[2/2]") {
+		t.Fatalf("progress missing per-cell lines:\n%s", out)
+	}
+	if !strings.Contains(out, "2 cells (0 failed)") || !strings.Contains(out, "2 workers") {
+		t.Fatalf("progress missing summary:\n%s", out)
+	}
+}
+
+func TestEmptySweep(t *testing.T) {
+	sweep := Run(nil, Options{Workers: 4})
+	if len(sweep.Results) != 0 || sweep.Err() != nil || sweep.Failed() != 0 {
+		t.Fatalf("empty sweep wrong: %+v", sweep)
+	}
+	var c bytes.Buffer
+	if err := sweep.WriteCSV(&c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(c.String(), "group,") {
+		t.Fatal("empty CSV must still carry the header")
+	}
+}

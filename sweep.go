@@ -1,0 +1,91 @@
+package hybridsched
+
+import (
+	"io"
+
+	"hybridsched/internal/core"
+	"hybridsched/internal/runner"
+)
+
+// SweepSpec is one cell of a sweep grid: a workload to generate (or reuse —
+// identical workload configs share one generated trace) and a simulation
+// configuration to replay it under. Label tags the cell in progress lines
+// and serialized output.
+type SweepSpec struct {
+	Label    string
+	Workload WorkloadConfig
+	Sim      SimulationConfig
+}
+
+// SweepResult is the structured outcome of one sweep cell. Err is non-empty
+// when the cell failed (including a panic inside the simulator); failures
+// are isolated and never abort the rest of the sweep.
+type SweepResult struct {
+	Spec   SweepSpec
+	Report Report
+	Err    string
+}
+
+// SweepOptions control sweep execution; they affect speed and reporting,
+// never results.
+type SweepOptions struct {
+	// Workers bounds the goroutine pool; <= 0 means runtime.NumCPU().
+	Workers int
+	// Progress receives one line per completed cell plus a wall-clock
+	// summary (nil = quiet).
+	Progress io.Writer
+}
+
+// SweepReport is a completed sweep: one SweepResult per SweepSpec, in grid
+// order regardless of worker count or completion order.
+type SweepReport struct {
+	Results []SweepResult
+
+	sweep runner.Sweep
+}
+
+// WriteJSON serializes the sweep as an indented JSON array, one object per
+// cell in grid order. Wall-clock measurements are excluded, so output is
+// byte-identical across machines and worker counts.
+func (r *SweepReport) WriteJSON(w io.Writer) error { return r.sweep.WriteJSON(w) }
+
+// WriteCSV serializes the sweep as CSV, one row per cell in grid order, with
+// the same determinism guarantee as WriteJSON.
+func (r *SweepReport) WriteCSV(w io.Writer) error { return r.sweep.WriteCSV(w) }
+
+// RunSweep executes every cell of the grid across a bounded worker pool. The
+// grid is deterministic: results arrive in grid order and are bit-identical
+// for any Workers value. A failing or panicking cell is reported in its
+// SweepResult (and in the returned error, which wraps the first failure)
+// while the rest of the sweep completes.
+func RunSweep(specs []SweepSpec, opt SweepOptions) (*SweepReport, error) {
+	rspecs := make([]runner.Spec, len(specs))
+	for i, s := range specs {
+		cfg := s.Sim.withDefaults()
+		ccfg := core.DefaultConfig()
+		ccfg.DirectedReturn = !cfg.NoDirectedReturn
+		ccfg.BackfillReserved = cfg.BackfillReserved
+		if cfg.ReleaseThresholdSeconds != 0 {
+			ccfg.ReleaseThreshold = cfg.ReleaseThresholdSeconds
+		}
+		rspecs[i] = runner.Spec{
+			Group:            "sweep",
+			Variant:          s.Label,
+			Mechanism:        cfg.Mechanism,
+			Policy:           cfg.Policy,
+			Nodes:            cfg.Nodes,
+			Workload:         s.Workload,
+			Core:             ccfg,
+			MTBF:             cfg.MTBF,
+			CkptFreqMult:     cfg.CheckpointFreqMult,
+			BackfillReserved: cfg.BackfillReserved,
+			Validate:         cfg.Validate,
+		}
+	}
+	sweep := runner.Run(rspecs, runner.Options{Workers: opt.Workers, Progress: opt.Progress})
+	rep := &SweepReport{sweep: sweep, Results: make([]SweepResult, len(sweep.Results))}
+	for i, res := range sweep.Results {
+		rep.Results[i] = SweepResult{Spec: specs[i], Report: res.Report, Err: res.Err}
+	}
+	return rep, sweep.Err()
+}

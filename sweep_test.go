@@ -1,0 +1,111 @@
+package hybridsched
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// sweepGrid is a small mechanism × seed grid on a 512-node, one-week system.
+func sweepGrid() []SweepSpec {
+	var specs []SweepSpec
+	for _, mech := range []string{"baseline", "CUA&SPAA"} {
+		for seed := int64(1); seed <= 2; seed++ {
+			specs = append(specs, SweepSpec{
+				Label: mech,
+				Workload: WorkloadConfig{
+					Seed: seed, Nodes: 512, Weeks: 1,
+					MinJobSize:  16,
+					SizeBuckets: []int{16, 32, 64, 128},
+					SizeWeights: []float64{0.4, 0.3, 0.2, 0.1},
+				},
+				Sim: SimulationConfig{Nodes: 512, Mechanism: mech},
+			})
+		}
+	}
+	return specs
+}
+
+func TestRunSweepDeterministicAcrossWorkers(t *testing.T) {
+	specs := sweepGrid()
+	serialize := func(workers int) (string, string) {
+		rep, err := RunSweep(specs, SweepOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var j, c bytes.Buffer
+		if err := rep.WriteJSON(&j); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.WriteCSV(&c); err != nil {
+			t.Fatal(err)
+		}
+		return j.String(), c.String()
+	}
+	j1, c1 := serialize(1)
+	j8, c8 := serialize(8)
+	if j1 != j8 {
+		t.Fatal("workers=8 JSON differs from workers=1")
+	}
+	if c1 != c8 {
+		t.Fatal("workers=8 CSV differs from workers=1")
+	}
+	if !strings.Contains(c1, "CUA&SPAA") {
+		t.Fatalf("CSV missing mechanism rows:\n%s", c1)
+	}
+}
+
+func TestRunSweepResultsInGridOrder(t *testing.T) {
+	specs := sweepGrid()
+	rep, err := RunSweep(specs, SweepOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != len(specs) {
+		t.Fatalf("results %d, want %d", len(rep.Results), len(specs))
+	}
+	for i, res := range rep.Results {
+		if res.Spec.Label != specs[i].Label || res.Spec.Workload.Seed != specs[i].Workload.Seed {
+			t.Fatalf("result %d out of grid order: %+v", i, res.Spec)
+		}
+		if res.Err != "" {
+			t.Fatalf("cell %d failed: %s", i, res.Err)
+		}
+		if res.Report.Jobs == 0 {
+			t.Fatalf("cell %d has empty report", i)
+		}
+	}
+}
+
+func TestRunSweepIsolatesFailures(t *testing.T) {
+	specs := sweepGrid()[:2]
+	bad := specs[0]
+	bad.Sim.Mechanism = "NOPE"
+	rep, err := RunSweep([]SweepSpec{bad, specs[0], specs[1]}, SweepOptions{Workers: 2})
+	if err == nil {
+		t.Fatal("error must wrap the first failed cell")
+	}
+	if rep == nil || len(rep.Results) != 3 {
+		t.Fatal("partial results must still be returned")
+	}
+	if rep.Results[0].Err == "" {
+		t.Fatal("bad cell must carry its error")
+	}
+	if rep.Results[1].Err != "" || rep.Results[2].Err != "" {
+		t.Fatal("healthy cells must complete despite a failing sibling")
+	}
+}
+
+func TestRunSweepHonorsNoDirectedReturn(t *testing.T) {
+	// The flag must survive the spec translation even when every other core
+	// knob is left at its zero value.
+	spec := sweepGrid()[3]
+	spec.Sim.NoDirectedReturn = true
+	rep, err := RunSweep([]SweepSpec{spec}, SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results[0].Report.Jobs == 0 {
+		t.Fatal("empty report")
+	}
+}
