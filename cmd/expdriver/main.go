@@ -27,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"hybridsched"
 	"hybridsched/internal/exp"
 )
 
@@ -38,12 +39,21 @@ func main() {
 		weeks    = flag.Int("weeks", 4, "trace length in weeks")
 		nodes    = flag.Int("nodes", 4392, "system size in nodes")
 		baseSeed = flag.Int64("seed", 1, "first seed")
+		pol      = flag.String("policy", "fcfs", "queue policy: fcfs, sjf, ljf, wfp3, or a registered name")
 		workers  = flag.Int("workers", 0, "parallel sweep workers (0 = all CPU cores)")
 		format   = flag.String("format", "text", "output format: text, json, csv")
 		out      = flag.String("o", "", "output file (default stdout)")
 		quiet    = flag.Bool("q", false, "suppress progress messages")
 	)
 	flag.Parse()
+
+	// Validate the policy against the registry before any experiment runs:
+	// a bad name must not cost a paper-scale sweep before erroring.
+	if validPols := hybridsched.PolicyNames(); !slices.Contains(validPols, *pol) {
+		fmt.Fprintf(os.Stderr, "expdriver: unknown policy %q (valid: %s)\n",
+			*pol, strings.Join(validPols, ", "))
+		os.Exit(2)
+	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -59,6 +69,7 @@ func main() {
 		Weeks:    *weeks,
 		Seeds:    *seeds,
 		BaseSeed: *baseSeed,
+		Policy:   *pol,
 		Workers:  *workers,
 	}
 	if !*quiet {

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 	"strings"
 
 	"hybridsched"
@@ -26,9 +27,9 @@ func main() {
 	var (
 		tracePath = flag.String("trace", "", "input trace (empty: generate synthetically)")
 		format    = flag.String("format", "csv", "trace format: csv or swf")
-		mech      = flag.String("mech", "CUA&SPAA", "scheduler: baseline, N&PAA, N&SPAA, CUA&PAA, CUA&SPAA, CUP&PAA, CUP&SPAA")
+		mech      = flag.String("mech", "CUA&SPAA", "scheduler: baseline, the six paper mechanisms (e.g. CUA&SPAA), or a registered name")
 		mechs     = flag.String("mechs", "", "sweep schedulers: comma-separated names or \"all\" (overrides -mech)")
-		pol       = flag.String("policy", "fcfs", "queue policy: fcfs, sjf, ljf, wfp3")
+		pol       = flag.String("policy", "fcfs", "queue policy: fcfs, sjf, ljf, wfp3, or a registered name")
 		nodes     = flag.Int("nodes", 4392, "system size in nodes")
 		seed      = flag.Int64("seed", 1, "first workload seed when generating")
 		seeds     = flag.Int("seeds", 1, "seeds per mechanism when generating (sweep mode)")
@@ -60,10 +61,23 @@ func main() {
 			for i := range mechList {
 				mechList[i] = strings.TrimSpace(mechList[i])
 				if mechList[i] == "" {
-					fatal(fmt.Errorf("empty mechanism name in -mechs %q", *mechs))
+					fatalUsage(fmt.Errorf("empty mechanism name in -mechs %q", *mechs))
 				}
 			}
 		}
+	}
+	// Validate scheduler and policy names against the registries up front: a
+	// bad name must not cost a full trace generation before erroring.
+	validMechs := hybridsched.SchedulerNames()
+	for _, m := range mechList {
+		if !slices.Contains(validMechs, m) {
+			fatalUsage(fmt.Errorf("unknown scheduler %q (valid: %s)",
+				m, strings.Join(validMechs, ", ")))
+		}
+	}
+	if validPols := hybridsched.PolicyNames(); !slices.Contains(validPols, *pol) {
+		fatalUsage(fmt.Errorf("unknown policy %q (valid: %s)",
+			*pol, strings.Join(validPols, ", ")))
 	}
 	simCfg := func(m string) hybridsched.SimulationConfig {
 		return hybridsched.SimulationConfig{
@@ -180,4 +194,11 @@ func printReport(mech, pol string, rep hybridsched.Report) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "hybridsim:", err)
 	os.Exit(1)
+}
+
+// fatalUsage reports a bad flag value and exits 2, the conventional
+// usage-error status, before any expensive work has been done.
+func fatalUsage(err error) {
+	fmt.Fprintln(os.Stderr, "hybridsim:", err)
+	os.Exit(2)
 }

@@ -16,12 +16,53 @@
 // trace, and the experiment drivers that regenerate every table and figure
 // of the paper's evaluation.
 //
-// # Quick start
+// # Sessions
+//
+// The primary entry point is the Session: an incremental, observable
+// simulation whose lifecycle is construct → observe → submit/step →
+// snapshot → report.
+//
+//	s, _ := hybridsched.NewSession(
+//		hybridsched.WithMechanism("CUA&SPAA"),
+//		hybridsched.WithNodes(512),
+//	)
+//	events := s.Events()          // typed scheduling-event stream
+//	for _, r := range records {
+//		s.Submit(r)           // jobs may also arrive mid-run
+//	}
+//	s.RunUntil(24 * hybridsched.Hour)
+//	snap := s.Snapshot()          // live cluster/queue/metrics state
+//	report, _ := s.Run()          // drain to completion
+//
+// Jobs can be submitted at any virtual time — including while the
+// simulation runs, the online-scheduling scenario the paper's on-demand
+// class models — and Observers (or the channel adapter Events) see every
+// arrival, notice, start, end, warning, preemption, shrink, expand, and
+// checkpoint rollback as it happens.
+//
+// # Batch simulation and migration
+//
+// Simulate remains the one-call batch entry point:
 //
 //	records, _ := hybridsched.GenerateWorkload(hybridsched.WorkloadConfig{Seed: 1, Weeks: 1})
 //	report, _ := hybridsched.Simulate(hybridsched.SimulationConfig{Mechanism: "CUA&SPAA"}, records)
 //	fmt.Printf("utilization %.1f%%, instant starts %.1f%%\n",
 //		100*report.Utilization, 100*report.InstantStartRate)
+//
+// Simulate is a thin wrapper over a Session (construct, pre-submit every
+// record, Run), so both paths produce identical reports; callers with valid
+// traces need no changes (records are now validated on submission — see
+// Simulate). Code that wants live observation, mid-run submission, or
+// periodic snapshots should migrate to NewSession — Simulate(cfg, records)
+// is exactly NewSession(WithConfig(cfg)) + Submit loop + Run().
+//
+// # Extension points
+//
+// Scheduling logic and queue orderings are pluggable by name:
+// RegisterScheduler adds a user-defined Scheduler (the public face of the
+// engine's mechanism interface; embed Baseline for no-op defaults) and
+// RegisterPolicy adds a QueuePolicy. Registered names work everywhere
+// built-ins do: Simulate, NewSession, RunSweep, and the CLI tools.
 //
 // # Sweeps
 //
@@ -31,20 +72,16 @@
 // any worker count, identical workload configs share one generated trace,
 // and a failing cell never aborts its siblings.
 //
-// See examples/ for runnable scenarios and cmd/ for the CLI tools.
+// See examples/ for runnable scenarios (examples/livedashboard drives a
+// Session) and cmd/ for the CLI tools.
 package hybridsched
 
 import (
-	"fmt"
 	"io"
 
-	"hybridsched/internal/checkpoint"
-	"hybridsched/internal/core"
 	"hybridsched/internal/exp"
 	"hybridsched/internal/job"
 	"hybridsched/internal/metrics"
-	"hybridsched/internal/policy"
-	"hybridsched/internal/sim"
 	"hybridsched/internal/simtime"
 	"hybridsched/internal/trace"
 	"hybridsched/internal/workload"
@@ -106,9 +143,10 @@ func MixByName(name string) (NoticeMix, error) { return workload.MixByName(name)
 // ExperimentOptions scale the paper-reproduction experiment drivers.
 type ExperimentOptions = exp.Options
 
-// Mechanisms returns the available scheduler names: "baseline" (plain
+// Mechanisms returns the built-in scheduler names: "baseline" (plain
 // FCFS/EASY, Table II) plus the paper's six mechanisms in order
 // ("N&PAA", "N&SPAA", "CUA&PAA", "CUA&SPAA", "CUP&PAA", "CUP&SPAA").
+// SchedulerNames additionally includes user-registered schedulers.
 func Mechanisms() []string { return exp.Mechanisms() }
 
 // SimulationConfig selects the scheduler and system model for Simulate.
@@ -123,7 +161,10 @@ type SimulationConfig struct {
 	// Daly's optimal checkpoint interval for rigid jobs (default 24 h).
 	MTBF float64
 	// CheckpointFreqMult scales the checkpoint interval around the Daly
-	// optimum: 0.5 checkpoints twice as often (Fig. 7). Default 1.0.
+	// optimum: 0.5 checkpoints twice as often (Fig. 7). Zero takes the
+	// default 1.0; a negative value expresses an explicit zero (defensive
+	// checkpointing disabled). The Session option WithCheckpointFreqMult
+	// expresses zero directly.
 	CheckpointFreqMult float64
 	// BackfillReserved lets backfill jobs run on reserved nodes and be
 	// preempted on the on-demand arrival (paper §III-B.1 option).
@@ -132,7 +173,10 @@ type SimulationConfig struct {
 	// returned nodes drop into the common pool instead.
 	NoDirectedReturn bool
 	// ReleaseThresholdSeconds holds reserved nodes for a no-show on-demand
-	// job this long past its estimated arrival (default 600 s).
+	// job this long past its estimated arrival. Zero takes the default
+	// 600 s; a negative value expresses an explicit zero-second threshold
+	// (release the instant the estimated arrival passes). The Session
+	// option WithReleaseThreshold expresses zero directly.
 	ReleaseThresholdSeconds int64
 	// Validate checks the cluster partition invariant after every event
 	// (for tests; slows long runs down).
@@ -152,8 +196,13 @@ func (c SimulationConfig) withDefaults() SimulationConfig {
 	if c.MTBF == 0 {
 		c.MTBF = 24 * float64(simtime.Hour)
 	}
+	// Zero-ish knobs use a negative sentinel for an explicitly-set zero, so
+	// "checkpoint never" and "release reservations immediately" stay
+	// expressible (the zero value still means "paper default").
 	if c.CheckpointFreqMult == 0 {
 		c.CheckpointFreqMult = 1.0
+	} else if c.CheckpointFreqMult < 0 {
+		c.CheckpointFreqMult = 0
 	}
 	return c
 }
@@ -165,39 +214,25 @@ func GenerateWorkload(cfg WorkloadConfig) ([]Record, error) {
 }
 
 // Simulate replays records under cfg and returns the measurement report.
+//
+// It is a thin wrapper over the Session API — NewSession with the same
+// configuration, every record pre-submitted, and Run — and produces reports
+// identical to the incremental path. Records are now validated on
+// submission (see Session.Submit): malformed records that earlier versions
+// silently accepted fail fast with a descriptive error. New code that needs
+// mid-run observation, online submission, or custom schedulers should use
+// NewSession directly; Simulate remains the one-call batch entry point.
 func Simulate(cfg SimulationConfig, records []Record) (Report, error) {
-	cfg = cfg.withDefaults()
-	ord := policy.ByName(cfg.Policy)
-	if ord == nil {
-		return Report{}, fmt.Errorf("hybridsched: unknown policy %q", cfg.Policy)
-	}
-	jobs := trace.Materialize(records, func(size int) checkpoint.Plan {
-		return checkpoint.NewPlan(size, cfg.MTBF, cfg.CheckpointFreqMult)
-	})
-	var mech sim.Mechanism
-	if cfg.Mechanism == "baseline" {
-		mech = sim.Baseline{}
-	} else {
-		m, err := core.ByName(cfg.Mechanism, core.Config{
-			ReleaseThreshold: cfg.ReleaseThresholdSeconds,
-			DirectedReturn:   !cfg.NoDirectedReturn,
-			BackfillReserved: cfg.BackfillReserved,
-		})
-		if err != nil {
-			return Report{}, err
-		}
-		mech = m
-	}
-	engine, err := sim.New(sim.Config{
-		Nodes:            cfg.Nodes,
-		Policy:           ord,
-		BackfillReserved: cfg.BackfillReserved,
-		Validate:         cfg.Validate,
-	}, jobs, mech)
+	s, err := NewSession(WithConfig(cfg))
 	if err != nil {
 		return Report{}, err
 	}
-	return engine.Run()
+	for _, r := range records {
+		if err := s.Submit(r); err != nil {
+			return Report{}, err
+		}
+	}
+	return s.Run()
 }
 
 // ReadTraceCSV parses a trace in the native CSV schema.

@@ -76,7 +76,9 @@ func (k ArrivalKind) String() string {
 // Config tunes mechanism behaviour; zero values take the paper's defaults.
 type Config struct {
 	// ReleaseThreshold is how long after the estimated arrival reserved
-	// nodes are held for a no-show (paper §IV-B: 10 minutes).
+	// nodes are held for a no-show (paper §IV-B: 10 minutes). Zero takes the
+	// default; a negative value expresses an explicit zero-second threshold
+	// (release the instant the estimated arrival passes).
 	ReleaseThreshold int64
 	// DirectedReturn holds returned lease nodes for a still-waiting
 	// preempted lender instead of dropping them in the common pool
@@ -91,6 +93,8 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.ReleaseThreshold == 0 {
 		c.ReleaseThreshold = 10 * simtime.Minute
+	} else if c.ReleaseThreshold < 0 {
+		c.ReleaseThreshold = 0
 	}
 	return c
 }

@@ -1,0 +1,19 @@
+package core
+
+import (
+	"testing"
+
+	"hybridsched/internal/simtime"
+)
+
+func TestReleaseThresholdSentinel(t *testing.T) {
+	if got := (Config{}).withDefaults().ReleaseThreshold; got != 10*simtime.Minute {
+		t.Fatalf("zero value: threshold %d, want the 10-minute default", got)
+	}
+	if got := (Config{ReleaseThreshold: -1}).withDefaults().ReleaseThreshold; got != 0 {
+		t.Fatalf("negative sentinel: threshold %d, want explicit 0", got)
+	}
+	if got := (Config{ReleaseThreshold: 42}).withDefaults().ReleaseThreshold; got != 42 {
+		t.Fatalf("explicit value: threshold %d, want 42", got)
+	}
+}

@@ -61,15 +61,22 @@ func NewCollector(nodes int) *Collector {
 }
 
 // NoteSubmit opens (or extends) the observation window at the first
-// submission instant.
+// submission instant. Incremental sessions call it once per submission, in
+// any order; the window start tracks the minimum.
 func (c *Collector) NoteSubmit(t int64) {
-	if !c.haveWindow || t < c.winStart {
-		if !c.haveWindow {
-			c.winEnd = t
+	if !c.haveWindow {
+		c.winStart, c.winEnd, c.lastResTime = t, t, t
+		c.haveWindow = true
+		return
+	}
+	if t < c.winStart {
+		c.winStart = t
+		// Before any reservation has been observed the idle integral is
+		// empty, so the integration origin moves back with the window; this
+		// keeps out-of-order pre-run submissions equivalent to a batch load.
+		if c.lastReserved == 0 && c.reservedIdleNS == 0 && t < c.lastResTime {
 			c.lastResTime = t
 		}
-		c.winStart = t
-		c.haveWindow = true
 	}
 }
 
@@ -127,6 +134,47 @@ func (c *Collector) NoteDecision(d time.Duration) {
 // Results returns the recorded per-job outcomes (shared slice; do not
 // modify).
 func (c *Collector) Results() []JobResult { return c.results }
+
+// Snapshot is a point-in-time view of the ledger for live observation,
+// taken without disturbing the collector. The reserved-idle integral is
+// closed exactly at the snapshot instant. Usage — and the Utilization
+// derived from it — covers finalized incarnations only: in-flight execution
+// is charged when a job completes or is preempted, so early in a run
+// Utilization lags the instantaneous busy fraction and converges as jobs
+// finish (compare against the cluster's busy-node count for a live
+// occupancy figure).
+type Snapshot struct {
+	Now         int64
+	WindowStart int64 // first submission seen (0 if none yet)
+	Completed   int   // jobs completed so far
+
+	Usage                   job.Usage // node-second ledger so far
+	ReservedIdleNodeSeconds int64
+
+	// Utilization is the paper's definition — (useful + setup + checkpoint)
+	// node-seconds over the window start..Now — accrued from completed and
+	// preempted incarnations (running jobs contribute at finalization).
+	Utilization float64
+}
+
+// Snapshot returns the live measurements as of virtual time now. It never
+// mutates the collector, so interleaving snapshots with a run is safe.
+func (c *Collector) Snapshot(now int64) Snapshot {
+	s := Snapshot{Now: now, Completed: len(c.results), Usage: c.usage,
+		ReservedIdleNodeSeconds: c.reservedIdleNS}
+	if !c.haveWindow {
+		return s
+	}
+	s.WindowStart = c.winStart
+	if now > c.lastResTime {
+		s.ReservedIdleNodeSeconds += int64(c.lastReserved) * (now - c.lastResTime)
+	}
+	if total := float64(c.nodes) * float64(now-c.winStart); total > 0 {
+		s.Utilization = (float64(c.usage.Useful) + float64(c.usage.Setup) +
+			float64(c.usage.Ckpt)) / total
+	}
+	return s
+}
 
 // ClassStats summarizes turnaround for one job class.
 type ClassStats struct {

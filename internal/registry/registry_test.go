@@ -1,0 +1,123 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+
+	"hybridsched/internal/job"
+	"hybridsched/internal/policy"
+	"hybridsched/internal/sim"
+)
+
+func TestBuiltinsResolve(t *testing.T) {
+	for _, name := range []string{"baseline", "N&PAA", "N&SPAA", "CUA&PAA", "CUA&SPAA", "CUP&PAA", "CUP&SPAA"} {
+		m, err := NewScheduler(name, SchedulerConfig{DirectedReturn: true})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m == nil {
+			t.Fatalf("%s: nil mechanism", name)
+		}
+	}
+	for _, name := range []string{"", "fcfs", "sjf", "ljf", "wfp3"} {
+		if PolicyByName(name) == nil {
+			t.Fatalf("builtin policy %q did not resolve", name)
+		}
+	}
+}
+
+func TestUnknownSchedulerListsValidNames(t *testing.T) {
+	_, err := NewScheduler("nope", SchedulerConfig{})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "CUA&SPAA") || !strings.Contains(err.Error(), "baseline") {
+		t.Fatalf("error does not list valid names: %v", err)
+	}
+}
+
+type namedBaseline struct {
+	sim.Baseline
+	name string
+}
+
+func (m namedBaseline) Name() string { return m.name }
+
+func TestRegisterSchedulerRules(t *testing.T) {
+	factory := func(SchedulerConfig) (sim.Mechanism, error) {
+		return namedBaseline{name: "reg-test"}, nil
+	}
+	if err := RegisterScheduler("", factory); err == nil {
+		t.Fatal("empty name must fail")
+	}
+	if err := RegisterScheduler("reg-test", nil); err == nil {
+		t.Fatal("nil factory must fail")
+	}
+	if err := RegisterScheduler("CUA&SPAA", factory); err == nil {
+		t.Fatal("built-in collision must fail")
+	}
+	// The registry is process-global and append-only, so under -count=N the
+	// name persists from the previous run; only an unexpected error fails.
+	if err := RegisterScheduler("reg-test", factory); err != nil &&
+		!strings.Contains(err.Error(), "already registered") {
+		t.Fatal(err)
+	}
+	if err := RegisterScheduler("reg-test", factory); err == nil {
+		t.Fatal("duplicate must fail")
+	}
+	m, err := NewScheduler("reg-test", SchedulerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "reg-test" {
+		t.Fatalf("resolved wrong mechanism %q", m.Name())
+	}
+	names := SchedulerNames()
+	if names[0] != "baseline" || names[len(names)-1] < "reg-test" {
+		t.Fatalf("SchedulerNames order unexpected: %v", names)
+	}
+}
+
+type sizePolicy struct{}
+
+func (sizePolicy) Name() string                     { return "reg-size" }
+func (sizePolicy) Less(a, b *job.Job, _ int64) bool { return a.Size < b.Size }
+
+func TestRegisterPolicyRules(t *testing.T) {
+	if err := RegisterPolicy(nil); err == nil {
+		t.Fatal("nil policy must fail")
+	}
+	if err := RegisterPolicy(policy.FCFS{}); err == nil {
+		t.Fatal("built-in collision must fail")
+	}
+	if err := RegisterPolicy(sizePolicy{}); err != nil &&
+		!strings.Contains(err.Error(), "already registered") {
+		t.Fatal(err)
+	}
+	if err := RegisterPolicy(sizePolicy{}); err == nil {
+		t.Fatal("duplicate must fail")
+	}
+	if PolicyByName("reg-size") == nil {
+		t.Fatal("registered policy did not resolve")
+	}
+	found := false
+	for _, n := range PolicyNames() {
+		if n == "reg-size" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("reg-size missing from PolicyNames() = %v", PolicyNames())
+	}
+}
+
+func TestExplicitZeroReleaseThresholdReachesCore(t *testing.T) {
+	// The negative sentinel must flow through to a zero-second hold; the
+	// zero value must keep the paper default. Both resolve through the same
+	// built-in path Simulate and the sweep runner use.
+	for _, name := range []string{"CUA&SPAA", "CUP&PAA"} {
+		if _, err := NewScheduler(name, SchedulerConfig{ReleaseThreshold: -1, DirectedReturn: true}); err != nil {
+			t.Fatalf("%s with explicit-zero threshold: %v", name, err)
+		}
+	}
+}

@@ -34,7 +34,7 @@ import (
 	"hybridsched/internal/checkpoint"
 	"hybridsched/internal/core"
 	"hybridsched/internal/metrics"
-	"hybridsched/internal/policy"
+	"hybridsched/internal/registry"
 	"hybridsched/internal/sim"
 	"hybridsched/internal/simtime"
 	"hybridsched/internal/trace"
@@ -53,9 +53,11 @@ type Spec struct {
 	Group   string `json:"group,omitempty"`
 	Variant string `json:"variant,omitempty"`
 
-	// Mechanism is "baseline" or one of the six core mechanism names.
+	// Mechanism is "baseline", one of the six core mechanism names, or any
+	// scheduler registered with registry.RegisterScheduler.
 	Mechanism string `json:"mechanism"`
-	// Policy orders the waiting queue: fcfs (default), sjf, ljf, wfp3.
+	// Policy orders the waiting queue: fcfs (default), sjf, ljf, wfp3, or
+	// any ordering registered with registry.RegisterPolicy.
 	Policy string `json:"policy,omitempty"`
 	// Nodes is the simulated system size; 0 takes Workload.Nodes, then 4392.
 	Nodes int `json:"nodes,omitempty"`
@@ -111,6 +113,8 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.CkptFreqMult == 0 {
 		s.CkptFreqMult = 1.0
+	} else if s.CkptFreqMult < 0 {
+		s.CkptFreqMult = 0 // explicit zero: checkpointing disabled
 	}
 	return s
 }
@@ -288,20 +292,18 @@ func runOne(spec Spec, cache *traceCache) (res Result) {
 	jobs := trace.Materialize(recs, func(size int) checkpoint.Plan {
 		return checkpoint.NewPlan(size, s.MTBF, s.CkptFreqMult)
 	})
-	var mech sim.Mechanism
-	if s.Mechanism == "baseline" {
-		mech = sim.Baseline{}
-	} else {
-		m, err := core.ByName(s.Mechanism, s.Core)
-		if err != nil {
-			res.Err = err.Error()
-			return
-		}
-		mech = m
+	mech, err := registry.NewScheduler(s.Mechanism, registry.SchedulerConfig{
+		ReleaseThreshold: s.Core.ReleaseThreshold,
+		DirectedReturn:   s.Core.DirectedReturn,
+		BackfillReserved: s.Core.BackfillReserved,
+	})
+	if err != nil {
+		res.Err = err.Error()
+		return
 	}
-	ord := policy.ByName(s.Policy)
+	ord := registry.PolicyByName(s.Policy)
 	if ord == nil {
-		res.Err = fmt.Sprintf("unknown policy %q", s.Policy)
+		res.Err = fmt.Sprintf("unknown policy %q (valid: %v)", s.Policy, registry.PolicyNames())
 		return
 	}
 	engine, err := sim.New(sim.Config{

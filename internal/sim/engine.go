@@ -120,13 +120,79 @@ func (Baseline) OnODStarted(*job.Job) {}
 // OnTimer does nothing.
 func (Baseline) OnTimer(any) {}
 
+// EventType classifies the scheduling events an engine emits through its
+// event sink (see SetEventSink). The stream is the observable trace of one
+// run: every job arrival, notice, start, preemption, resize, and completion
+// appears exactly once, in dispatch order.
+type EventType int
+
+// The event vocabulary.
+const (
+	// EventArrival: a job was submitted and entered the system.
+	EventArrival EventType = iota
+	// EventNotice: an on-demand job's advance notice was received.
+	EventNotice
+	// EventStart: a job started (or restarted) on Nodes nodes.
+	EventStart
+	// EventEnd: a job completed; Nodes is the size it finished on.
+	EventEnd
+	// EventWarning: a malleable job entered its two-minute preemption warning.
+	EventWarning
+	// EventPreempt: a job involuntarily lost its Nodes nodes (immediate
+	// preemption or warning expiry) and re-entered the waiting queue.
+	EventPreempt
+	// EventShrink: a running malleable job released Nodes of its nodes.
+	EventShrink
+	// EventExpand: a running malleable job grew by Nodes nodes.
+	EventExpand
+	// EventCheckpoint: a preempted rigid job's progress was rolled back to
+	// its last completed defensive checkpoint.
+	EventCheckpoint
+)
+
+// String returns the lower-case event name.
+func (t EventType) String() string {
+	switch t {
+	case EventArrival:
+		return "arrival"
+	case EventNotice:
+		return "notice"
+	case EventStart:
+		return "start"
+	case EventEnd:
+		return "end"
+	case EventWarning:
+		return "warning"
+	case EventPreempt:
+		return "preempt"
+	case EventShrink:
+		return "shrink"
+	case EventExpand:
+		return "expand"
+	case EventCheckpoint:
+		return "checkpoint"
+	}
+	return fmt.Sprintf("event(%d)", int(t))
+}
+
+// Event is one typed scheduling event, emitted synchronously as the engine
+// processes the underlying state change.
+type Event struct {
+	Type  EventType
+	Time  int64     // virtual time of the event
+	Job   int       // job ID
+	Class job.Class // job class
+	Nodes int       // node count involved (job size, shrink/expand delta)
+}
+
 // squat records a backfilled job occupying nodes reserved for a claim.
 type squat struct {
 	claim int
 	nodes *nodeset.Set
 }
 
-// Engine is the simulator instance. Create with New, run with Run.
+// Engine is the simulator instance. Create with New. Run executes to
+// completion in one call; Step/Submit/AdvanceTo drive it incrementally.
 type Engine struct {
 	cfg  Config
 	mech Mechanism
@@ -147,6 +213,8 @@ type Engine struct {
 
 	schedPending bool
 	completed    int
+	primed       bool
+	sink         func(Event)
 
 	// BackfillReserved bookkeeping.
 	backfillable map[int]bool    // claims whose reservations may host squatters
@@ -216,6 +284,37 @@ func (e *Engine) Running() []*job.Job {
 	return out
 }
 
+// RunningAll returns every job currently holding nodes (Running or Warning,
+// all classes), sorted by ID. The slice is freshly allocated.
+func (e *Engine) RunningAll() []*job.Job {
+	out := make([]*job.Job, 0, len(e.running))
+	for _, j := range e.running {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// QueuedJobs returns the waiting queue in its current order. The slice is
+// freshly allocated.
+func (e *Engine) QueuedJobs() []*job.Job {
+	out := make([]*job.Job, len(e.queue))
+	copy(out, e.queue)
+	return out
+}
+
+// QueueDepth returns the number of jobs in the waiting queue.
+func (e *Engine) QueueDepth() int { return len(e.queue) }
+
+// Nodes returns the system size.
+func (e *Engine) Nodes() int { return e.cfg.Nodes }
+
+// SubmittedCount returns how many jobs have been registered with the engine.
+func (e *Engine) SubmittedCount() int { return len(e.jobs) }
+
+// CompletedCount returns how many jobs have completed.
+func (e *Engine) CompletedCount() int { return e.completed }
+
 // Queued reports whether job id is in the waiting queue.
 func (e *Engine) Queued(id int) bool { return e.inQueue[id] }
 
@@ -235,59 +334,171 @@ func (e *Engine) IsRunningOrWarning(id int) bool {
 	return ok
 }
 
-// Run executes the simulation to completion and returns the metrics report.
-func (e *Engine) Run() (metrics.Report, error) {
+// SetEventSink installs fn to receive every typed scheduling event the
+// engine processes, synchronously and in dispatch order. A nil fn disables
+// emission (the default). Set it before the first Step/Run.
+func (e *Engine) SetEventSink(fn func(Event)) { e.sink = fn }
+
+// emit delivers an event to the sink, if one is installed.
+func (e *Engine) emit(t EventType, j *job.Job, nodes int) {
+	if e.sink != nil {
+		e.sink(Event{Type: t, Time: e.clk, Job: j.ID, Class: j.Class, Nodes: nodes})
+	}
+}
+
+// prime schedules the arrival (and notice) events of every job registered
+// before the first Step and opens the metrics observation window at the
+// earliest submission. It runs exactly once, lazily.
+func (e *Engine) prime() {
+	if e.primed {
+		return
+	}
+	e.primed = true
 	if len(e.jobs) == 0 {
-		return e.met.Report(), nil
+		return
 	}
 	minSubmit := e.jobs[0].SubmitTime
 	for _, j := range e.jobs {
 		if j.SubmitTime < minSubmit {
 			minSubmit = j.SubmitTime
 		}
-		e.q.Push(j.SubmitTime, eventq.PrioArrive, evArrive{j})
-		if j.Class == job.OnDemand && j.NoticeTime < j.SubmitTime {
-			e.q.Push(j.NoticeTime, eventq.PrioNotice, evNotice{j})
-		}
+		e.pushArrival(j, false)
 	}
 	e.met.NoteSubmit(minSubmit)
 	// The clock stays at zero until the first event: all trace times are
 	// non-negative, and mechanism timers may have been scheduled at attach
 	// time, before the first submission.
+}
 
-	for {
-		ev := e.q.Pop()
-		if ev == nil {
-			if e.completed < len(e.jobs) {
-				if e.breakHoldDeadlock() {
-					continue
-				}
-				return e.met.Report(), fmt.Errorf("sim: stalled with %d/%d jobs incomplete at t=%d",
-					len(e.jobs)-e.completed, len(e.jobs), e.clk)
+// pushArrival schedules a job's arrival and (for noticed on-demand jobs) its
+// advance-notice event. With clamp set, a notice instant already in the past
+// fires immediately instead of violating clock monotonicity.
+func (e *Engine) pushArrival(j *job.Job, clamp bool) {
+	e.q.Push(j.SubmitTime, eventq.PrioArrive, evArrive{j})
+	if j.Class == job.OnDemand && j.NoticeTime < j.SubmitTime {
+		t := j.NoticeTime
+		if clamp && t < e.clk {
+			t = e.clk
+		}
+		e.q.Push(t, eventq.PrioNotice, evNotice{j})
+	}
+}
+
+// Submit registers an additional job with the engine. Before the first Step
+// the job simply joins the initial trace; after that it is injected into the
+// live event stream, so its submission time must not lie in the past. Job
+// IDs must be unique and sizes must fit the system.
+func (e *Engine) Submit(j *job.Job) error {
+	if j == nil {
+		return fmt.Errorf("sim: Submit of nil job")
+	}
+	if j.Size > e.cfg.Nodes {
+		return fmt.Errorf("sim: job %d size %d exceeds system %d", j.ID, j.Size, e.cfg.Nodes)
+	}
+	if _, dup := e.byID[j.ID]; dup {
+		return fmt.Errorf("sim: duplicate job ID %d", j.ID)
+	}
+	if e.primed && j.SubmitTime < e.clk {
+		return fmt.Errorf("sim: job %d submitted at t=%d, before the clock (t=%d)",
+			j.ID, j.SubmitTime, e.clk)
+	}
+	e.jobs = append(e.jobs, j)
+	e.byID[j.ID] = j
+	if e.primed {
+		e.met.NoteSubmit(j.SubmitTime)
+		e.pushArrival(j, true)
+	}
+	return nil
+}
+
+// Step processes the next pending event. It returns false when nothing is
+// left to do: every submitted job has completed (more jobs may still be
+// Submitted afterwards to continue the run). A drained event queue with
+// incomplete jobs is a stall: the engine first tries to dissolve reservation
+// hold deadlocks, then reports an error.
+func (e *Engine) Step() (bool, error) {
+	e.prime()
+	if e.err != nil {
+		return false, e.err
+	}
+	ev := e.q.Pop()
+	if ev == nil {
+		if e.completed < len(e.jobs) {
+			if e.breakHoldDeadlock() {
+				return true, nil
 			}
-			break
+			return false, fmt.Errorf("sim: stalled with %d/%d jobs incomplete at t=%d",
+				len(e.jobs)-e.completed, len(e.jobs), e.clk)
 		}
-		if ev.Time < e.clk {
-			return e.met.Report(), fmt.Errorf("sim: time went backwards (%d < %d)", ev.Time, e.clk)
-		}
-		if e.cfg.MaxSimTime > 0 && ev.Time > e.cfg.MaxSimTime {
-			return e.met.Report(), fmt.Errorf("sim: exceeded MaxSimTime at t=%d", ev.Time)
-		}
-		e.met.NoteReserved(ev.Time, e.cl.TotalReserved())
-		e.clk = ev.Time
-		e.dispatch(ev)
-		e.met.NoteReserved(e.clk, e.cl.TotalReserved())
-		if e.err != nil {
-			return e.met.Report(), e.err
-		}
-		if e.cfg.Validate {
-			if err := e.cl.CheckInvariant(); err != nil {
-				return e.met.Report(), fmt.Errorf("sim: after %T at t=%d: %w", ev.Payload, e.clk, err)
-			}
+		return false, nil
+	}
+	if ev.Time < e.clk {
+		return false, fmt.Errorf("sim: time went backwards (%d < %d)", ev.Time, e.clk)
+	}
+	if e.cfg.MaxSimTime > 0 && ev.Time > e.cfg.MaxSimTime {
+		return false, fmt.Errorf("sim: exceeded MaxSimTime at t=%d", ev.Time)
+	}
+	e.met.NoteReserved(ev.Time, e.cl.TotalReserved())
+	e.clk = ev.Time
+	e.dispatch(ev)
+	e.met.NoteReserved(e.clk, e.cl.TotalReserved())
+	if e.err != nil {
+		return false, e.err
+	}
+	if e.cfg.Validate {
+		if err := e.cl.CheckInvariant(); err != nil {
+			return false, fmt.Errorf("sim: after %T at t=%d: %w", ev.Payload, e.clk, err)
 		}
 	}
-	return e.met.Report(), nil
+	return true, nil
 }
+
+// PeekTime returns the virtual time of the next pending event, or false when
+// the queue is drained.
+func (e *Engine) PeekTime() (int64, bool) {
+	e.prime()
+	ev := e.q.Peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.Time, true
+}
+
+// AdvanceTo moves the virtual clock forward to t without processing events,
+// keeping the reserved-idle integral exact. It refuses to jump over pending
+// events: callers drain everything up to t (see Step/PeekTime) first.
+func (e *Engine) AdvanceTo(t int64) error {
+	e.prime()
+	if t <= e.clk {
+		return nil
+	}
+	if e.cfg.MaxSimTime > 0 && t > e.cfg.MaxSimTime {
+		return fmt.Errorf("sim: exceeded MaxSimTime at t=%d", t)
+	}
+	if ev := e.q.Peek(); ev != nil && ev.Time <= t {
+		return fmt.Errorf("sim: AdvanceTo(%d) would skip the event pending at t=%d", t, ev.Time)
+	}
+	e.met.NoteReserved(t, e.cl.TotalReserved())
+	e.clk = t
+	return nil
+}
+
+// Run executes the simulation to completion and returns the metrics report.
+func (e *Engine) Run() (metrics.Report, error) {
+	for {
+		more, err := e.Step()
+		if err != nil {
+			return e.met.Report(), err
+		}
+		if !more {
+			return e.met.Report(), nil
+		}
+	}
+}
+
+// Report computes the metrics report over everything processed so far. It is
+// safe to call mid-run; the returned report reflects completed jobs only.
+func (e *Engine) Report() metrics.Report { return e.met.Report() }
 
 // breakHoldDeadlock dissolves private reservations held for waiting jobs
 // when the event queue drains with work outstanding. Directed returns can in
@@ -350,6 +561,7 @@ func (e *Engine) dispatch(ev *eventq.Event) {
 
 func (e *Engine) handleArrive(j *job.Job) {
 	j.State = job.Waiting
+	e.emit(EventArrival, j, j.Size)
 	if j.Class == job.OnDemand {
 		t0 := time.Now()
 		handled := e.mech.OnODArrival(j)
@@ -364,6 +576,7 @@ func (e *Engine) handleArrive(j *job.Job) {
 }
 
 func (e *Engine) handleNotice(j *job.Job) {
+	e.emit(EventNotice, j, j.Size)
 	t0 := time.Now()
 	e.mech.OnNotice(j)
 	e.met.NoteDecision(time.Since(t0))
@@ -375,12 +588,14 @@ func (e *Engine) handleEnd(j *job.Job) {
 		e.fail("sim: end event for job %d in state %v", j.ID, j.State)
 		return
 	}
+	finalSize := j.CurSize
 	var u job.Usage
 	if j.Class == job.Malleable {
 		u = j.FinalizeMalleableCompletion(e.clk)
 	} else {
 		u = j.FinalizeCompletion(e.clk)
 	}
+	e.emit(EventEnd, j, finalSize)
 	e.met.AddUsage(u)
 	e.met.NoteComplete(j)
 	e.completed++
@@ -403,6 +618,7 @@ func (e *Engine) handleWarnExpired(j *job.Job, claim int) {
 		// state changed; nothing to reclaim.
 		return
 	}
+	e.emit(EventPreempt, j, j.CurSize)
 	u := j.FinalizeWarning(e.clk)
 	e.met.AddUsage(u)
 	delete(e.warnEv, j.ID)

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"testing"
+
+	"hybridsched/internal/job"
+)
+
+// TestStepEquivalentToRun: stepping an engine event by event produces the
+// same outcome as the batch Run loop.
+func TestStepEquivalentToRun(t *testing.T) {
+	mk := func() []*job.Job {
+		return []*job.Job{
+			rigid(1, 0, 60, 1000),
+			rigid(2, 10, 60, 1000),
+			malleable(3, 20, 40, 10, 2000),
+			onDemand(4, 500, 80, 300),
+		}
+	}
+	batch, _ := New(Config{Nodes: 100, Validate: true}, mk(), Baseline{})
+	want, err := batch.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepped, _ := New(Config{Nodes: 100, Validate: true}, mk(), Baseline{})
+	for {
+		more, err := stepped.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !more {
+			break
+		}
+	}
+	got := stepped.Report()
+	if got.Makespan != want.Makespan || got.Jobs != want.Jobs || got.Utilization != want.Utilization {
+		t.Fatalf("stepped run diverged: %+v vs %+v", got, want)
+	}
+}
+
+// TestSubmitValidation covers the mid-run submission guard rails.
+func TestSubmitValidation(t *testing.T) {
+	e, _ := New(Config{Nodes: 100}, []*job.Job{rigid(1, 0, 60, 1000)}, Baseline{})
+	if err := e.Submit(nil); err == nil {
+		t.Fatal("nil job must fail")
+	}
+	if err := e.Submit(rigid(1, 50, 10, 100)); err == nil {
+		t.Fatal("duplicate ID must fail")
+	}
+	if err := e.Submit(rigid(2, 50, 200, 100)); err == nil {
+		t.Fatal("oversized job must fail")
+	}
+	// Pre-prime submission at any time is fine.
+	if err := e.Submit(rigid(3, 5, 10, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Step(); err != nil { // primes and processes the first event
+		t.Fatal(err)
+	}
+	if err := e.Submit(rigid(4, e.Now()-1, 10, 100)); err == nil && e.Now() > 0 {
+		t.Fatal("past-dated submission must fail once primed")
+	}
+	if err := e.Submit(rigid(5, e.Now()+10, 10, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Report().Jobs; got != 3 {
+		t.Fatalf("completed %d/3 (jobs 1, 3, 5)", got)
+	}
+}
+
+// TestAdvanceToRefusesToSkipEvents: the clock can only move through empty
+// stretches of virtual time.
+func TestAdvanceToRefusesToSkipEvents(t *testing.T) {
+	e, _ := New(Config{Nodes: 100}, []*job.Job{rigid(1, 100, 60, 1000)}, Baseline{})
+	if err := e.AdvanceTo(500); err == nil {
+		t.Fatal("AdvanceTo must refuse to jump the pending arrival at t=100")
+	}
+	if err := e.AdvanceTo(50); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("clock %d, want 50", e.Now())
+	}
+	if err := e.AdvanceTo(10); err != nil { // backwards is a no-op
+		t.Fatal(err)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("clock moved backwards to %d", e.Now())
+	}
+}
+
+// TestEventSinkStream checks the emitted event sequence for a tiny trace.
+func TestEventSinkStream(t *testing.T) {
+	var got []Event
+	e, _ := New(Config{Nodes: 100}, []*job.Job{rigid(1, 100, 60, 1000)}, Baseline{})
+	e.SetEventSink(func(ev Event) { got = append(got, ev) })
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []EventType{EventArrival, EventStart, EventEnd}
+	if len(got) != len(want) {
+		t.Fatalf("events %v", got)
+	}
+	for i, ev := range got {
+		if ev.Type != want[i] || ev.Job != 1 {
+			t.Fatalf("event %d = %+v, want type %v", i, ev, want[i])
+		}
+	}
+	if got[0].Time != 100 || got[1].Time != 100 || got[2].Time != 1100 {
+		t.Fatalf("event times %v", got)
+	}
+	if got[1].Nodes != 60 {
+		t.Fatalf("start event nodes %d", got[1].Nodes)
+	}
+}

@@ -107,6 +107,7 @@ func (e *Engine) startJob(j *job.Job, size int, allowSquat bool) {
 	}
 	e.running[j.ID] = j
 	e.endEv[j.ID] = e.q.Push(end, eventq.PrioEnd, evEnd{j})
+	e.emit(EventStart, j, size)
 	if j.Class == job.OnDemand {
 		e.mech.OnODStarted(j)
 	}
@@ -143,8 +144,12 @@ func (e *Engine) PreemptRigid(j *job.Job) *nodeset.Set {
 		e.q.Cancel(ev)
 		delete(e.endEv, j.ID)
 	}
+	e.emit(EventPreempt, j, j.CurSize)
 	u := j.FinalizePreempt(e.clk)
 	e.met.AddUsage(u)
+	if j.Ckpt.Enabled() {
+		e.emit(EventCheckpoint, j, j.Size)
+	}
 	freed := e.cl.Release(j.ID)
 	delete(e.running, j.ID)
 	freed.SubtractWith(e.restoreSquattedNodes(j.ID))
@@ -162,6 +167,7 @@ func (e *Engine) PreemptMalleableNow(j *job.Job) *nodeset.Set {
 		e.fail("sim: PreemptMalleableNow on job %d (%v, %v)", j.ID, j.Class, j.State)
 		return &nodeset.Set{}
 	}
+	e.emit(EventPreempt, j, j.CurSize)
 	j.BeginWarning(e.clk) // zero-length warning
 	u := j.FinalizeWarning(e.clk)
 	e.met.AddUsage(u)
@@ -187,6 +193,7 @@ func (e *Engine) PreemptMalleableWithWarning(j *job.Job, claim int) {
 		return
 	}
 	j.BeginWarning(e.clk)
+	e.emit(EventWarning, j, j.CurSize)
 	e.warnEv[j.ID] = e.q.Push(e.clk+job.WarningPeriod, eventq.PrioPreempt, evWarn{j: j, claim: claim})
 }
 
@@ -205,6 +212,7 @@ func (e *Engine) ShrinkMalleable(j *job.Job, newSize int) *nodeset.Set {
 	}
 	end := j.Resize(e.clk, newSize)
 	freed := e.cl.ReleasePartial(j.ID, old-newSize)
+	e.emit(EventShrink, j, old-newSize)
 	e.trimSquats(j.ID, freed)
 	e.rescheduleEnd(j, end)
 	return freed
@@ -256,6 +264,7 @@ func (e *Engine) ExpandMalleable(j *job.Job, grant *nodeset.Set) {
 	}
 	e.cl.AllocExact(j.ID, grant)
 	end := j.Resize(e.clk, newSize)
+	e.emit(EventExpand, j, grant.Len())
 	e.rescheduleEnd(j, end)
 }
 

@@ -1,0 +1,507 @@
+package hybridsched
+
+import (
+	"fmt"
+
+	"hybridsched/internal/checkpoint"
+	"hybridsched/internal/job"
+	"hybridsched/internal/metrics"
+	"hybridsched/internal/nodeset"
+	"hybridsched/internal/policy"
+	"hybridsched/internal/registry"
+	"hybridsched/internal/sim"
+	"hybridsched/internal/simtime"
+	"hybridsched/internal/trace"
+)
+
+// Job is the simulator's job object: the static trace record plus the live
+// execution state (current size, lifecycle state, preemption counts).
+// Schedulers receive *Job values through their callbacks; snapshots and
+// events identify jobs by their IDs.
+type Job = job.Job
+
+// NodeSet is the allocation currency of the cluster: a set of node IDs.
+type NodeSet = nodeset.Set
+
+// Engine is the discrete-event simulation core. Custom Schedulers drive it
+// through its resource primitives (StartOnDemand, PreemptRigid,
+// ShrinkMalleable, ScheduleTimer, ...); see the internal/sim documentation.
+type Engine = sim.Engine
+
+// Scheduler is the plug-in interface for scheduling logic — the public name
+// of the engine's mechanism extension point. Implementations receive the
+// engine's callbacks (notices, arrivals, completions, timers) and respond
+// using its resource primitives. Embed Baseline to inherit no-op defaults
+// and override only the callbacks you need.
+type Scheduler = sim.Mechanism
+
+// Baseline is the no-mechanism FCFS/EASY scheduler (paper Table II). It also
+// serves as an embeddable base for custom Schedulers.
+type Baseline = sim.Baseline
+
+// QueuePolicy orders the waiting queue. Implementations registered with
+// RegisterPolicy are usable by name wherever fcfs/sjf/ljf/wfp3 are.
+type QueuePolicy = policy.Ordering
+
+// SchedulerConfig carries the system knobs handed to a SchedulerFactory.
+type SchedulerConfig = registry.SchedulerConfig
+
+// SchedulerFactory builds a fresh Scheduler instance for one run.
+type SchedulerFactory = registry.SchedulerFactory
+
+// Event is one typed scheduling event: a job arrival, advance notice, start,
+// end, preemption warning, preemption, shrink, expand, or checkpoint
+// rollback, stamped with the virtual time and the job's identity.
+type Event = sim.Event
+
+// EventType classifies an Event.
+type EventType = sim.EventType
+
+// The event vocabulary (see the sim package for per-type semantics).
+const (
+	EventArrival    = sim.EventArrival
+	EventNotice     = sim.EventNotice
+	EventStart      = sim.EventStart
+	EventEnd        = sim.EventEnd
+	EventWarning    = sim.EventWarning
+	EventPreempt    = sim.EventPreempt
+	EventShrink     = sim.EventShrink
+	EventExpand     = sim.EventExpand
+	EventCheckpoint = sim.EventCheckpoint
+)
+
+// Observer receives every scheduling event synchronously, in dispatch order,
+// as the session processes it. Handlers run on the goroutine driving the
+// session and must not call back into it.
+type Observer interface {
+	HandleEvent(Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Event)
+
+// HandleEvent calls f.
+func (f ObserverFunc) HandleEvent(ev Event) { f(ev) }
+
+// MetricsSnapshot is the live measurement ledger inside a Snapshot.
+type MetricsSnapshot = metrics.Snapshot
+
+// JobStatus describes one job inside a Snapshot.
+type JobStatus struct {
+	ID      int
+	Class   JobClass
+	State   string // waiting, running, warning
+	Size    int    // requested (maximum) size
+	CurSize int    // nodes currently held (0 while waiting)
+	Submit  int64
+	Start   int64 // first start (-1 before)
+}
+
+// Snapshot is a point-in-time view of a running session: the virtual clock,
+// the cluster occupancy, the waiting queue, the running set, and the live
+// metrics ledger. Taking a snapshot never disturbs the simulation.
+type Snapshot struct {
+	Now int64
+
+	Nodes         int
+	FreeNodes     int
+	ReservedNodes int
+	BusyNodes     int
+
+	Submitted  int
+	Completed  int
+	QueueDepth int
+
+	Running []JobStatus // sorted by job ID
+	Queued  []JobStatus // in current queue order
+
+	Metrics MetricsSnapshot
+}
+
+// RegisterScheduler makes factory resolvable by name everywhere mechanism
+// names are accepted: Simulate, NewSession(WithMechanism), RunSweep, and the
+// CLI tools. Registration is append-only and fails on a duplicate or
+// built-in name. Factories must return a fresh instance per call — sweep
+// cells run concurrently.
+func RegisterScheduler(name string, factory SchedulerFactory) error {
+	return registry.RegisterScheduler(name, factory)
+}
+
+// RegisterPolicy makes ord resolvable by its Name() everywhere queue-policy
+// names are accepted. Registration is append-only and fails on a duplicate
+// or built-in name. Orderings must be stateless or safe for concurrent use.
+func RegisterPolicy(ord QueuePolicy) error { return registry.RegisterPolicy(ord) }
+
+// SchedulerNames returns every scheduler name Simulate, sessions, and sweeps
+// resolve: "baseline", the paper's six mechanisms, then registered
+// extensions.
+func SchedulerNames() []string { return registry.SchedulerNames() }
+
+// PolicyNames returns every resolvable queue-policy name.
+func PolicyNames() []string { return registry.PolicyNames() }
+
+// sessionConfig is the resolved option set of one session.
+type sessionConfig struct {
+	sim        SimulationConfig
+	scheduler  Scheduler // overrides sim.Mechanism when non-nil
+	maxSimTime int64
+	observers  []Observer
+}
+
+// Option configures a Session under construction.
+type Option func(*sessionConfig)
+
+// WithConfig seeds every knob from a legacy SimulationConfig. Options
+// applied after it override individual fields.
+func WithConfig(cfg SimulationConfig) Option {
+	return func(c *sessionConfig) { c.sim = cfg }
+}
+
+// WithNodes sets the system size (default 4392, Theta).
+func WithNodes(n int) Option {
+	return func(c *sessionConfig) { c.sim.Nodes = n }
+}
+
+// WithMechanism selects the scheduler by name: "baseline", one of the six
+// paper mechanisms, or a name registered with RegisterScheduler. Default
+// "CUA&SPAA".
+func WithMechanism(name string) Option {
+	return func(c *sessionConfig) { c.sim.Mechanism = name }
+}
+
+// WithScheduler installs a Scheduler instance directly, bypassing name
+// resolution. The instance is wired to this session's engine and must not be
+// reused across sessions.
+func WithScheduler(s Scheduler) Option {
+	return func(c *sessionConfig) { c.scheduler = s }
+}
+
+// WithPolicy selects the waiting-queue ordering by name: fcfs (default),
+// sjf, ljf, wfp3, or a name registered with RegisterPolicy.
+func WithPolicy(name string) Option {
+	return func(c *sessionConfig) { c.sim.Policy = name }
+}
+
+// WithMTBF sets the system mean time between failures in seconds, driving
+// Daly's optimal checkpoint interval (default 24 h).
+func WithMTBF(seconds float64) Option {
+	return func(c *sessionConfig) { c.sim.MTBF = seconds }
+}
+
+// WithCheckpointFreqMult scales the rigid-job checkpoint interval around the
+// Daly optimum (Fig. 7): 0.5 checkpoints twice as often, 1.0 (the default)
+// is optimal. Unlike the SimulationConfig field, an explicit 0 is honored
+// and disables defensive checkpointing entirely.
+func WithCheckpointFreqMult(m float64) Option {
+	return func(c *sessionConfig) {
+		if m <= 0 {
+			m = -1 // survives withDefaults as an explicit zero
+		}
+		c.sim.CheckpointFreqMult = m
+	}
+}
+
+// WithReleaseThreshold sets how long reserved nodes are held for a no-show
+// on-demand job past its estimated arrival (default 600 s). Unlike the
+// SimulationConfig field, an explicit 0 is honored: reservations dissolve
+// the instant the estimated arrival passes.
+func WithReleaseThreshold(seconds int64) Option {
+	return func(c *sessionConfig) {
+		if seconds <= 0 {
+			seconds = -1 // survives withDefaults as an explicit zero
+		}
+		c.sim.ReleaseThresholdSeconds = seconds
+	}
+}
+
+// WithBackfillReserved lets backfill jobs run on reserved nodes, to be
+// preempted on the on-demand arrival (paper §III-B.1 option).
+func WithBackfillReserved(on bool) Option {
+	return func(c *sessionConfig) { c.sim.BackfillReserved = on }
+}
+
+// WithDirectedReturn toggles the return-to-lender rule (§III-B.3); it is on
+// by default.
+func WithDirectedReturn(on bool) Option {
+	return func(c *sessionConfig) { c.sim.NoDirectedReturn = !on }
+}
+
+// WithValidate checks the cluster partition invariant after every event
+// (for tests; slows long runs down).
+func WithValidate(on bool) Option {
+	return func(c *sessionConfig) { c.sim.Validate = on }
+}
+
+// WithMaxSimTime aborts the session if the virtual clock passes this bound
+// (0 = none). A safety net for user-driven schedulers that might stall.
+func WithMaxSimTime(t int64) Option {
+	return func(c *sessionConfig) { c.maxSimTime = t }
+}
+
+// WithObserver attaches an observer that receives every scheduling event
+// synchronously. Multiple observers are delivered to in attach order.
+func WithObserver(o Observer) Option {
+	return func(c *sessionConfig) {
+		if o != nil {
+			c.observers = append(c.observers, o)
+		}
+	}
+}
+
+// eventChanBuffer is the capacity of each Events() channel. Events that
+// would overflow a full channel are dropped (see Session.DroppedEvents) so a
+// single-goroutine submit/step/drain loop can never deadlock on itself.
+const eventChanBuffer = 4096
+
+// Session is an incremental simulation: a live scheduler instance that
+// accepts job submissions at any virtual time, advances event by event, and
+// exposes its state while running.
+//
+// The lifecycle is construct → observe → submit/step → snapshot → report:
+//
+//	s, _ := hybridsched.NewSession(hybridsched.WithMechanism("CUA&SPAA"))
+//	events := s.Events()
+//	for _, r := range records {
+//		s.Submit(r)
+//	}
+//	for hour := int64(1); ; hour++ {
+//		if err := s.RunUntil(hour * 3600); err != nil {
+//			break
+//		}
+//		snap := s.Snapshot()
+//		fmt.Printf("t=%dh util=%.1f%% queue=%d\n",
+//			hour, 100*snap.Metrics.Utilization, snap.QueueDepth)
+//		if snap.Completed == snap.Submitted {
+//			break
+//		}
+//	}
+//	report := s.Report()
+//
+// A Session is not safe for concurrent use: Submit, Step, RunUntil, Run, and
+// Snapshot must be called from one goroutine (the Events channels may be
+// drained from others).
+type Session struct {
+	eng    *sim.Engine
+	plan   func(size int) checkpoint.Plan
+	obs    []Observer
+	chans  []chan Event
+	drops  int
+	closed bool
+}
+
+// NewSession builds a live simulation from functional options; the zero
+// option set is the paper-faithful default system (4392 nodes, CUA&SPAA,
+// FCFS/EASY, 24 h MTBF, Daly-optimal checkpointing). Jobs are injected with
+// Submit; the clock advances through Step, RunUntil, or Run.
+func NewSession(opts ...Option) (*Session, error) {
+	var c sessionConfig
+	for _, opt := range opts {
+		opt(&c)
+	}
+	cfg := c.sim.withDefaults()
+
+	ord := registry.PolicyByName(cfg.Policy)
+	if ord == nil {
+		return nil, fmt.Errorf("hybridsched: unknown policy %q (valid: %v)",
+			cfg.Policy, registry.PolicyNames())
+	}
+	mech := c.scheduler
+	if mech == nil {
+		m, err := registry.NewScheduler(cfg.Mechanism, registry.SchedulerConfig{
+			ReleaseThreshold: cfg.ReleaseThresholdSeconds,
+			DirectedReturn:   !cfg.NoDirectedReturn,
+			BackfillReserved: cfg.BackfillReserved,
+		})
+		if err != nil {
+			return nil, err
+		}
+		mech = m
+	}
+	eng, err := sim.New(sim.Config{
+		Nodes:            cfg.Nodes,
+		Policy:           ord,
+		BackfillReserved: cfg.BackfillReserved,
+		Validate:         cfg.Validate,
+		MaxSimTime:       c.maxSimTime,
+	}, nil, mech)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		eng: eng,
+		plan: func(size int) checkpoint.Plan {
+			return checkpoint.NewPlan(size, cfg.MTBF, cfg.CheckpointFreqMult)
+		},
+		obs: c.observers,
+	}
+	eng.SetEventSink(s.emit)
+	return s, nil
+}
+
+// emit fans one engine event out to the observers and event channels.
+// After Close the session emits nothing, matching the Close contract.
+func (s *Session) emit(ev Event) {
+	if s.closed {
+		return
+	}
+	for _, o := range s.obs {
+		o.HandleEvent(ev)
+	}
+	for _, ch := range s.chans {
+		select {
+		case ch <- ev:
+		default:
+			s.drops++
+		}
+	}
+}
+
+// Submit injects one job into the session. Before the first clock advance
+// submissions in any order form the initial trace; afterwards the record's
+// Submit time must not lie before the current virtual time (Now). The job's
+// advance notice, if any, fires at its notice time (clamped to Now).
+//
+// Records are validated on submission (MinSize on a fixed-size job is
+// normalized to Size first, since the simulator ignores it); malformed
+// records fail fast with a descriptive error instead of corrupting the run.
+func (s *Session) Submit(r Record) error {
+	if r.Class != Malleable {
+		// The simulator ignores MinSize for fixed-size classes, and legacy
+		// hand-constructed records routinely leave it zero or stale.
+		r.MinSize = r.Size
+	}
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	jobs := trace.Materialize([]Record{r}, s.plan)
+	if len(jobs) == 0 || jobs[0] == nil {
+		return fmt.Errorf("hybridsched: job %d has unknown class %v", r.ID, r.Class)
+	}
+	return s.eng.Submit(jobs[0])
+}
+
+// Now returns the current virtual time in seconds.
+func (s *Session) Now() int64 { return s.eng.Now() }
+
+// Step processes the next pending event and returns true. It returns false
+// when every submitted job has completed and no events remain; the session
+// stays live, so more jobs can be Submitted and stepping resumed. A drained
+// event queue with incomplete jobs reports a stall error.
+func (s *Session) Step() (bool, error) { return s.eng.Step() }
+
+// RunUntil advances the session to virtual time t: every event at or before
+// t is processed and the clock lands exactly on t (so periodic snapshots
+// align with wall boundaries). It never runs ahead — events after t stay
+// pending.
+func (s *Session) RunUntil(t int64) error {
+	for {
+		next, ok := s.eng.PeekTime()
+		if !ok {
+			// Drained queue with incomplete jobs is a stall: let the engine
+			// run its handling (hold-deadlock dissolution, or the stall
+			// error) rather than silently advancing past a wedged schedule.
+			if s.eng.CompletedCount() < s.eng.SubmittedCount() {
+				more, err := s.eng.Step()
+				if err != nil {
+					return err
+				}
+				if more {
+					continue
+				}
+			}
+			break
+		}
+		if next > t {
+			break
+		}
+		if _, err := s.eng.Step(); err != nil {
+			return err
+		}
+	}
+	return s.eng.AdvanceTo(t)
+}
+
+// Run drives the session until every submitted job has completed, closes
+// the event channels, and returns the final report. With all records
+// submitted up front it is equivalent to Simulate.
+func (s *Session) Run() (Report, error) {
+	rep, err := s.eng.Run()
+	s.Close()
+	return rep, err
+}
+
+// Report computes the measurement report over everything processed so far.
+// It is safe to call mid-run; only completed jobs contribute.
+func (s *Session) Report() Report { return s.eng.Report() }
+
+// Snapshot captures the live state: clock, cluster occupancy, queue,
+// running set, and the metrics ledger. It never disturbs the run.
+func (s *Session) Snapshot() Snapshot {
+	eng := s.eng
+	cl := eng.Cluster()
+	snap := Snapshot{
+		Now:           eng.Now(),
+		Nodes:         eng.Nodes(),
+		FreeNodes:     cl.FreeCount(),
+		ReservedNodes: cl.TotalReserved(),
+		Submitted:     eng.SubmittedCount(),
+		Completed:     eng.CompletedCount(),
+		QueueDepth:    eng.QueueDepth(),
+		Metrics:       eng.Metrics().Snapshot(eng.Now()),
+	}
+	snap.BusyNodes = snap.Nodes - snap.FreeNodes - snap.ReservedNodes
+	for _, j := range eng.RunningAll() {
+		snap.Running = append(snap.Running, jobStatus(j))
+	}
+	for _, j := range eng.QueuedJobs() {
+		snap.Queued = append(snap.Queued, jobStatus(j))
+	}
+	return snap
+}
+
+func jobStatus(j *Job) JobStatus {
+	return JobStatus{
+		ID:      j.ID,
+		Class:   j.Class,
+		State:   j.State.String(),
+		Size:    j.Size,
+		CurSize: j.CurSize,
+		Submit:  j.SubmitTime,
+		Start:   j.StartTime,
+	}
+}
+
+// Events returns a channel streaming every scheduling event the session
+// processes from now on. The channel is buffered; if a consumer falls more
+// than eventChanBuffer events behind, excess events are dropped (counted by
+// DroppedEvents) rather than blocking the simulation. The channel is closed
+// by Run or Close.
+func (s *Session) Events() <-chan Event {
+	ch := make(chan Event, eventChanBuffer)
+	if s.closed {
+		close(ch)
+		return ch
+	}
+	s.chans = append(s.chans, ch)
+	return ch
+}
+
+// DroppedEvents reports how many events were discarded because an Events
+// channel was full.
+func (s *Session) DroppedEvents() int { return s.drops }
+
+// Close closes all Events channels. The session remains queryable (Report,
+// Snapshot) but emits no further events. Close is idempotent.
+func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, ch := range s.chans {
+		close(ch)
+	}
+	s.chans = nil
+}
+
+// Hour is one simulated hour in seconds, a convenience for RunUntil loops.
+const Hour = simtime.Hour

@@ -10,7 +10,9 @@ import (
 // SweepSpec is one cell of a sweep grid: a workload to generate (or reuse —
 // identical workload configs share one generated trace) and a simulation
 // configuration to replay it under. Label tags the cell in progress lines
-// and serialized output.
+// and serialized output. Sim.Mechanism and Sim.Policy accept any name the
+// registries resolve, including schedulers and policies added with
+// RegisterScheduler/RegisterPolicy.
 type SweepSpec struct {
 	Label    string
 	Workload WorkloadConfig
@@ -66,18 +68,24 @@ func RunSweep(specs []SweepSpec, opt SweepOptions) (*SweepReport, error) {
 		ccfg.DirectedReturn = !cfg.NoDirectedReturn
 		ccfg.BackfillReserved = cfg.BackfillReserved
 		if cfg.ReleaseThresholdSeconds != 0 {
+			// Negative (the explicit-zero sentinel) passes through untouched:
+			// core.Config.withDefaults resolves it, and resolving it here to 0
+			// would be re-read downstream as "use the 600 s default".
 			ccfg.ReleaseThreshold = cfg.ReleaseThresholdSeconds
 		}
 		rspecs[i] = runner.Spec{
-			Group:            "sweep",
-			Variant:          s.Label,
-			Mechanism:        cfg.Mechanism,
-			Policy:           cfg.Policy,
-			Nodes:            cfg.Nodes,
-			Workload:         s.Workload,
-			Core:             ccfg,
-			MTBF:             cfg.MTBF,
-			CkptFreqMult:     cfg.CheckpointFreqMult,
+			Group:     "sweep",
+			Variant:   s.Label,
+			Mechanism: cfg.Mechanism,
+			Policy:    cfg.Policy,
+			Nodes:     cfg.Nodes,
+			Workload:  s.Workload,
+			Core:      ccfg,
+			MTBF:      cfg.MTBF,
+			// Pass the raw multiplier: the runner applies the same default
+			// and explicit-zero sentinel rules, and root withDefaults
+			// resolving -1 to 0 here would be re-read as "use default".
+			CkptFreqMult:     s.Sim.CheckpointFreqMult,
 			BackfillReserved: cfg.BackfillReserved,
 			Validate:         cfg.Validate,
 		}
