@@ -1,0 +1,117 @@
+// Command benchsources measures the throughput of the workload-source layer
+// — records/sec for the Synthetic generator stream, the CSV and SWF
+// streaming readers, and a 3-way Merge — and emits the measurements as JSON.
+// CI runs it to produce BENCH_sources.json, the first point of the
+// performance trajectory; run it locally to compare before/after a change:
+//
+//	go run ./cmd/benchsources -o BENCH_sources.json
+//	go run ./cmd/benchsources -weeks 8       # a heavier trace
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"hybridsched"
+)
+
+// measurement is one benchmark result row.
+type measurement struct {
+	Name          string  `json:"name"`
+	Records       int     `json:"records"`
+	Seconds       float64 `json:"seconds"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+}
+
+// output is the emitted document.
+type output struct {
+	Go         string        `json:"go"`
+	Weeks      int           `json:"weeks"`
+	Iterations int           `json:"iterations"`
+	Benchmarks []measurement `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		weeks = flag.Int("weeks", 4, "trace length in weeks (scales the record count)")
+		iters = flag.Int("iters", 3, "drain iterations per source (best rate wins)")
+		out   = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	cfg := hybridsched.WorkloadConfig{Seed: 1, Weeks: *weeks}
+	records, err := hybridsched.GenerateWorkload(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	var csvBuf, swfBuf bytes.Buffer
+	if err := hybridsched.WriteTraceCSV(&csvBuf, records); err != nil {
+		fatal(err)
+	}
+	if err := hybridsched.WriteSWF(&swfBuf, records); err != nil {
+		fatal(err)
+	}
+	csvData, swfData := csvBuf.Bytes(), swfBuf.Bytes()
+	cfg2 := cfg
+	cfg2.Seed = 2
+
+	cases := []struct {
+		name string
+		make func() hybridsched.Source
+	}{
+		{"Synthetic", func() hybridsched.Source { return hybridsched.Synthetic(cfg) }},
+		{"CSV", func() hybridsched.Source { return hybridsched.FromCSV(bytes.NewReader(csvData)) }},
+		{"SWF", func() hybridsched.Source { return hybridsched.FromSWF(bytes.NewReader(swfData)) }},
+		{"Merge3", func() hybridsched.Source {
+			return hybridsched.Merge(
+				hybridsched.FromCSV(bytes.NewReader(csvData)),
+				hybridsched.FromSWF(bytes.NewReader(swfData)),
+				hybridsched.Synthetic(cfg2),
+			)
+		}},
+	}
+
+	doc := output{Go: runtime.Version(), Weeks: *weeks, Iterations: *iters}
+	for _, c := range cases {
+		best := measurement{Name: c.name}
+		for i := 0; i < *iters; i++ {
+			start := time.Now()
+			recs, err := hybridsched.ReadAllSource(c.make())
+			secs := time.Since(start).Seconds()
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", c.name, err))
+			}
+			rate := float64(len(recs)) / secs
+			if rate > best.RecordsPerSec {
+				best = measurement{Name: c.name, Records: len(recs), Seconds: secs, RecordsPerSec: rate}
+			}
+		}
+		doc.Benchmarks = append(doc.Benchmarks, best)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchsources:", err)
+	os.Exit(1)
+}

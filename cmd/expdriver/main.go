@@ -39,6 +39,7 @@ func main() {
 		weeks    = flag.Int("weeks", 4, "trace length in weeks")
 		nodes    = flag.Int("nodes", 4392, "system size in nodes")
 		baseSeed = flag.Int64("seed", 1, "first seed")
+		srcSpec  = flag.String("source", "", "replay this source spec instead of synthetic traces, e.g. 'swf:theta.swf|relabel:paper' (collapses seed averaging to 1)")
 		pol      = flag.String("policy", "fcfs", "queue policy: fcfs, sjf, ljf, wfp3, or a registered name")
 		workers  = flag.Int("workers", 0, "parallel sweep workers (0 = all CPU cores)")
 		format   = flag.String("format", "text", "output format: text, json, csv")
@@ -53,6 +54,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "expdriver: unknown policy %q (valid: %s)\n",
 			*pol, strings.Join(validPols, ", "))
 		os.Exit(2)
+	}
+	// Same for the source spec: parse errors and missing files must surface
+	// before any trace is generated or cell simulated.
+	if *srcSpec != "" {
+		if _, err := hybridsched.ParseSource(*srcSpec); err != nil {
+			fmt.Fprintln(os.Stderr, "expdriver:", err)
+			os.Exit(2)
+		}
 	}
 
 	var w io.Writer = os.Stdout
@@ -71,6 +80,7 @@ func main() {
 		BaseSeed: *baseSeed,
 		Policy:   *pol,
 		Workers:  *workers,
+		Source:   *srcSpec,
 	}
 	if !*quiet {
 		opt.Progress = os.Stderr

@@ -11,6 +11,13 @@
 //	hybridsim -seed 1 -weeks 4 -mech N\&PAA             # generate on the fly
 //	hybridsim -trace jobs.swf -format swf -mech baseline
 //	hybridsim -mechs all -seeds 3 -workers 8 -out csv   # parallel sweep
+//	hybridsim -source 'swf:theta.swf|relabel:paper|scale:1.2' -mechs all
+//
+// -source accepts the source-spec grammar (csv:/swf:/synthetic: heads,
+// relabel/scale/shift/limit/filter transforms, '+' merges); the named
+// workload replaces both -trace and synthetic generation, runs through the
+// sweep runner (so -mechs/-workers/-out all apply), and is materialized
+// once no matter how many mechanisms replay it.
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 func main() {
 	var (
 		tracePath = flag.String("trace", "", "input trace (empty: generate synthetically)")
+		srcSpec   = flag.String("source", "", "workload source spec, e.g. 'swf:theta.swf|relabel:paper|scale:1.2' (overrides -trace and generation; -seed/-seeds/-weeks/-mix ignored)")
 		format    = flag.String("format", "csv", "trace format: csv or swf")
 		mech      = flag.String("mech", "CUA&SPAA", "scheduler: baseline, the six paper mechanisms (e.g. CUA&SPAA), or a registered name")
 		mechs     = flag.String("mechs", "", "sweep schedulers: comma-separated names or \"all\" (overrides -mech)")
@@ -90,6 +98,28 @@ func main() {
 		}
 	}
 
+	// A source spec runs through the sweep runner: one cell per mechanism,
+	// all sharing a single materialization of the spec.
+	if *srcSpec != "" {
+		if *tracePath != "" {
+			fatalUsage(fmt.Errorf("-source and -trace are mutually exclusive"))
+		}
+		// Parse now so a typo costs nothing (file heads also open here).
+		if _, err := hybridsched.ParseSource(*srcSpec); err != nil {
+			fatalUsage(err)
+		}
+		var specs []hybridsched.SweepSpec
+		for _, m := range mechList {
+			specs = append(specs, hybridsched.SweepSpec{
+				Label:  m,
+				Source: *srcSpec,
+				Sim:    simCfg(m),
+			})
+		}
+		runSweep(specs, *workers, *out, *pol, *quiet)
+		return
+	}
+
 	// A fixed input trace can't go through the generator-driven sweep
 	// runner: replay it serially under each requested mechanism.
 	if *tracePath != "" {
@@ -129,15 +159,20 @@ func main() {
 			})
 		}
 	}
-	opt := hybridsched.SweepOptions{Workers: *workers}
-	if !*quiet && len(specs) > 1 {
+	runSweep(specs, *workers, *out, *pol, *quiet)
+}
+
+// runSweep executes the grid and emits it in the requested format.
+func runSweep(specs []hybridsched.SweepSpec, workers int, out, pol string, quiet bool) {
+	opt := hybridsched.SweepOptions{Workers: workers}
+	if !quiet && len(specs) > 1 {
 		opt.Progress = os.Stderr
 	}
 	report, err := hybridsched.RunSweep(specs, opt)
 	if err != nil {
 		fatal(err)
 	}
-	switch *out {
+	switch out {
 	case "json":
 		err = report.WriteJSON(os.Stdout)
 	case "csv":
@@ -147,7 +182,7 @@ func main() {
 			if i > 0 {
 				fmt.Println()
 			}
-			printReport(res.Spec.Label, *pol, res.Report)
+			printReport(res.Spec.Label, pol, res.Report)
 		}
 	}
 	if err != nil {
@@ -155,7 +190,9 @@ func main() {
 	}
 }
 
-// readTrace loads a fixed input trace in the native CSV or SWF schema.
+// readTrace loads a fixed input trace in the native CSV or SWF schema. SWF
+// imports print their summary to stderr — every SWF job arrives rigid, and
+// the defaulted fields deserve a mention rather than silence.
 func readTrace(path, format string) ([]hybridsched.Record, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -163,7 +200,11 @@ func readTrace(path, format string) ([]hybridsched.Record, error) {
 	}
 	defer f.Close()
 	if format == "swf" {
-		return hybridsched.ReadSWF(f)
+		records, sum, err := hybridsched.ReadSWFSummary(f)
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "hybridsim: swf import: %s\n", sum)
+		}
+		return records, err
 	}
 	return hybridsched.ReadTraceCSV(f)
 }

@@ -1,12 +1,17 @@
 // Command tracegen synthesizes hybrid workload traces from the calibrated
 // Theta model and writes them in the native CSV schema (or SWF with the
-// hybrid extensions dropped).
+// hybrid extensions dropped). It doubles as the trace toolbox: -source
+// materializes any source-spec pipeline (transforming existing traces
+// instead of generating), and -validate checks a trace file record by
+// record.
 //
 // Usage:
 //
 //	tracegen -seed 1 -weeks 4 -mix W5 -o trace.csv
 //	tracegen -seed 2 -format swf -o trace.swf
-//	tracegen -summary            # print Table I style characterization only
+//	tracegen -summary                                # Table I style characterization
+//	tracegen -source 'swf:theta.swf|relabel:paper' -o hybrid.csv
+//	tracegen -validate trace.csv                     # exit 1 on first bad record
 package main
 
 import (
@@ -14,35 +19,52 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"hybridsched"
+	"hybridsched/internal/trace"
 )
 
 func main() {
 	var (
-		seed    = flag.Int64("seed", 1, "random seed (same seed, same trace)")
-		weeks   = flag.Int("weeks", 4, "trace length in weeks")
-		nodes   = flag.Int("nodes", 4392, "system size in nodes")
-		mixName = flag.String("mix", "W5", "advance-notice mix, W1..W5 (Table III)")
-		load    = flag.Float64("load", 0, "target offered load (0 = calibrated default)")
-		format  = flag.String("format", "csv", "output format: csv or swf")
-		out     = flag.String("o", "", "output file (default stdout)")
-		summary = flag.Bool("summary", false, "print the workload summary instead of the trace")
+		seed     = flag.Int64("seed", 1, "random seed (same seed, same trace)")
+		weeks    = flag.Int("weeks", 4, "trace length in weeks")
+		nodes    = flag.Int("nodes", 4392, "system size in nodes")
+		mixName  = flag.String("mix", "W5", "advance-notice mix, W1..W5 (Table III)")
+		load     = flag.Float64("load", 0, "target offered load (0 = calibrated default)")
+		format   = flag.String("format", "csv", "output format: csv or swf")
+		out      = flag.String("o", "", "output file (default stdout)")
+		summary  = flag.Bool("summary", false, "print the workload summary instead of the trace")
+		srcSpec  = flag.String("source", "", "materialize this source spec instead of generating, e.g. 'swf:theta.swf|relabel:paper|scale:1.2'")
+		validate = flag.String("validate", "", "validate this trace file (.swf = SWF, else CSV) and exit; non-zero status with the first offending record")
 	)
 	flag.Parse()
 
-	mix, err := mixByName(*mixName)
-	if err != nil {
-		fatal(err)
+	if *validate != "" {
+		os.Exit(runValidate(*validate))
 	}
-	cfg := hybridsched.WorkloadConfig{
-		Seed:       *seed,
-		Weeks:      *weeks,
-		Nodes:      *nodes,
-		Mix:        mix,
-		TargetLoad: *load,
+
+	var records []hybridsched.Record
+	var err error
+	if *srcSpec != "" {
+		src, perr := hybridsched.ParseSource(*srcSpec)
+		if perr != nil {
+			fatal(perr)
+		}
+		records, err = hybridsched.ReadAllSource(src)
+	} else {
+		mix, merr := hybridsched.MixByName(*mixName)
+		if merr != nil {
+			fatal(fmt.Errorf("%v (want W1..W5)", merr))
+		}
+		records, err = hybridsched.GenerateWorkload(hybridsched.WorkloadConfig{
+			Seed:       *seed,
+			Weeks:      *weeks,
+			Nodes:      *nodes,
+			Mix:        mix,
+			TargetLoad: *load,
+		})
 	}
-	records, err := hybridsched.GenerateWorkload(cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -85,20 +107,58 @@ func main() {
 	}
 }
 
-func mixByName(name string) (hybridsched.NoticeMix, error) {
-	switch name {
-	case "W1":
-		return hybridsched.W1, nil
-	case "W2":
-		return hybridsched.W2, nil
-	case "W3":
-		return hybridsched.W3, nil
-	case "W4":
-		return hybridsched.W4, nil
-	case "W5":
-		return hybridsched.W5, nil
+// runValidate streams a trace file through the validating readers and
+// reports the first offending record. Records are never held in memory —
+// only the duplicate-ID set grows with the job count. SWF files
+// additionally get their import summary (jobs skipped, fields defaulted)
+// printed. Exit status: 0 clean, 1 invalid (or unreadable).
+func runValidate(path string) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen: validate:", err)
+		return 1
 	}
-	return hybridsched.NoticeMix{}, fmt.Errorf("unknown mix %q (want W1..W5)", name)
+	defer f.Close()
+
+	// The streaming readers validate every record and position their
+	// errors, so the first offending record surfaces as next's error.
+	var next func() (hybridsched.Record, error)
+	var summary func() string
+	kind := "csv"
+	if strings.HasSuffix(strings.ToLower(path), ".swf") {
+		kind = "swf"
+		sr := trace.NewSWFReader(f)
+		next = sr.Next
+		summary = func() string { return sr.Summary().String() }
+	} else {
+		cr := trace.NewCSVReader(f)
+		next = cr.Next
+	}
+
+	n := 0
+	seen := make(map[int]bool)
+	for {
+		rec, err := next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: validate: %s: %v\n", path, err)
+			return 1
+		}
+		if seen[rec.ID] {
+			fmt.Fprintf(os.Stderr, "tracegen: validate: %s: duplicate job ID %d (record %d)\n",
+				path, rec.ID, n+1)
+			return 1
+		}
+		seen[rec.ID] = true
+		n++
+	}
+	fmt.Printf("%s: ok (%d %s records)\n", path, n, kind)
+	if summary != nil {
+		fmt.Printf("swf import: %s\n", summary())
+	}
+	return 0
 }
 
 func fatal(err error) {

@@ -223,3 +223,58 @@ func ExampleWriteTraceCSV() {
 	// Output:
 	// round-trip preserved: true
 }
+
+// ExampleSession_SubmitSource streams a composed workload source into a
+// session: a relabeled, load-scaled trace merged with synthetic on-demand
+// bursts, drawn lazily as virtual time advances.
+func ExampleSession_SubmitSource() {
+	// A rigid backbone at 1.5x load, classes reassigned per the paper's
+	// §IV-A relabeling; plus the on-demand jobs of a synthetic mix.
+	backbone := hybridsched.Scale(
+		hybridsched.Relabel(hybridsched.Synthetic(tinyWorkload(1)), hybridsched.PaperRelabel()),
+		1.5)
+	bursts := hybridsched.Filter(hybridsched.Synthetic(tinyWorkload(2)),
+		func(r hybridsched.Record) bool { return r.Class == hybridsched.OnDemand })
+
+	s, err := hybridsched.NewSession(
+		hybridsched.WithNodes(512),
+		hybridsched.WithMechanism("CUA&SPAA"),
+	)
+	if err != nil {
+		panic(err)
+	}
+	if err := s.SubmitSource(hybridsched.Merge(backbone, bursts)); err != nil {
+		panic(err)
+	}
+	report, err := s.Run()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("jobs completed:", report.Jobs > 0)
+	fmt.Println("hybrid classes present:", report.OnDemand.Count > 0 && report.Rigid.Count > 0)
+	// Output:
+	// jobs completed: true
+	// hybrid classes present: true
+}
+
+// ExampleParseSource compiles the textual source-spec grammar the CLIs and
+// sweep grids share.
+func ExampleParseSource() {
+	src, err := hybridsched.ParseSource("synthetic:seed=1,weeks=1,nodes=512|filter:class=rigid|limit:10")
+	if err != nil {
+		panic(err)
+	}
+	records, err := hybridsched.ReadAllSource(src)
+	if err != nil {
+		panic(err)
+	}
+	allRigid := true
+	for _, r := range records {
+		allRigid = allRigid && r.Class == hybridsched.Rigid
+	}
+	fmt.Println("records:", len(records))
+	fmt.Println("all rigid:", allRigid)
+	// Output:
+	// records: 10
+	// all rigid: true
+}

@@ -40,6 +40,22 @@
 // arrival, notice, start, end, warning, preemption, shrink, expand, and
 // checkpoint rollback as it happens.
 //
+// # Workload sources
+//
+// Every way jobs enter a simulation is one composable abstraction: a Source
+// yields records in time order, and sources compose. Synthetic wraps the
+// calibrated Theta generator, FromCSV/FromSWF/OpenSource stream trace files
+// (a multi-week log is never slurped into memory), FromRecords adapts hand-
+// built slices, and the combinators Merge, Scale, Relabel, Filter, Shift,
+// and Limit transform them — Relabel being the paper's §IV-A trick of
+// reassigning classes project-by-project, the supported way to promote
+// rigid SWF imports to on-demand or malleable jobs. Sessions consume
+// sources lazily via SubmitSource (or the WithSource option); sweeps name
+// them declaratively via SweepSpec.Source; CLIs and grids share the
+// ParseSource spec grammar ("swf:theta.swf|relabel:paper|scale:1.2"); and
+// RegisterSource adds user-defined spec heads, mirroring the scheduler and
+// policy registries.
+//
 // # Batch simulation and migration
 //
 // Simulate remains the one-call batch entry point:
@@ -241,7 +257,10 @@ func ReadTraceCSV(r io.Reader) ([]Record, error) { return trace.ReadCSV(r) }
 // WriteTraceCSV writes a trace in the native CSV schema.
 func WriteTraceCSV(w io.Writer, records []Record) error { return trace.WriteCSV(w, records) }
 
-// ReadSWF imports a Standard Workload Format trace; every job arrives rigid.
+// ReadSWF imports a Standard Workload Format trace; every job arrives rigid
+// (SWF carries no hybrid extensions — compose Relabel to reassign classes).
+// Use ReadSWFSummary to additionally learn what the importer skipped and
+// defaulted, or FromSWF to stream the file instead of slurping it.
 func ReadSWF(r io.Reader) ([]Record, error) { return trace.ReadSWF(r) }
 
 // WriteSWF exports a trace as SWF (hybrid extensions are dropped).

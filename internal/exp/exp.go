@@ -39,6 +39,15 @@ type Options struct {
 	Policy   string    // queue policy name; default "fcfs"
 	Workers  int       // parallel sweep workers; default runtime.NumCPU()
 	Progress io.Writer // optional progress log (nil = quiet)
+
+	// Source, when non-empty, replays this source spec (see internal/source)
+	// in place of every generated trace: each experiment's grid runs its
+	// mechanisms over the named workload instead of the synthetic model.
+	// Seed averaging collapses to one replica — the source is one fixed
+	// trace — and per-variant workload knobs (notice mixes, lead ablations)
+	// no longer vary the input, so figure-style experiments degrade to
+	// mechanism comparisons over the given trace.
+	Source string
 }
 
 func (o Options) withDefaults() Options {
@@ -50,6 +59,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seeds < 1 {
 		o.Seeds = 10
+	}
+	if o.Source != "" {
+		o.Seeds = 1 // a fixed source is one trace; replicas would be identical
 	}
 	if o.BaseSeed == 0 {
 		o.BaseSeed = 1
@@ -97,6 +109,7 @@ func (o Options) spec(group, variant, mech string, wcfg workload.Config) runner.
 		Mechanism:    mech,
 		Policy:       o.Policy,
 		Nodes:        o.Nodes,
+		Source:       o.Source,
 		Workload:     wcfg,
 		Core:         core.DefaultConfig(),
 		MTBF:         o.MTBF,

@@ -20,6 +20,7 @@ type Row struct {
 	Policy    string `json:"policy"`
 	Seed      int64  `json:"seed"`
 	Nodes     int    `json:"nodes"`
+	Source    string `json:"source,omitempty"`
 
 	Jobs      int   `json:"jobs"`
 	MakespanS int64 `json:"makespan_s"`
@@ -59,6 +60,7 @@ func (s Sweep) Rows() []Row {
 			Policy:    res.Spec.Policy,
 			Seed:      res.Spec.Workload.Seed,
 			Nodes:     res.Spec.Nodes,
+			Source:    res.Spec.Source,
 			Err:       res.Err,
 		}
 		if !res.Failed() {
@@ -100,7 +102,7 @@ func (s Sweep) WriteJSON(w io.Writer) error {
 
 // csvHeader is the CSV column order, matching the Row JSON tags.
 var csvHeader = []string{
-	"group", "variant", "mechanism", "policy", "seed", "nodes",
+	"group", "variant", "mechanism", "policy", "seed", "nodes", "source",
 	"jobs", "makespan_s",
 	"turnaround_h", "turnaround_rigid_h", "turnaround_ondemand_h", "turnaround_malleable_h",
 	"utilization", "useful_frac", "setup_frac", "ckpt_frac", "lost_frac",
@@ -119,7 +121,7 @@ func (s Sweep) WriteCSV(w io.Writer) error {
 	for _, r := range s.Rows() {
 		rec := []string{
 			r.Group, r.Variant, r.Mechanism, r.Policy,
-			strconv.FormatInt(r.Seed, 10), strconv.Itoa(r.Nodes),
+			strconv.FormatInt(r.Seed, 10), strconv.Itoa(r.Nodes), r.Source,
 			strconv.Itoa(r.Jobs), strconv.FormatInt(r.MakespanS, 10),
 			f(r.TurnH), f(r.TurnRigidH), f(r.TurnODH), f(r.TurnMallH),
 			f(r.Util), f(r.Useful), f(r.Setup), f(r.Ckpt), f(r.Lost),

@@ -14,9 +14,11 @@
 //     count. Results are returned in grid order, not completion order.
 //   - Failure isolation. A cell that returns an error or panics is recorded
 //     as a failed Result; the rest of the sweep completes.
-//   - Trace sharing. Workload traces are memoized by generator config: each
-//     unique trace is generated once and shared read-only by every cell that
-//     replays it (e.g. the seven mechanisms of one Figure 6 column).
+//   - Trace sharing. Workload traces are memoized by generator config — and
+//     source-backed cells by their spec string — so each unique trace is
+//     materialized once and shared read-only by every cell that replays it
+//     (e.g. the seven mechanisms of one Figure 6 column, or every mechanism
+//     replaying one SWF import).
 //
 // Emitters serialize a finished Sweep as JSON or CSV (see Row); wall-clock
 // measurements are excluded from those forms so emitted sweeps are stable
@@ -37,6 +39,7 @@ import (
 	"hybridsched/internal/registry"
 	"hybridsched/internal/sim"
 	"hybridsched/internal/simtime"
+	"hybridsched/internal/source"
 	"hybridsched/internal/trace"
 	"hybridsched/internal/workload"
 )
@@ -62,9 +65,16 @@ type Spec struct {
 	// Nodes is the simulated system size; 0 takes Workload.Nodes, then 4392.
 	Nodes int `json:"nodes,omitempty"`
 
+	// Source, when non-empty, names the cell's workload as a source spec
+	// (see internal/source: "swf:theta.swf|relabel:paper|scale:1.2"). It
+	// takes precedence over Workload. Cells with identical Source strings
+	// share one materialized trace, exactly like identical Workload configs;
+	// file-backed specs are therefore read once per sweep.
+	Source string `json:"source,omitempty"`
+
 	// Workload configures the trace generator. A zero Seed is filled with
 	// DeriveSeed(Group, Variant, Mechanism) so ad-hoc grids stay
-	// deterministic without hand-assigned seeds.
+	// deterministic without hand-assigned seeds. Ignored when Source is set.
 	Workload workload.Config `json:"-"`
 
 	// Core configures the mechanism (release threshold, directed return,
@@ -99,11 +109,16 @@ func (s Spec) withDefaults() Spec {
 	if s.Nodes == 0 {
 		s.Nodes = 4392
 	}
-	if s.Workload.Nodes == 0 {
-		s.Workload.Nodes = s.Nodes
-	}
-	if s.Workload.Seed == 0 {
-		s.Workload.Seed = DeriveSeed(s.Group, s.Variant, s.Mechanism)
+	// Source-backed cells leave Workload untouched: the spec is the whole
+	// workload identity (and the memo key), so a derived seed would only
+	// muddy Key() and the emitted rows.
+	if s.Source == "" {
+		if s.Workload.Nodes == 0 {
+			s.Workload.Nodes = s.Nodes
+		}
+		if s.Workload.Seed == 0 {
+			s.Workload.Seed = DeriveSeed(s.Group, s.Variant, s.Mechanism)
+		}
 	}
 	if s.Core == (core.Config{}) {
 		s.Core = core.DefaultConfig()
@@ -127,6 +142,9 @@ func (s Spec) Key() string {
 	}
 	if s.Group != "" {
 		key = s.Group + "/" + key
+	}
+	if s.Source != "" {
+		return fmt.Sprintf("%s/src=%s", key, s.Source)
 	}
 	return fmt.Sprintf("%s/seed%d", key, s.Workload.Seed)
 }
@@ -284,7 +302,7 @@ func runOne(spec Spec, cache *traceCache) (res Result) {
 	if runHook != nil {
 		runHook(s)
 	}
-	recs, err := cache.get(s.Workload)
+	recs, err := cache.records(s)
 	if err != nil {
 		res.Err = err.Error()
 		return
@@ -326,15 +344,16 @@ func runOne(spec Spec, cache *traceCache) (res Result) {
 	return
 }
 
-// traceCache memoizes generated workload traces by normalized generator
-// config. Records are immutable after generation (Materialize only reads
-// them), so one trace is safely shared by every cell that replays it; cells
-// needing the same in-flight trace block on its sync.Once.
+// traceCache memoizes materialized workload traces — synthetic generation
+// keyed by normalized generator config, source specs keyed by the spec
+// string. Records are immutable after materialization (Materialize only
+// reads them), so one trace is safely shared by every cell that replays it;
+// cells needing the same in-flight trace block on its sync.Once.
 type traceCache struct {
 	enabled bool
 	mu      sync.Mutex
 	entries map[string]*traceEntry
-	gens    int // generator invocations, for tests
+	gens    int // materializations, for tests
 }
 
 type traceEntry struct {
@@ -350,18 +369,39 @@ func newTraceCache(enabled bool) *traceCache {
 // generate is swapped out by tests that need a crashing generator.
 var generate = workload.Generate
 
-func (c *traceCache) get(cfg workload.Config) ([]trace.Record, error) {
-	norm, err := cfg.Normalize()
+// materializeSource compiles and drains a source spec into a record slice.
+func materializeSource(spec string) ([]trace.Record, error) {
+	src, err := source.Parse(spec)
 	if err != nil {
 		return nil, err
 	}
+	return source.ReadAll(src)
+}
+
+// records resolves a cell's trace: the source spec when set, the synthetic
+// generator config otherwise, both through the shared memo.
+func (c *traceCache) records(s Spec) ([]trace.Record, error) {
+	if s.Source != "" {
+		return c.get("source\x00"+s.Source, func() ([]trace.Record, error) {
+			return materializeSource(s.Source)
+		})
+	}
+	norm, err := s.Workload.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	return c.get(fmt.Sprintf("workload\x00%+v", norm), func() ([]trace.Record, error) {
+		return generate(norm)
+	})
+}
+
+func (c *traceCache) get(key string, gen func() ([]trace.Record, error)) ([]trace.Record, error) {
 	if !c.enabled {
 		c.mu.Lock()
 		c.gens++
 		c.mu.Unlock()
-		return generate(norm)
+		return gen()
 	}
-	key := fmt.Sprintf("%+v", norm)
 	c.mu.Lock()
 	e, ok := c.entries[key]
 	if !ok {
@@ -380,7 +420,7 @@ func (c *traceCache) get(cfg workload.Config) ([]trace.Record, error) {
 				e.err = fmt.Errorf("workload generator panic: %v", p)
 			}
 		}()
-		e.recs, e.err = generate(norm)
+		e.recs, e.err = gen()
 	})
 	return e.recs, e.err
 }

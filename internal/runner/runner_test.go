@@ -129,17 +129,17 @@ func TestTraceCacheSharesRecords(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := cache.get(cfg); err != nil {
+			if _, err := cache.records(Spec{Workload: cfg}); err != nil {
 				t.Error(err)
 			}
 		}()
 	}
 	wg.Wait()
-	a, err := cache.get(cfg)
+	a, err := cache.records(Spec{Workload: cfg})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _ := cache.get(cfg)
+	b, _ := cache.records(Spec{Workload: cfg})
 	if cache.gens != 1 {
 		t.Fatalf("generator ran %d times for one config, want 1", cache.gens)
 	}
@@ -149,7 +149,7 @@ func TestTraceCacheSharesRecords(t *testing.T) {
 	// A different seed is a different trace.
 	cfg2 := cfg
 	cfg2.Seed = 8
-	if _, err := cache.get(cfg2); err != nil {
+	if _, err := cache.records(Spec{Workload: cfg2}); err != nil {
 		t.Fatal(err)
 	}
 	if cache.gens != 2 {
@@ -169,7 +169,7 @@ func TestTraceCachePanicPoisonsEntry(t *testing.T) {
 		SizeWeights: []float64{0.5, 0.5},
 	}
 	for i := 0; i < 2; i++ {
-		recs, err := cache.get(cfg)
+		recs, err := cache.records(Spec{Workload: cfg})
 		if err == nil || !strings.Contains(err.Error(), "generator crash") || recs != nil {
 			t.Fatalf("call %d: poisoned entry returned (%d records, %v), want generator-crash error", i, len(recs), err)
 		}
@@ -184,7 +184,7 @@ func TestNoTraceCacheRegenerates(t *testing.T) {
 		SizeWeights: []float64{0.5, 0.5},
 	}
 	for i := 0; i < 3; i++ {
-		if _, err := cache.get(cfg); err != nil {
+		if _, err := cache.records(Spec{Workload: cfg}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -283,5 +283,78 @@ func TestEmptySweep(t *testing.T) {
 	}
 	if !strings.HasPrefix(c.String(), "group,") {
 		t.Fatal("empty CSV must still carry the header")
+	}
+}
+
+// sourceGrid builds a grid whose cells share one source spec, so the spec
+// must be materialized exactly once.
+func sourceGrid() []Spec {
+	const spec = "synthetic:seed=9,weeks=1,nodes=512|relabel:paper|scale:1.1"
+	var specs []Spec
+	for _, mech := range []string{"baseline", "N&PAA", "CUA&SPAA"} {
+		specs = append(specs, Spec{
+			Group:     "srctest",
+			Variant:   "mix",
+			Mechanism: mech,
+			Nodes:     512,
+			Source:    spec,
+		})
+	}
+	return specs
+}
+
+func TestSourceSpecCellsShareOneMaterialization(t *testing.T) {
+	specs := sourceGrid()
+	cache := newTraceCache(true)
+	for _, s := range specs {
+		if _, err := cache.records(s.withDefaults()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cache.gens != 1 {
+		t.Fatalf("source spec materialized %d times for %d cells, want 1", cache.gens, len(specs))
+	}
+	// A different spec is a different trace.
+	other := specs[0]
+	other.Source = "synthetic:seed=10,weeks=1,nodes=512"
+	if _, err := cache.records(other.withDefaults()); err != nil {
+		t.Fatal(err)
+	}
+	if cache.gens != 2 {
+		t.Fatalf("distinct specs share an entry: gens=%d", cache.gens)
+	}
+}
+
+func TestSourceSpecSweepDeterministicAcrossWorkers(t *testing.T) {
+	a := Run(sourceGrid(), Options{Workers: 1})
+	b := Run(sourceGrid(), Options{Workers: 4})
+	if err := a.Err(); err != nil {
+		t.Fatal(err)
+	}
+	ja, ca := serialize(t, a)
+	jb, cb := serialize(t, b)
+	if ja != jb || ca != cb {
+		t.Error("source-backed sweep output differs across worker counts")
+	}
+	if !strings.Contains(ja, "\"source\"") {
+		t.Error("emitted rows should carry the source spec")
+	}
+}
+
+func TestSourceSpecPrecedenceOverWorkload(t *testing.T) {
+	// When both Source and Workload are set, Source wins and the workload
+	// seed is left alone (no derived-seed noise in the emitted rows).
+	s := Spec{Mechanism: "baseline", Nodes: 512,
+		Source: "synthetic:seed=3,weeks=1,nodes=512"}.withDefaults()
+	if s.Workload.Seed != 0 {
+		t.Errorf("source-backed cell derived a workload seed %d", s.Workload.Seed)
+	}
+	if !strings.Contains(s.Key(), "src=") {
+		t.Errorf("Key() should name the source, got %q", s.Key())
+	}
+	bad := Spec{Mechanism: "baseline", Source: "nosuchhead:x"}
+	sweep := Run([]Spec{bad}, Options{Workers: 1})
+	if sweep.Err() == nil {
+		t.Error("unparseable source spec must fail the cell")
 	}
 }

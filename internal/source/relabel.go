@@ -1,0 +1,276 @@
+package source
+
+import (
+	"fmt"
+	"math"
+
+	"hybridsched/internal/job"
+	"hybridsched/internal/simtime"
+	"hybridsched/internal/trace"
+	"hybridsched/internal/workload"
+)
+
+// RelabelRule reassigns job classes project-by-project, the way the paper's
+// experiment setup relabels the 2019 Theta log (§IV-A): all jobs of one
+// project share a class, a fixed fraction of projects submit on-demand jobs,
+// a fixed fraction rigid, the remainder malleable. It is the supported way
+// to promote rigid SWF imports to the hybrid classes. The zero value is
+// completed with the paper defaults by normalize; PaperRule returns them
+// explicitly.
+//
+// The assignment is deterministic: a project's class and a job's notice
+// draws depend only on Seed, the project ID, and the job ID — never on
+// record order — so a relabeled trace is stable across runs and across
+// upstream transforms that drop or reorder records.
+type RelabelRule struct {
+	// Seed decorrelates relabelings of the same trace; same seed, same
+	// assignment. Default 1.
+	Seed int64
+
+	// OnDemandFrac and RigidFrac are the fractions of projects assigned the
+	// on-demand and rigid classes; the remainder is malleable. Defaults
+	// 0.10 and 0.60 (paper §IV-B). Like the SimulationConfig knobs, zero
+	// means "paper default" and a negative value expresses an explicit
+	// zero (e.g. OnDemandFrac: -1 relabels no project on-demand); the spec
+	// grammar's od=0 / rigid=0 map to the sentinel automatically.
+	OnDemandFrac float64
+	RigidFrac    float64
+
+	// Mix distributes on-demand jobs over the four advance-notice
+	// categories (Table III). Default W5 (balanced).
+	Mix workload.NoticeMix
+
+	// NoticeLeadMin/Max bound the advance-notice lead; default 15–30 min,
+	// negative = explicit zero.
+	NoticeLeadMin int64
+	NoticeLeadMax int64
+	// LateWindow spreads arrive-late jobs up to this far past the estimate;
+	// default 30 min, negative = explicit zero (late jobs arrive exactly at
+	// the estimate).
+	LateWindow int64
+
+	// OnDemandMaxSize reassigns larger jobs of on-demand projects to rigid
+	// ("real on-demand jobs are relatively small in size", §IV-A). Default
+	// 1024 nodes; negative disables the cap.
+	OnDemandMaxSize int
+
+	// MalleableMinFrac sets a malleable job's minimum size as a fraction of
+	// its maximum; default 0.20, negative = explicit zero (fully flexible,
+	// minimum size 1).
+	MalleableMinFrac float64
+}
+
+// PaperRule returns the paper-faithful relabeling: 10% of projects
+// on-demand, 60% rigid, 30% malleable, balanced W5 notice mix, 15–30 minute
+// leads, 1024-node on-demand cap.
+func PaperRule() RelabelRule { r, _ := RelabelRule{}.normalize(); return r }
+
+// normalize fills defaults and validates the rule. Zero-ish knobs follow
+// the repo-wide sentinel convention: zero takes the paper default, a
+// negative value is an explicit zero.
+func (r RelabelRule) normalize() (RelabelRule, error) {
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.OnDemandFrac == 0 {
+		r.OnDemandFrac = 0.10
+	} else if r.OnDemandFrac < 0 {
+		r.OnDemandFrac = 0
+	}
+	if r.RigidFrac == 0 {
+		r.RigidFrac = 0.60
+	} else if r.RigidFrac < 0 {
+		r.RigidFrac = 0
+	}
+	if r.OnDemandFrac+r.RigidFrac > 1 {
+		return r, fmt.Errorf("source: relabel fractions od=%g rigid=%g outside [0,1]",
+			r.OnDemandFrac, r.RigidFrac)
+	}
+	var zero workload.NoticeMix
+	if r.Mix == zero {
+		r.Mix = workload.W5
+	}
+	sum := 0.0
+	for _, p := range r.Mix {
+		if p < 0 {
+			return r, fmt.Errorf("source: negative notice fraction in relabel mix")
+		}
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return r, fmt.Errorf("source: relabel notice mix sums to %g, want 1", sum)
+	}
+	if r.NoticeLeadMin == 0 {
+		r.NoticeLeadMin = 15 * simtime.Minute
+	} else if r.NoticeLeadMin < 0 {
+		r.NoticeLeadMin = 0
+	}
+	if r.NoticeLeadMax == 0 {
+		r.NoticeLeadMax = 30 * simtime.Minute
+	} else if r.NoticeLeadMax < 0 {
+		r.NoticeLeadMax = 0
+	}
+	if r.NoticeLeadMax < r.NoticeLeadMin {
+		return r, fmt.Errorf("source: relabel notice leads [%d,%d] invalid", r.NoticeLeadMin, r.NoticeLeadMax)
+	}
+	if r.LateWindow == 0 {
+		r.LateWindow = 30 * simtime.Minute
+	} else if r.LateWindow < 0 {
+		r.LateWindow = 0
+	}
+	if r.OnDemandMaxSize == 0 {
+		r.OnDemandMaxSize = 1024
+	}
+	if r.MalleableMinFrac == 0 {
+		r.MalleableMinFrac = 0.20
+	} else if r.MalleableMinFrac < 0 {
+		r.MalleableMinFrac = 0
+	}
+	if r.MalleableMinFrac > 1 {
+		return r, fmt.Errorf("source: relabel malleable min fraction %g outside [0,1]", r.MalleableMinFrac)
+	}
+	return r, nil
+}
+
+// Salts for the independent hash streams of one rule.
+const (
+	saltClass = 1 + iota
+	saltCategory
+	saltLead
+	saltEarly
+	saltLate
+)
+
+// mix64 is the splitmix64 finalizer: a fast, well-distributed 64-bit hash
+// used to derive per-project and per-job uniforms without any RNG state.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// u01 derives a uniform in [0,1) from the rule seed, a stream salt, and a
+// key (project or job ID).
+func (r RelabelRule) u01(salt, key int64) float64 {
+	h := mix64(mix64(uint64(r.Seed)^uint64(salt)) ^ uint64(key))
+	return float64(h>>11) / (1 << 53)
+}
+
+// classFor deterministically assigns a class to a project.
+func (r RelabelRule) classFor(project int) job.Class {
+	u := r.u01(saltClass, int64(project))
+	switch {
+	case u < r.OnDemandFrac:
+		return job.OnDemand
+	case u < r.OnDemandFrac+r.RigidFrac:
+		return job.Rigid
+	default:
+		return job.Malleable
+	}
+}
+
+// uniformInt64 maps a [0,1) uniform onto [lo, hi].
+func uniformInt64(u float64, lo, hi int64) int64 {
+	v := lo + int64(u*float64(hi-lo+1))
+	if v > hi {
+		v = hi
+	}
+	return v
+}
+
+// apply rewrites one record under the (normalized) rule.
+func (r RelabelRule) apply(rec trace.Record) trace.Record {
+	class := r.classFor(rec.Project)
+	if class == job.OnDemand && r.OnDemandMaxSize > 0 && rec.Size > r.OnDemandMaxSize {
+		class = job.Rigid // large jobs of on-demand projects run rigid (§IV-A)
+	}
+	rec.Class = class
+	rec.MinSize = rec.Size
+	switch class {
+	case job.Rigid, job.Malleable:
+		if class == job.Malleable {
+			m := int(math.Ceil(r.MalleableMinFrac * float64(rec.Size)))
+			if m < 1 {
+				m = 1
+			}
+			if m > rec.Size {
+				m = rec.Size
+			}
+			rec.MinSize = m
+		}
+		rec.Notice = job.NoNotice
+		rec.NoticeTime, rec.EstArrival = rec.Submit, rec.Submit
+	case job.OnDemand:
+		r.fillNotice(&rec)
+	}
+	return rec
+}
+
+// fillNotice draws the advance-notice category and derives the notice and
+// estimated-arrival instants around the actual arrival, mirroring the
+// synthetic generator's Fig. 1 semantics (the lead precedes the estimated
+// arrival; early jobs land before the estimate, late ones after).
+func (r RelabelRule) fillNotice(rec *trace.Record) {
+	id := int64(rec.ID)
+	lead := uniformInt64(r.u01(saltLead, id), r.NoticeLeadMin, r.NoticeLeadMax)
+	u := r.u01(saltCategory, id)
+	acc := 0.0
+	cat := job.NoNotice
+	for c, p := range r.Mix {
+		acc += p
+		if u < acc {
+			cat = job.NoticeCategory(c)
+			break
+		}
+	}
+	switch cat {
+	case job.NoNotice:
+		rec.Notice = job.NoNotice
+		rec.NoticeTime, rec.EstArrival = rec.Submit, rec.Submit
+	case job.AccurateNotice:
+		rec.Notice = job.AccurateNotice
+		rec.EstArrival = rec.Submit
+		rec.NoticeTime = rec.Submit - lead
+	case job.ArriveEarly:
+		rec.Notice = job.ArriveEarly
+		rec.EstArrival = rec.Submit + uniformInt64(r.u01(saltEarly, id), 0, lead)
+		rec.NoticeTime = rec.EstArrival - lead
+	case job.ArriveLate:
+		rec.Notice = job.ArriveLate
+		rec.EstArrival = rec.Submit - uniformInt64(r.u01(saltLate, id), 0, r.LateWindow)
+		rec.NoticeTime = rec.EstArrival - lead
+	}
+	if rec.NoticeTime < 0 {
+		rec.NoticeTime = 0
+	}
+	if rec.EstArrival < rec.NoticeTime {
+		rec.EstArrival = rec.NoticeTime
+	}
+	if rec.NoticeTime > rec.Submit {
+		rec.NoticeTime = rec.Submit
+	}
+}
+
+// Relabel rewrites every record's class (and the class-dependent fields:
+// minimum size, notice category and instants) under rule, leaving arrival
+// times, sizes, runtimes, and IDs untouched. Existing class information is
+// deliberately discarded — the transform exists to impose a class structure
+// on traces that have none (SWF imports) or a different one (reusing a
+// hybrid trace under a new mix).
+func Relabel(src Source, rule RelabelRule) Source {
+	norm, err := rule.normalize()
+	return Func(func() (trace.Record, bool, error) {
+		if err != nil {
+			return trace.Record{}, false, err
+		}
+		rec, ok, serr := src.Next()
+		if !ok || serr != nil {
+			return rec, ok, serr
+		}
+		return norm.apply(rec), true, nil
+	})
+}

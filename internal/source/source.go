@@ -1,0 +1,303 @@
+// Package source defines the composable job-source abstraction that unifies
+// every way jobs enter the simulator: synthetic generation, trace files
+// (native CSV and SWF), hand-built record slices, and streams produced by
+// user code. A Source yields trace records one at a time, so multi-week
+// trace files can feed a live Session lazily — records are drawn as virtual
+// time advances, never slurped ahead of it.
+//
+// Sources compose: Merge interleaves several sources in time order (the
+// hybrid AI-HPC and capability/capacity blends of the related work), Scale
+// compresses or dilates arrival times to change the offered load, Relabel
+// reassigns job classes project-by-project (the paper's §IV-A trick, and the
+// only supported way to promote rigid SWF imports to on-demand or malleable
+// jobs), and Filter/Shift/Limit carve out sub-workloads. Every transform is
+// itself a Source, so pipelines nest arbitrarily.
+//
+// Pipelines also have a textual spec form (see Parse) so CLIs and sweep
+// grids can name workload sources declaratively:
+//
+//	swf:theta.swf|relabel:paper|scale:1.2
+//	synthetic:seed=3,weeks=2,mix=W2 + csv:bursts.csv|shift:3600
+//
+// Register adds user-defined spec heads, mirroring the scheduler and policy
+// registries: a source registered once is resolvable everywhere specs are
+// accepted (sessions, sweeps, and the CLI tools).
+package source
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"hybridsched/internal/trace"
+	"hybridsched/internal/workload"
+)
+
+// Source yields the records of one job stream. Next returns the next record
+// with ok=true; ok=false means the stream is exhausted (err may accompany it
+// when the stream failed). Sources are expected to yield records in
+// non-decreasing Submit order — the simulator consumes them as arrivals —
+// and implementations backed by files should release the file once drained.
+// A Source is single-use and not safe for concurrent use.
+type Source interface {
+	Next() (trace.Record, bool, error)
+}
+
+// Func adapts a function to the Source interface.
+type Func func() (trace.Record, bool, error)
+
+// Next calls f.
+func (f Func) Next() (trace.Record, bool, error) { return f() }
+
+// FromRecords returns a Source yielding records in slice order. The slice is
+// not copied; callers must not mutate it while the source is in use.
+func FromRecords(records []trace.Record) Source {
+	i := 0
+	return Func(func() (trace.Record, bool, error) {
+		if i >= len(records) {
+			return trace.Record{}, false, nil
+		}
+		r := records[i]
+		i++
+		return r, true, nil
+	})
+}
+
+// FromCSV returns a streaming Source over the native CSV dialect. Records
+// are parsed one Next at a time, so a multi-week trace is never resident in
+// memory as a whole. The reader is not closed; use Open for files.
+func FromCSV(r io.Reader) Source {
+	cr := trace.NewCSVReader(r)
+	return Func(func() (trace.Record, bool, error) {
+		rec, err := cr.Next()
+		if err == io.EOF {
+			return trace.Record{}, false, nil
+		}
+		if err != nil {
+			return trace.Record{}, false, err
+		}
+		return rec, true, nil
+	})
+}
+
+// FromSWF returns a streaming Source over a Standard Workload Format trace.
+// Every job imports as rigid (see the trace package documentation); compose
+// with Relabel to reassign classes. The reader is not closed; use Open for
+// files.
+func FromSWF(r io.Reader) Source {
+	sr := trace.NewSWFReader(r)
+	return Func(func() (trace.Record, bool, error) {
+		rec, err := sr.Next()
+		if err == io.EOF {
+			return trace.Record{}, false, nil
+		}
+		if err != nil {
+			return trace.Record{}, false, err
+		}
+		return rec, true, nil
+	})
+}
+
+// closer wraps a Source and closes c once the stream ends or fails, so
+// file-backed pipelines release their descriptor when drained.
+type closer struct {
+	src Source
+	c   io.Closer
+}
+
+func (s *closer) Next() (trace.Record, bool, error) {
+	rec, ok, err := s.src.Next()
+	if (!ok || err != nil) && s.c != nil {
+		s.c.Close()
+		s.c = nil
+	}
+	return rec, ok, err
+}
+
+// WithCloser attaches c to src: it is closed as soon as src reports
+// exhaustion or an error. Wrappers like Limit can end a pipeline early
+// without draining it; such abandoned files stay open until process exit.
+func WithCloser(src Source, c io.Closer) Source { return &closer{src: src, c: c} }
+
+// Synthetic returns a Source over the calibrated Theta-model generator. The
+// trace is generated on the first Next (the whole point of the generator is
+// a materialized, seeded trace) and then streamed in arrival order; the same
+// config always yields the same stream.
+func Synthetic(cfg workload.Config) Source {
+	var inner Source
+	return Func(func() (trace.Record, bool, error) {
+		if inner == nil {
+			recs, err := workload.Generate(cfg)
+			if err != nil {
+				return trace.Record{}, false, err
+			}
+			inner = FromRecords(recs)
+		}
+		return inner.Next()
+	})
+}
+
+// merge is a time-ordered k-way merge with sequential ID reassignment.
+type merge struct {
+	srcs    []Source
+	pending []trace.Record
+	has     []bool
+	done    []bool
+	nextID  int
+	err     error
+}
+
+// Merge interleaves sources in non-decreasing Submit order (ties resolve to
+// the earlier operand), assuming each input is itself time-ordered. Because
+// independent sources routinely number their jobs 1..n, merged records are
+// renumbered with sequential IDs (1-based, in emission order) — project IDs
+// are left untouched, so apply Relabel before merging when project spaces
+// collide.
+func Merge(srcs ...Source) Source {
+	if len(srcs) == 1 {
+		return srcs[0]
+	}
+	return &merge{
+		srcs:    srcs,
+		pending: make([]trace.Record, len(srcs)),
+		has:     make([]bool, len(srcs)),
+		done:    make([]bool, len(srcs)),
+	}
+}
+
+func (m *merge) Next() (trace.Record, bool, error) {
+	if m.err != nil {
+		return trace.Record{}, false, m.err
+	}
+	best := -1
+	for i := range m.srcs {
+		if !m.has[i] && !m.done[i] {
+			rec, ok, err := m.srcs[i].Next()
+			if err != nil {
+				m.err = err
+				return trace.Record{}, false, err
+			}
+			if !ok {
+				m.done[i] = true
+				continue
+			}
+			m.pending[i], m.has[i] = rec, true
+		}
+		if m.has[i] && (best < 0 || m.pending[i].Submit < m.pending[best].Submit) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return trace.Record{}, false, nil
+	}
+	rec := m.pending[best]
+	m.has[best] = false
+	m.nextID++
+	rec.ID = m.nextID
+	return rec, true, nil
+}
+
+// Scale compresses arrival times by factor, raising the offered load: with
+// factor 1.2 the same jobs arrive in 1/1.2 of the original span (load
+// ×1.2); factors below 1 dilate time and lower the load. Job sizes and
+// runtimes are untouched. All absolute instants (submit, notice, estimated
+// arrival) scale together, so notice leads shrink or grow with the factor.
+func Scale(src Source, factor float64) Source {
+	at := func(t int64) int64 { return int64(math.Round(float64(t) / factor)) }
+	return Func(func() (trace.Record, bool, error) {
+		if factor <= 0 || math.IsNaN(factor) || math.IsInf(factor, 0) {
+			return trace.Record{}, false, fmt.Errorf("source: scale factor %g must be a positive finite number", factor)
+		}
+		rec, ok, err := src.Next()
+		if !ok || err != nil {
+			return rec, ok, err
+		}
+		rec.Submit = at(rec.Submit)
+		rec.NoticeTime = at(rec.NoticeTime)
+		rec.EstArrival = at(rec.EstArrival)
+		return rec, true, nil
+	})
+}
+
+// Shift translates all absolute instants by dt seconds (negative shifts are
+// allowed; records pushed before t=0 fail validation at submission).
+func Shift(src Source, dt int64) Source {
+	return Func(func() (trace.Record, bool, error) {
+		rec, ok, err := src.Next()
+		if !ok || err != nil {
+			return rec, ok, err
+		}
+		rec.Submit += dt
+		rec.NoticeTime += dt
+		rec.EstArrival += dt
+		return rec, true, nil
+	})
+}
+
+// Filter yields only the records keep accepts.
+func Filter(src Source, keep func(trace.Record) bool) Source {
+	return Func(func() (trace.Record, bool, error) {
+		for {
+			rec, ok, err := src.Next()
+			if !ok || err != nil {
+				return rec, ok, err
+			}
+			if keep(rec) {
+				return rec, true, nil
+			}
+		}
+	})
+}
+
+// Limit yields at most n records. The underlying source is not drained past
+// the limit, so a file-backed pipeline cut short keeps its file open until
+// process exit (see WithCloser).
+func Limit(src Source, n int) Source {
+	return Func(func() (trace.Record, bool, error) {
+		if n <= 0 {
+			return trace.Record{}, false, nil
+		}
+		rec, ok, err := src.Next()
+		if ok {
+			n--
+		}
+		return rec, ok, err
+	})
+}
+
+// ReadAll drains a source into a slice. It is the bridge from the streaming
+// world to APIs that need a materialized trace (Simulate, the sweep runner's
+// shared-trace memo).
+func ReadAll(src Source) ([]trace.Record, error) {
+	var out []trace.Record
+	for {
+		rec, ok, err := src.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, rec)
+	}
+}
+
+// Sorted returns a source yielding the fully-materialized input in stable
+// Submit order. It exists for inputs that cannot guarantee time order
+// (hand-built slices, concatenated logs); it necessarily buffers everything,
+// so it forfeits streaming.
+func Sorted(src Source) Source {
+	var inner Source
+	return Func(func() (trace.Record, bool, error) {
+		if inner == nil {
+			recs, err := ReadAll(src)
+			if err != nil {
+				return trace.Record{}, false, err
+			}
+			sort.SliceStable(recs, func(i, j int) bool { return recs[i].Submit < recs[j].Submit })
+			inner = FromRecords(recs)
+		}
+		return inner.Next()
+	})
+}

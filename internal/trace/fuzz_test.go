@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// validCSVSeed renders a small valid trace for the fuzz corpus.
+func validCSVSeed(tb testing.TB) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	err := WriteCSV(&buf, []Record{
+		{ID: 1, Class: 0, Submit: 0, Size: 128, MinSize: 128, Work: 3600, Estimate: 7200},
+		{ID: 2, Class: 1, Submit: 60, Size: 64, MinSize: 64, Work: 600, Estimate: 900,
+			Notice: 1, NoticeTime: 30, EstArrival: 60},
+		{ID: 3, Class: 2, Submit: 90, Size: 256, MinSize: 32, Work: 100, Estimate: 200,
+			NoticeTime: 90, EstArrival: 90},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadCSV: the CSV parser must never panic, must only return
+// Validate-clean records on success, and the streaming reader must agree
+// with the slurp-all form byte for byte.
+func FuzzReadCSV(f *testing.F) {
+	f.Add(validCSVSeed(f))
+	f.Add([]byte(""))
+	f.Add([]byte("id,project,class,submit,size,min_size,work,estimate,setup,notice,notice_time,est_arrival\n"))
+	f.Add([]byte("id,project,class,submit,size,min_size,work,estimate,setup,notice,notice_time,est_arrival\n" +
+		"1,0,rigid,0,0,0,0,0,0,no-notice,0,0\n"))
+	f.Add([]byte("id,project,class,submit,size,min_size,work,estimate,setup,notice,notice_time,est_arrival\n" +
+		"1,0,quantum,0,8,8,10,10,0,no-notice,0,0\n"))
+	f.Add([]byte("not,a,header\n1,2,3\n"))
+	f.Add([]byte("id,project,class,submit,size,min_size,work,estimate,setup,notice,notice_time,est_arrival\n" +
+		"1,0,on-demand,5,8,8,10,20,0,late,9,4\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ReadCSV(bytes.NewReader(data))
+		var stream []Record
+		var streamErr error
+		sr := NewCSVReader(bytes.NewReader(data))
+		for {
+			rec, e := sr.Next()
+			if e == io.EOF {
+				break
+			}
+			if e != nil {
+				streamErr = e
+				break
+			}
+			stream = append(stream, rec)
+		}
+		if (err == nil) != (streamErr == nil) {
+			t.Fatalf("slurp err %v vs stream err %v", err, streamErr)
+		}
+		if err != nil {
+			return
+		}
+		if len(recs) != len(stream) || (len(recs) > 0 && !reflect.DeepEqual(recs, stream)) {
+			t.Fatalf("slurp and stream disagree: %d vs %d records", len(recs), len(stream))
+		}
+		for _, r := range recs {
+			if verr := r.Validate(); verr != nil {
+				t.Fatalf("ReadCSV accepted invalid record %+v: %v", r, verr)
+			}
+		}
+	})
+}
+
+// FuzzReadSWF: the SWF importer must never panic, must only emit
+// Validate-clean rigid records, and the summary must account for every
+// emitted record.
+func FuzzReadSWF(f *testing.F) {
+	f.Add([]byte("; comment\n1 0 -1 3600 128 -1 -1 128 7200 -1 1 10 20 -1 -1 -1 -1 -1\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("; only a comment\n"))
+	f.Add([]byte("1 2 3\n"))
+	f.Add([]byte("x 0 -1 10 4 -1 -1 4 10 -1 1\n"))
+	f.Add([]byte("1 0 -1 600 0 -1 -1 64 300 -1 1 10 20\n"))
+	f.Add([]byte("1 -5 -1 600 64 -1 -1 64 300 -1 1\n2 0 -1 -1 64 -1 -1 64 300 -1 1\n"))
+	f.Add([]byte(strings.Repeat("9", 40) + " 0 -1 10 4 -1 -1 4 10 -1 1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, sum, err := ReadSWFSummary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if sum.JobsRead != len(recs) {
+			t.Fatalf("summary says %d jobs read, got %d records", sum.JobsRead, len(recs))
+		}
+		for _, r := range recs {
+			if r.Class != 0 {
+				t.Fatalf("SWF import produced non-rigid record %+v", r)
+			}
+			if verr := r.Validate(); verr != nil {
+				t.Fatalf("ReadSWF accepted invalid record %+v: %v", r, verr)
+			}
+		}
+	})
+}

@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hybridsched/internal/job"
+)
+
+// drainCSV reads a CSVReader to exhaustion.
+func drainCSV(t *testing.T, r *CSVReader) []Record {
+	t.Helper()
+	var out []Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		out = append(out, rec)
+	}
+}
+
+func TestCSVReaderMatchesReadCSV(t *testing.T) {
+	recs := []Record{
+		{ID: 1, Project: 3, Class: job.Rigid, Submit: 0, Size: 128, MinSize: 128,
+			Work: 3600, Estimate: 7200, Setup: 60, NoticeTime: 0, EstArrival: 0},
+		{ID: 2, Project: 5, Class: job.OnDemand, Submit: 900, Size: 64, MinSize: 64,
+			Work: 600, Estimate: 900, Notice: job.AccurateNotice, NoticeTime: 300, EstArrival: 900},
+		{ID: 3, Project: 7, Class: job.Malleable, Submit: 1800, Size: 256, MinSize: 64,
+			Work: 1200, Estimate: 2400, NoticeTime: 1800, EstArrival: 1800},
+	}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, recs); err != nil {
+		t.Fatal(err)
+	}
+	batch, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := drainCSV(t, NewCSVReader(strings.NewReader(sb.String())))
+	if !reflect.DeepEqual(batch, stream) {
+		t.Errorf("streaming reader diverges from ReadCSV:\nbatch  %+v\nstream %+v", batch, stream)
+	}
+}
+
+func TestCSVReaderStickyError(t *testing.T) {
+	r := NewCSVReader(strings.NewReader("not,a,trace\n"))
+	_, err1 := r.Next()
+	if err1 == nil {
+		t.Fatal("want header error")
+	}
+	_, err2 := r.Next()
+	if err2 != err1 {
+		t.Errorf("error not sticky: %v then %v", err1, err2)
+	}
+}
+
+func TestCSVReaderStickyEOF(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteCSV(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	r := NewCSVReader(strings.NewReader(sb.String()))
+	for i := 0; i < 3; i++ {
+		if _, err := r.Next(); err != io.EOF {
+			t.Fatalf("call %d: want io.EOF, got %v", i, err)
+		}
+	}
+}
+
+const summarySWF = `; header comment
+1 0 -1 3600 128 -1 -1 128 7200 -1 1 10 20 -1 -1 -1 -1 -1
+2 100 -1 600 0 -1 -1 64 300 -1 1 10 20 -1 -1 -1 -1 -1
+3 200 -1 -5 32 -1 -1 32 900 -1 1 10 20 -1 -1 -1 -1 -1
+4 300 -1 450 16 -1 -1 16 900 -1 1
+`
+
+func TestSWFReaderSummary(t *testing.T) {
+	recs, sum, err := ReadSWFSummary(strings.NewReader(summarySWF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("want 3 records, got %d", len(recs))
+	}
+	want := SWFSummary{
+		JobsRead:    3,
+		JobsSkipped: 1, // job 3: negative runtime
+		// job 2: estimate 300 < runtime 600 raised; job 4: requested time 900 kept
+		EstimatesDefaulted: 1,
+		SizeFallbacks:      1, // job 2: allocated 0, requested 64
+		ProjectsDefaulted:  1, // job 4: only 11 fields
+	}
+	if sum != want {
+		t.Errorf("summary = %+v, want %+v", sum, want)
+	}
+	for _, r := range recs {
+		if r.Class != job.Rigid {
+			t.Errorf("job %d imported as %v, want rigid", r.ID, r.Class)
+		}
+		if err := r.Validate(); err != nil {
+			t.Errorf("imported record invalid: %v", err)
+		}
+	}
+	if s := sum.String(); !strings.Contains(s, "all rigid") {
+		t.Errorf("summary string should state the rigid default, got %q", s)
+	}
+}
+
+func TestSWFReaderMatchesReadSWF(t *testing.T) {
+	batch, err := ReadSWF(strings.NewReader(summarySWF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := NewSWFReader(strings.NewReader(summarySWF))
+	var stream []Record
+	for {
+		rec, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream = append(stream, rec)
+	}
+	if !reflect.DeepEqual(batch, stream) {
+		t.Errorf("streaming reader diverges from ReadSWF:\nbatch  %+v\nstream %+v", batch, stream)
+	}
+}
+
+func TestSWFReaderStickyError(t *testing.T) {
+	r := NewSWFReader(strings.NewReader("1 2 3\n"))
+	_, err1 := r.Next()
+	if err1 == nil {
+		t.Fatal("want short-line error")
+	}
+	_, err2 := r.Next()
+	if err2 != err1 {
+		t.Errorf("error not sticky: %v then %v", err1, err2)
+	}
+}

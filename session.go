@@ -145,6 +145,8 @@ type sessionConfig struct {
 	sim        SimulationConfig
 	scheduler  Scheduler // overrides sim.Mechanism when non-nil
 	maxSimTime int64
+	lookahead  int64
+	sources    []Source
 	observers  []Observer
 }
 
@@ -238,6 +240,35 @@ func WithMaxSimTime(t int64) Option {
 	return func(c *sessionConfig) { c.maxSimTime = t }
 }
 
+// DefaultSourceLookahead is how far past the next pending event a session
+// draws records from its attached Sources, in virtual seconds. The window
+// exists for advance notices: a record must be drawn before its notice
+// instant passes, and notices precede arrivals by up to the notice lead
+// (15–30 minutes in the paper's workloads), so one hour covers them with
+// room to spare while still keeping multi-week trace files on disk.
+const DefaultSourceLookahead = Hour
+
+// WithSourceLookahead sets how far past the next pending event attached
+// Sources are drawn (default DefaultSourceLookahead). Raise it when replaying
+// workloads whose advance-notice leads exceed an hour — a record drawn after
+// its notice instant has its notice clamped to the current virtual time. An
+// explicit 0 (or negative) draws records only once the clock is about to
+// reach them, trading notice fidelity for the tightest possible buffering.
+func WithSourceLookahead(seconds int64) Option {
+	return func(c *sessionConfig) {
+		if seconds <= 0 {
+			seconds = -1 // survives the default fill as an explicit zero
+		}
+		c.lookahead = seconds
+	}
+}
+
+// WithSource attaches src at construction time, equivalent to calling
+// SubmitSource on the new session.
+func WithSource(src Source) Option {
+	return func(c *sessionConfig) { c.sources = append(c.sources, src) }
+}
+
 // WithObserver attaches an observer that receives every scheduling event
 // synchronously. Multiple observers are delivered to in attach order.
 func WithObserver(o Observer) Option {
@@ -281,12 +312,25 @@ const eventChanBuffer = 4096
 // Snapshot must be called from one goroutine (the Events channels may be
 // drained from others).
 type Session struct {
-	eng    *sim.Engine
-	plan   func(size int) checkpoint.Plan
-	obs    []Observer
-	chans  []chan Event
-	drops  int
-	closed bool
+	eng       *sim.Engine
+	plan      func(size int) checkpoint.Plan
+	obs       []Observer
+	chans     []chan Event
+	drops     int
+	closed    bool
+	srcs      []sourceState
+	lookahead int64
+}
+
+// sourceState tracks one attached Source: its buffered head record (drawn
+// but not yet submitted), whether the stream is exhausted, and the last
+// submit instant seen (to enforce the non-decreasing-order contract).
+type sourceState struct {
+	src     Source
+	pending Record
+	has     bool
+	done    bool
+	last    int64
 }
 
 // NewSession builds a live simulation from functional options; the zero
@@ -327,14 +371,26 @@ func NewSession(opts ...Option) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	lookahead := c.lookahead
+	if lookahead == 0 {
+		lookahead = DefaultSourceLookahead
+	} else if lookahead < 0 {
+		lookahead = 0
+	}
 	s := &Session{
 		eng: eng,
 		plan: func(size int) checkpoint.Plan {
 			return checkpoint.NewPlan(size, cfg.MTBF, cfg.CheckpointFreqMult)
 		},
-		obs: c.observers,
+		obs:       c.observers,
+		lookahead: lookahead,
 	}
 	eng.SetEventSink(s.emit)
+	for _, src := range c.sources {
+		if err := s.SubmitSource(src); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -380,21 +436,120 @@ func (s *Session) Submit(r Record) error {
 	return s.eng.Submit(jobs[0])
 }
 
+// SubmitSource attaches src to the session: its records are drawn lazily as
+// virtual time advances — each record is submitted just before the clock
+// would reach it (plus the source lookahead, see WithSourceLookahead) — so a
+// multi-week trace file streams from disk instead of being slurped up front,
+// and mid-run arrival semantics are preserved exactly. A record drawn from a
+// source behaves identically to the same record passed to Submit at the same
+// instant; feeding Synthetic(cfg) to a fresh session and calling Run
+// reproduces Simulate(cfg, GenerateWorkload(cfg)) byte for byte.
+//
+// Sources must yield records in non-decreasing Submit order (wrap unsorted
+// inputs in SortSource); an out-of-order record fails the run with a
+// submitted-before-the-clock error. Multiple sources may be attached — they
+// interleave in time order like Merge, but without Merge's ID renumbering,
+// so attach sources with disjoint job IDs or merge them first. More sources
+// may be attached while the session runs.
+func (s *Session) SubmitSource(src Source) error {
+	if src == nil {
+		return fmt.Errorf("hybridsched: SubmitSource of nil source")
+	}
+	s.srcs = append(s.srcs, sourceState{src: src})
+	return nil
+}
+
+// fill draws the next record into st.pending if the buffer is empty.
+func (st *sourceState) fill() error {
+	if st.has || st.done {
+		return nil
+	}
+	r, ok, err := st.src.Next()
+	if err != nil {
+		st.done = true
+		return fmt.Errorf("hybridsched: source: %w", err)
+	}
+	if !ok {
+		st.done = true
+		return nil
+	}
+	if r.Submit < st.last {
+		st.done = true
+		return fmt.Errorf("hybridsched: source yields records out of order: job %d at t=%d after t=%d (wrap unsorted inputs in SortSource)",
+			r.ID, r.Submit, st.last)
+	}
+	st.last = r.Submit
+	st.pending, st.has = r, true
+	return nil
+}
+
+// sourcesDrained reports whether every attached source is exhausted with no
+// record left in its buffer.
+func (s *Session) sourcesDrained() bool {
+	for i := range s.srcs {
+		if s.srcs[i].has || !s.srcs[i].done {
+			return false
+		}
+	}
+	return true
+}
+
+// pump submits every source record due before the next pending event (plus
+// the lookahead window, so advance notices are scheduled before their fire
+// time). When the engine has no pending events at all, the earliest pending
+// record is submitted unconditionally — it is the next thing to happen.
+// Sources are consumed in record Submit order, ties resolving to the earlier
+// attached source, which keeps lazy submission byte-equivalent to
+// pre-submitting the same records in sorted order.
+func (s *Session) pump() error {
+	for {
+		best := -1
+		for i := range s.srcs {
+			if err := s.srcs[i].fill(); err != nil {
+				return err
+			}
+			if s.srcs[i].has && (best < 0 || s.srcs[i].pending.Submit < s.srcs[best].pending.Submit) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		if next, ok := s.eng.PeekTime(); ok && s.srcs[best].pending.Submit > next+s.lookahead {
+			return nil
+		}
+		if err := s.Submit(s.srcs[best].pending); err != nil {
+			return err
+		}
+		s.srcs[best].has = false
+	}
+}
+
 // Now returns the current virtual time in seconds.
 func (s *Session) Now() int64 { return s.eng.Now() }
 
-// Step processes the next pending event and returns true. It returns false
-// when every submitted job has completed and no events remain; the session
-// stays live, so more jobs can be Submitted and stepping resumed. A drained
-// event queue with incomplete jobs reports a stall error.
-func (s *Session) Step() (bool, error) { return s.eng.Step() }
+// Step processes the next pending event and returns true, first drawing any
+// source records that are due. It returns false when every submitted job has
+// completed, no events remain, and every attached source is drained; the
+// session stays live, so more jobs (or sources) can be submitted and
+// stepping resumed. A drained event queue with incomplete jobs reports a
+// stall error.
+func (s *Session) Step() (bool, error) {
+	if err := s.pump(); err != nil {
+		return false, err
+	}
+	return s.eng.Step()
+}
 
 // RunUntil advances the session to virtual time t: every event at or before
-// t is processed and the clock lands exactly on t (so periodic snapshots
-// align with wall boundaries). It never runs ahead — events after t stay
-// pending.
+// t is processed (drawing source records as they come due) and the clock
+// lands exactly on t (so periodic snapshots align with wall boundaries). It
+// never runs ahead — events after t stay pending.
 func (s *Session) RunUntil(t int64) error {
 	for {
+		if err := s.pump(); err != nil {
+			return err
+		}
 		next, ok := s.eng.PeekTime()
 		if !ok {
 			// Drained queue with incomplete jobs is a stall: let the engine
@@ -421,13 +576,28 @@ func (s *Session) RunUntil(t int64) error {
 	return s.eng.AdvanceTo(t)
 }
 
-// Run drives the session until every submitted job has completed, closes
-// the event channels, and returns the final report. With all records
-// submitted up front it is equivalent to Simulate.
+// Run drives the session until every submitted job has completed and every
+// attached source is drained, closes the event channels, and returns the
+// final report. With all records submitted up front it is equivalent to
+// Simulate; with sources attached it is the streaming equivalent.
 func (s *Session) Run() (Report, error) {
-	rep, err := s.eng.Run()
+	for {
+		if err := s.pump(); err != nil {
+			s.Close()
+			return s.eng.Report(), err
+		}
+		more, err := s.eng.Step()
+		if err != nil {
+			s.Close()
+			return s.eng.Report(), err
+		}
+		if !more && s.sourcesDrained() {
+			break
+		}
+	}
+	rep := s.eng.Report()
 	s.Close()
-	return rep, err
+	return rep, nil
 }
 
 // Report computes the measurement report over everything processed so far.

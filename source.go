@@ -1,0 +1,144 @@
+package hybridsched
+
+import (
+	"io"
+
+	"hybridsched/internal/source"
+	"hybridsched/internal/trace"
+)
+
+// Source is the one composable abstraction for every way jobs enter a
+// simulation: synthetic generation, trace files, record slices, and streams
+// produced by user code. Next yields the next record with ok=true; ok=false
+// ends the stream (err may accompany it). Sources must yield records in
+// non-decreasing Submit order and are single-use.
+//
+// Sources compose — Merge, Scale, Filter, Relabel, Shift, Limit — and every
+// transform is itself a Source. Sessions consume them lazily with
+// SubmitSource (records are drawn as virtual time advances, so multi-week
+// trace files are never slurped into memory), sweeps replay them via
+// SweepSpec.Source, and CLIs name them with the textual spec grammar of
+// ParseSource.
+type Source = source.Source
+
+// SourceFunc adapts a function to the Source interface.
+type SourceFunc = source.Func
+
+// FromRecords returns a Source yielding records in slice order. The slice is
+// not copied; callers must not mutate it while the source is in use. Use
+// SortSource first if the slice is not in Submit order.
+func FromRecords(records []Record) Source { return source.FromRecords(records) }
+
+// FromCSV returns a streaming Source over the native CSV trace dialect:
+// records are parsed one at a time, so a multi-week trace feeds a session
+// without ever being resident in memory as a whole. The reader is not
+// closed; use OpenSource for files.
+func FromCSV(r io.Reader) Source { return source.FromCSV(r) }
+
+// FromSWF returns a streaming Source over a Standard Workload Format trace.
+// Every SWF job imports as rigid (see ReadSWF); compose with Relabel to
+// promote imports to the on-demand or malleable classes.
+func FromSWF(r io.Reader) Source { return source.FromSWF(r) }
+
+// OpenSource returns a streaming Source over a trace file, dispatching on
+// the extension (".swf" → SWF, anything else → native CSV). The file is
+// closed once the stream is drained or fails.
+func OpenSource(path string) (Source, error) { return source.Open(path) }
+
+// Synthetic returns a Source over the calibrated Theta-model generator: the
+// same config (and seed) always yields the same stream, and feeding it to a
+// Session reproduces GenerateWorkload + Simulate exactly.
+func Synthetic(cfg WorkloadConfig) Source { return source.Synthetic(cfg) }
+
+// Merge interleaves sources in non-decreasing Submit order (ties resolve to
+// the earlier operand), assuming each input is itself time-ordered. Merged
+// records are renumbered with sequential IDs — independent sources routinely
+// number their jobs 1..n — while project IDs are left untouched, so apply
+// Relabel before merging when project spaces collide.
+func Merge(srcs ...Source) Source { return source.Merge(srcs...) }
+
+// Scale compresses arrival times by factor, raising the offered load: with
+// factor 1.2 the same jobs arrive in 1/1.2 of the original span (load ×1.2);
+// factors below 1 dilate time and lower the load.
+func Scale(src Source, factor float64) Source { return source.Scale(src, factor) }
+
+// Filter yields only the records keep accepts.
+func Filter(src Source, keep func(Record) bool) Source { return source.Filter(src, keep) }
+
+// RelabelRule reassigns job classes project-by-project, the paper's §IV-A
+// relabeling of the Theta log: all jobs of one project share a class, with
+// fixed fractions of projects assigned on-demand and rigid (the remainder
+// malleable), deterministic in the rule's Seed. It is the supported way to
+// promote rigid SWF imports to the hybrid classes. The zero value takes the
+// paper defaults (see PaperRelabel).
+type RelabelRule = source.RelabelRule
+
+// PaperRelabel returns the paper-faithful relabeling rule: 10% of projects
+// on-demand, 60% rigid, 30% malleable, balanced W5 notice mix, 15–30 minute
+// notice leads, 1024-node on-demand size cap.
+func PaperRelabel() RelabelRule { return source.PaperRule() }
+
+// Relabel rewrites every record's class (and the class-dependent fields:
+// minimum size, notice category and instants) under rule, leaving arrival
+// times, sizes, runtimes, and IDs untouched.
+func Relabel(src Source, rule RelabelRule) Source { return source.Relabel(src, rule) }
+
+// Shift translates all absolute instants by dt seconds.
+func Shift(src Source, dt int64) Source { return source.Shift(src, dt) }
+
+// Limit yields at most n records.
+func Limit(src Source, n int) Source { return source.Limit(src, n) }
+
+// SortSource buffers the whole input and re-yields it in stable Submit
+// order. Use it for inputs that cannot guarantee time order; it necessarily
+// forfeits streaming.
+func SortSource(src Source) Source { return source.Sorted(src) }
+
+// ReadAllSource drains a source into a record slice — the bridge from the
+// streaming world to APIs that want a materialized trace (Simulate,
+// WriteTraceCSV).
+func ReadAllSource(src Source) ([]Record, error) { return source.ReadAll(src) }
+
+// ParseSource compiles a source spec — the textual pipeline grammar shared
+// by the CLIs and sweep grids — into a Source:
+//
+//	spec      = pipeline { "+" pipeline }          merge, time-ordered
+//	pipeline  = head { "|" transform }
+//	head      = "csv:PATH" | "swf:PATH"
+//	          | "synthetic[:k=v,...]"              keys: seed weeks nodes mix load
+//	          | NAME[":ARG"]                       registered with RegisterSource
+//	transform = "relabel:paper" | "relabel:k=v,..."
+//	          | "scale:F" | "shift:SECS" | "limit:N" | "filter:k=v,..."
+//
+// Example: "swf:theta.swf|relabel:paper|scale:1.2" replays the Theta log
+// with the paper's class mix at 1.2× load. File-backed pipelines open their
+// files immediately (a bad path fails here) but read them lazily.
+func ParseSource(spec string) (Source, error) { return source.Parse(spec) }
+
+// SourceFactory builds a Source from the argument text of a registered spec
+// head ("name:arg" invokes the factory registered under "name" with "arg").
+// Factories must return a fresh, single-use Source per call.
+type SourceFactory = source.Factory
+
+// RegisterSource makes factory resolvable as a spec head everywhere source
+// specs are accepted — ParseSource, SweepSpec.Source, and the -source flags
+// of the CLI tools — mirroring RegisterScheduler and RegisterPolicy.
+// Registration is append-only and fails on a duplicate or built-in name.
+func RegisterSource(name string, factory SourceFactory) error {
+	return source.Register(name, factory)
+}
+
+// SourceNames returns every resolvable source-spec head: the built-ins
+// (csv, swf, synthetic), then registered extensions.
+func SourceNames() []string { return source.Names() }
+
+// SWFSummary reports what an SWF import did: jobs read (all rigid), jobs
+// skipped, and how often missing fields were defaulted.
+type SWFSummary = trace.SWFSummary
+
+// ReadSWFSummary imports an SWF trace like ReadSWF and additionally returns
+// the import summary, so callers can surface what was defaulted and what
+// was dropped instead of importing silently.
+func ReadSWFSummary(r io.Reader) ([]Record, SWFSummary, error) {
+	return trace.ReadSWFSummary(r)
+}

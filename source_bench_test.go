@@ -1,0 +1,81 @@
+package hybridsched
+
+import (
+	"bytes"
+	"testing"
+)
+
+// benchWorkload is the trace the source benchmarks stream: one week on the
+// full Theta system, a few thousand records.
+var benchWorkload = WorkloadConfig{Seed: 1, Weeks: 1}
+
+// benchTrace materializes the benchmark workload once per format.
+func benchTrace(b *testing.B) []Record {
+	b.Helper()
+	records, err := GenerateWorkload(benchWorkload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return records
+}
+
+// drainRate drains src and reports records/sec for the benchmark.
+func drainRate(b *testing.B, makeSrc func() Source) {
+	b.Helper()
+	total := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := ReadAllSource(makeSrc())
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += len(n)
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(total)/secs, "records/sec")
+	}
+}
+
+func BenchmarkSourceSynthetic(b *testing.B) {
+	drainRate(b, func() Source { return Synthetic(benchWorkload) })
+}
+
+func BenchmarkSourceCSV(b *testing.B) {
+	var buf bytes.Buffer
+	if err := WriteTraceCSV(&buf, benchTrace(b)); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	drainRate(b, func() Source { return FromCSV(bytes.NewReader(data)) })
+}
+
+func BenchmarkSourceSWF(b *testing.B) {
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, benchTrace(b)); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	drainRate(b, func() Source { return FromSWF(bytes.NewReader(data)) })
+}
+
+func BenchmarkSourceMerge3(b *testing.B) {
+	records := benchTrace(b)
+	var csvBuf, swfBuf bytes.Buffer
+	if err := WriteTraceCSV(&csvBuf, records); err != nil {
+		b.Fatal(err)
+	}
+	if err := WriteSWF(&swfBuf, records); err != nil {
+		b.Fatal(err)
+	}
+	csvData, swfData := csvBuf.Bytes(), swfBuf.Bytes()
+	cfg := benchWorkload
+	cfg.Seed = 2
+	drainRate(b, func() Source {
+		return Merge(
+			FromCSV(bytes.NewReader(csvData)),
+			FromSWF(bytes.NewReader(swfData)),
+			Synthetic(cfg),
+		)
+	})
+}

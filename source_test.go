@@ -1,0 +1,261 @@
+package hybridsched
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestSubmitSourceGoldenEquivalence: streaming Synthetic(cfg) into a Session
+// and Run() must reproduce Simulate(cfg, GenerateWorkload(cfg)) byte for
+// byte (JSON, wall-clock fields excluded), for every mechanism under every
+// Table III notice mix — the records are drawn lazily, yet the simulation
+// must be indistinguishable from a batch load.
+func TestSubmitSourceGoldenEquivalence(t *testing.T) {
+	mixes := []struct {
+		name string
+		mix  NoticeMix
+	}{{"W1", W1}, {"W2", W2}, {"W3", W3}, {"W4", W4}, {"W5", W5}}
+	for _, m := range mixes {
+		wcfg := equivWorkload(m.mix)
+		records, err := GenerateWorkload(wcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mech := range Mechanisms() {
+			t.Run(m.name+"/"+mech, func(t *testing.T) {
+				legacy, err := Simulate(SimulationConfig{Nodes: 512, Mechanism: mech}, records)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s, err := NewSession(WithNodes(512), WithMechanism(mech))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := s.SubmitSource(Synthetic(wcfg)); err != nil {
+					t.Fatal(err)
+				}
+				got, err := s.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if canonicalJSON(t, got) != canonicalJSON(t, legacy) {
+					t.Errorf("streamed-source report differs from Simulate")
+				}
+			})
+		}
+	}
+}
+
+// TestSubmitSourceEquivalentToSubmitLoop: a CSV source must behave exactly
+// like submitting the same records by hand, including through RunUntil
+// checkpoints.
+func TestSubmitSourceEquivalentToSubmitLoop(t *testing.T) {
+	records, err := GenerateWorkload(equivWorkload(W5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTraceCSV(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+
+	batch, err := NewSession(WithNodes(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range records {
+		if err := batch.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := batch.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stream, err := NewSession(WithNodes(512), WithSource(FromCSV(&buf)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for hour := int64(1); ; hour++ {
+		if err := stream.RunUntil(hour * Hour); err != nil {
+			t.Fatal(err)
+		}
+		snap := stream.Snapshot()
+		if snap.Submitted == len(records) && snap.Completed == snap.Submitted {
+			break
+		}
+	}
+	got, err := stream.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonicalJSON(t, got) != canonicalJSON(t, want) {
+		t.Error("CSV-source session differs from submit-loop session")
+	}
+}
+
+// countingReader counts the bytes drawn through it.
+type countingReader struct {
+	r io.Reader
+	n int
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += n
+	return n, err
+}
+
+// TestFromCSVStreamsLazily: a session over a multi-week CSV trace must not
+// read the file ahead of virtual time — after advancing one day into a
+// four-week trace, only a sliver of the bytes may have been consumed.
+func TestFromCSVStreamsLazily(t *testing.T) {
+	records, err := GenerateWorkload(WorkloadConfig{Seed: 2, Weeks: 4, Nodes: 512,
+		MinJobSize: 16, SizeBuckets: []int{16, 32, 64}, SizeWeights: []float64{0.5, 0.3, 0.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTraceCSV(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	total := buf.Len()
+	cr := &countingReader{r: &buf}
+	s, err := NewSession(WithNodes(512), WithSource(FromCSV(cr)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntil(24 * Hour); err != nil {
+		t.Fatal(err)
+	}
+	// One day plus the one-hour lookahead is ~3.7% of the four-week span;
+	// allow generous slack for the CSV reader's internal buffering.
+	if limit := total / 4; cr.n > limit {
+		t.Errorf("read %d of %d bytes after one simulated day of four weeks (limit %d): not streaming",
+			cr.n, total, limit)
+	}
+	if cr.n == 0 {
+		t.Error("no bytes read after a simulated day; source not consumed")
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if cr.n != total {
+		t.Errorf("full run consumed %d of %d bytes", cr.n, total)
+	}
+}
+
+// TestSubmitSourceMultiple: two attached sources interleave in time order
+// and drain completely.
+func TestSubmitSourceMultiple(t *testing.T) {
+	early := []Record{
+		{ID: 1, Class: Rigid, Submit: 0, Size: 64, MinSize: 64, Work: 600, Estimate: 900},
+		{ID: 2, Class: Rigid, Submit: 7200, Size: 64, MinSize: 64, Work: 600, Estimate: 900},
+	}
+	late := []Record{
+		{ID: 3, Class: Rigid, Submit: 3600, Size: 64, MinSize: 64, Work: 600, Estimate: 900},
+	}
+	s, err := NewSession(WithNodes(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SubmitSource(FromRecords(early)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SubmitSource(FromRecords(late)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs != 3 {
+		t.Errorf("completed %d jobs, want 3", rep.Jobs)
+	}
+}
+
+// TestSubmitSourceNil and out-of-order input surface errors instead of
+// corrupting the run.
+func TestSubmitSourceErrors(t *testing.T) {
+	s, err := NewSession(WithNodes(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SubmitSource(nil); err == nil {
+		t.Error("nil source should error")
+	}
+
+	// An unsorted source trips the engine's before-the-clock guard once its
+	// late record surfaces after the clock has passed it.
+	unsorted := []Record{
+		{ID: 1, Class: Rigid, Submit: 8 * Hour, Size: 64, MinSize: 64, Work: 600, Estimate: 900},
+		{ID: 2, Class: Rigid, Submit: 0, Size: 64, MinSize: 64, Work: 600, Estimate: 900},
+	}
+	s2, err := NewSession(WithNodes(512), WithSource(FromRecords(unsorted)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Run(); err == nil {
+		t.Error("out-of-order source should fail the run")
+	}
+
+	// The same input through SortSource succeeds.
+	s3, err := NewSession(WithNodes(512), WithSource(SortSource(FromRecords(unsorted))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s3.Run(); err != nil {
+		t.Errorf("sorted source failed: %v", err)
+	}
+
+	// A failing source surfaces its error from Run.
+	s4, err := NewSession(WithNodes(512), WithSource(FromCSV(strings.NewReader("junk"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s4.Run(); err == nil || !strings.Contains(err.Error(), "source") {
+		t.Errorf("source parse failure not surfaced: %v", err)
+	}
+}
+
+// TestRelabeledSWFThroughSession: the paper's §IV-A trick end to end — an
+// all-rigid SWF import relabeled to the hybrid classes runs under a
+// mechanism and produces on-demand jobs.
+func TestRelabeledSWFThroughSession(t *testing.T) {
+	records, err := GenerateWorkload(equivWorkload(W5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var swf bytes.Buffer
+	if err := WriteSWF(&swf, records); err != nil {
+		t.Fatal(err)
+	}
+	imported, sum, err := ReadSWFSummary(bytes.NewReader(swf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.JobsRead != len(imported) {
+		t.Fatalf("summary jobs read %d != %d", sum.JobsRead, len(imported))
+	}
+	rule := PaperRelabel()
+	rule.OnDemandMaxSize = 128 // equiv workload tops out at 128-node jobs
+	s, err := NewSession(WithNodes(512),
+		WithSource(Relabel(FromSWF(bytes.NewReader(swf.Bytes())), rule)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs != len(imported) {
+		t.Errorf("ran %d jobs, imported %d", rep.Jobs, len(imported))
+	}
+	if rep.OnDemand.Count == 0 || rep.Malleable.Count == 0 {
+		t.Errorf("relabel produced no hybrid classes: od=%d mall=%d",
+			rep.OnDemand.Count, rep.Malleable.Count)
+	}
+}

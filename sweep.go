@@ -7,14 +7,20 @@ import (
 	"hybridsched/internal/runner"
 )
 
-// SweepSpec is one cell of a sweep grid: a workload to generate (or reuse —
-// identical workload configs share one generated trace) and a simulation
-// configuration to replay it under. Label tags the cell in progress lines
-// and serialized output. Sim.Mechanism and Sim.Policy accept any name the
-// registries resolve, including schedulers and policies added with
-// RegisterScheduler/RegisterPolicy.
+// SweepSpec is one cell of a sweep grid: a workload to replay and a
+// simulation configuration to replay it under. The workload is either a
+// generator config (Workload) or a source spec (Source — see ParseSource);
+// Source takes precedence when both are set. Identical workload configs, and
+// identical source specs, share one materialized trace across the whole
+// sweep, so replaying one SWF import under every mechanism reads the file
+// once. Label tags the cell in progress lines and serialized output.
+// Sim.Mechanism and Sim.Policy accept any name the registries resolve,
+// including schedulers and policies added with RegisterScheduler/
+// RegisterPolicy; Source heads likewise resolve names added with
+// RegisterSource.
 type SweepSpec struct {
 	Label    string
+	Source   string
 	Workload WorkloadConfig
 	Sim      SimulationConfig
 }
@@ -79,6 +85,7 @@ func RunSweep(specs []SweepSpec, opt SweepOptions) (*SweepReport, error) {
 			Mechanism: cfg.Mechanism,
 			Policy:    cfg.Policy,
 			Nodes:     cfg.Nodes,
+			Source:    s.Source,
 			Workload:  s.Workload,
 			Core:      ccfg,
 			MTBF:      cfg.MTBF,

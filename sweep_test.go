@@ -2,6 +2,8 @@ package hybridsched
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -107,5 +109,83 @@ func TestRunSweepHonorsNoDirectedReturn(t *testing.T) {
 	}
 	if rep.Results[0].Report.Jobs == 0 {
 		t.Fatal("empty report")
+	}
+}
+
+// TestRunSweepWithSourceSpecs: a Source-bearing grid must stay deterministic
+// for any worker count, and identical file-backed specs must read the trace
+// file exactly once across the whole sweep.
+func TestRunSweepWithSourceSpecs(t *testing.T) {
+	records, err := GenerateWorkload(WorkloadConfig{
+		Seed: 4, Nodes: 512, Weeks: 1,
+		MinJobSize:  16,
+		SizeBuckets: []int{16, 32, 64, 128},
+		SizeWeights: []float64{0.4, 0.3, 0.2, 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var swf bytes.Buffer
+	if err := WriteSWF(&swf, records); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "theta.swf")
+	if err := os.WriteFile(path, swf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec := "swf:" + path + "|relabel:paper|scale:1.2"
+	var specs []SweepSpec
+	for _, mech := range []string{"baseline", "N&PAA", "CUA&SPAA"} {
+		specs = append(specs, SweepSpec{
+			Label:  mech,
+			Source: spec,
+			Sim:    SimulationConfig{Nodes: 512, Mechanism: mech},
+		})
+	}
+	serialize := func(workers int) (string, string) {
+		rep, err := RunSweep(specs, SweepOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var j, c bytes.Buffer
+		if err := rep.WriteJSON(&j); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.WriteCSV(&c); err != nil {
+			t.Fatal(err)
+		}
+		return j.String(), c.String()
+	}
+	j1, c1 := serialize(1)
+	j4, c4 := serialize(4)
+	if j1 != j4 || c1 != c4 {
+		t.Fatal("source-backed sweep output differs across worker counts")
+	}
+	if !strings.Contains(j1, "relabel:paper") {
+		t.Error("emitted rows should carry the source spec")
+	}
+	// Identical specs share one materialization: with the file deleted
+	// mid-sweep impossible to assert directly here, so assert via a
+	// one-shot source head registered to count invocations.
+	calls := 0
+	if err := RegisterSource("countedsrc", func(arg string) (Source, error) {
+		calls++
+		return FromRecords(records), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var counted []SweepSpec
+	for _, mech := range []string{"baseline", "N&PAA", "CUA&SPAA"} {
+		counted = append(counted, SweepSpec{
+			Label:  mech,
+			Source: "countedsrc",
+			Sim:    SimulationConfig{Nodes: 512, Mechanism: mech},
+		})
+	}
+	if _, err := RunSweep(counted, SweepOptions{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("identical source specs materialized %d times, want 1", calls)
 	}
 }
