@@ -27,6 +27,7 @@ func benchOpt() exp.Options {
 }
 
 func BenchmarkTableI_WorkloadSummary(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.TableI(benchOpt()); err != nil {
 			b.Fatal(err)
@@ -35,6 +36,7 @@ func BenchmarkTableI_WorkloadSummary(b *testing.B) {
 }
 
 func BenchmarkFigure3_SizeHistogram(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.Figure3(benchOpt()); err != nil {
 			b.Fatal(err)
@@ -43,6 +45,7 @@ func BenchmarkFigure3_SizeHistogram(b *testing.B) {
 }
 
 func BenchmarkFigure4_TypeDistribution(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.Figure4(benchOpt()); err != nil {
 			b.Fatal(err)
@@ -51,6 +54,7 @@ func BenchmarkFigure4_TypeDistribution(b *testing.B) {
 }
 
 func BenchmarkFigure5_WeeklyOnDemand(b *testing.B) {
+	b.ReportAllocs()
 	opt := benchOpt()
 	opt.Weeks = 4 // weekly series need several weeks
 	for i := 0; i < b.N; i++ {
@@ -61,6 +65,7 @@ func BenchmarkFigure5_WeeklyOnDemand(b *testing.B) {
 }
 
 func BenchmarkTableII_Baseline(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.TableII(benchOpt()); err != nil {
 			b.Fatal(err)
@@ -69,6 +74,7 @@ func BenchmarkTableII_Baseline(b *testing.B) {
 }
 
 func BenchmarkFigure6_Mechanisms(b *testing.B) {
+	b.ReportAllocs()
 	opt := benchOpt()
 	opt.Seeds = 1
 	for i := 0; i < b.N; i++ {
@@ -79,6 +85,7 @@ func BenchmarkFigure6_Mechanisms(b *testing.B) {
 }
 
 func BenchmarkFigure7_CheckpointFrequency(b *testing.B) {
+	b.ReportAllocs()
 	opt := benchOpt()
 	opt.Seeds = 1
 	for i := 0; i < b.N; i++ {
@@ -93,6 +100,7 @@ func BenchmarkFigure7_CheckpointFrequency(b *testing.B) {
 // machine packed with hundreds of running jobs. The paper requires < 10 ms;
 // the reported ns/op is the per-decision cost.
 func BenchmarkDecisionLatency(b *testing.B) {
+	b.ReportAllocs()
 	recs, err := workload.Generate(workload.Config{
 		Seed: 1, Nodes: 4392, Weeks: 1,
 		MinJobSize:  8,
@@ -127,6 +135,7 @@ func BenchmarkDecisionLatency(b *testing.B) {
 }
 
 func BenchmarkAblationBackfillReserved(b *testing.B) {
+	b.ReportAllocs()
 	opt := benchOpt()
 	opt.Seeds = 1
 	for i := 0; i < b.N; i++ {
@@ -137,6 +146,7 @@ func BenchmarkAblationBackfillReserved(b *testing.B) {
 }
 
 func BenchmarkAblationMinSizeFraction(b *testing.B) {
+	b.ReportAllocs()
 	opt := benchOpt()
 	opt.Seeds = 1
 	for i := 0; i < b.N; i++ {
@@ -147,6 +157,7 @@ func BenchmarkAblationMinSizeFraction(b *testing.B) {
 }
 
 func BenchmarkAblationNoticeLead(b *testing.B) {
+	b.ReportAllocs()
 	opt := benchOpt()
 	opt.Seeds = 1
 	for i := 0; i < b.N; i++ {
@@ -157,6 +168,7 @@ func BenchmarkAblationNoticeLead(b *testing.B) {
 }
 
 func BenchmarkAblationDirectedReturn(b *testing.B) {
+	b.ReportAllocs()
 	opt := benchOpt()
 	opt.Seeds = 1
 	for i := 0; i < b.N; i++ {
@@ -167,6 +179,7 @@ func BenchmarkAblationDirectedReturn(b *testing.B) {
 }
 
 func BenchmarkAblationQueuePolicy(b *testing.B) {
+	b.ReportAllocs()
 	opt := benchOpt()
 	opt.Seeds = 1
 	for i := 0; i < b.N; i++ {
@@ -179,6 +192,7 @@ func BenchmarkAblationQueuePolicy(b *testing.B) {
 // BenchmarkExtensionFaults sweeps system MTBF under fault injection — the
 // checkpoint/restart interplay extension from DESIGN.md.
 func BenchmarkExtensionFaults(b *testing.B) {
+	b.ReportAllocs()
 	recs, err := workload.Generate(workload.Config{
 		Seed: 1, Nodes: 1024, Weeks: 1,
 		MinJobSize:  32,
@@ -190,6 +204,7 @@ func BenchmarkExtensionFaults(b *testing.B) {
 	}
 	for _, mtbfH := range []float64{6, 24, 96} {
 		b.Run(fmt.Sprintf("mtbf-%gh", mtbfH), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				jobs := trace.Materialize(recs, func(size int) checkpoint.Plan {
 					return checkpoint.NewPlan(size, mtbfH*3600, 1)
@@ -215,6 +230,7 @@ func BenchmarkExtensionFaults(b *testing.B) {
 // BenchmarkSimulationThroughput measures raw engine speed: one full 4-week,
 // 4392-node simulation per iteration.
 func BenchmarkSimulationThroughput(b *testing.B) {
+	b.ReportAllocs()
 	recs, err := workload.Generate(workload.Config{Seed: 1, Weeks: 4})
 	if err != nil {
 		b.Fatal(err)

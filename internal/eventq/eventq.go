@@ -36,6 +36,7 @@ type Event struct {
 	seq      uint64
 	index    int // heap index, -1 once removed
 	canceled bool
+	pooled   bool // on the free list, awaiting reuse
 }
 
 // Canceled reports whether Cancel was called on the event.
@@ -43,9 +44,20 @@ func (e *Event) Canceled() bool { return e.canceled }
 
 // Queue is a min-heap of events. The zero value is ready to use.
 type Queue struct {
-	h   eventHeap
-	seq uint64
+	h    eventHeap
+	seq  uint64
+	pool []*Event
+	// pooling enables the internal free list (see EnablePooling).
+	pooling bool
 }
+
+// EnablePooling turns on the internal Event free list: Recycle parks spent
+// events and Push reuses them, so a long simulation reaches a steady state
+// where event scheduling stops allocating. Off by default because reuse makes
+// a retained stale handle dangerous — enable it only when every Recycle call
+// provably hands back the last live reference (the simulation engine does;
+// its mechanism-held timer handles are never recycled).
+func (q *Queue) EnablePooling() { q.pooling = true }
 
 // Len returns the number of live (non-cancelled) events.
 // Cancelled events are removed eagerly, so this is exact.
@@ -54,10 +66,36 @@ func (q *Queue) Len() int { return len(q.h) }
 // Push schedules payload at time t with priority p and returns a handle that
 // can be used to cancel it.
 func (q *Queue) Push(t int64, p Priority, payload any) *Event {
-	e := &Event{Time: t, Prio: p, Payload: payload, seq: q.seq}
+	var e *Event
+	if n := len(q.pool); n > 0 {
+		e = q.pool[n-1]
+		q.pool[n-1] = nil
+		q.pool = q.pool[:n-1]
+		*e = Event{Time: t, Prio: p, Payload: payload, seq: q.seq}
+	} else {
+		e = &Event{Time: t, Prio: p, Payload: payload, seq: q.seq}
+	}
 	q.seq++
 	heap.Push(&q.h, e)
 	return e
+}
+
+// Recycle parks e for reuse by a future Push. The caller asserts that no
+// other reference to e survives: e must already be popped or cancelled, and
+// every handle to it dropped — recycling a still-referenced event would let
+// a later Cancel through the stale handle hit an unrelated reuse. Recycle is
+// a no-op when pooling is disabled, for nil events, for events still in the
+// queue, and for events already parked, so callers may recycle defensively.
+func (q *Queue) Recycle(e *Event) {
+	if !q.pooling || e == nil || e.pooled {
+		return
+	}
+	if e.index >= 0 && e.index < len(q.h) && q.h[e.index] == e {
+		return // still scheduled
+	}
+	e.pooled = true
+	e.Payload = nil
+	q.pool = append(q.pool, e)
 }
 
 // Pop removes and returns the earliest event. It returns nil when the queue

@@ -235,7 +235,8 @@ func (c *Collector) Report() Report {
 	c.NoteReserved(c.winEnd, c.lastReserved) // close the integral
 	r.Makespan = c.winEnd - c.winStart
 
-	var turn, turnR, turnO, turnM []float64
+	turn := make([]float64, 0, len(c.results))
+	var turnR, turnO, turnM []float64
 	var preR, preM, preO, preAll int
 	var odInstant, odStrict, odCount int
 	var delaySum float64

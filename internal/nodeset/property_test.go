@@ -1,0 +1,205 @@
+package nodeset
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests: every algebraic law a Set must obey is checked
+// against a map[int]bool model over randomized ID slices. IDs are drawn as
+// uint16 so the bitsets stay a bounded few KiB while still spanning many
+// words and forcing grow-on-Add paths.
+
+// fromIDs16 builds a set and its model from a random ID slice (duplicates
+// welcome — re-adding must be a no-op).
+func fromIDs16(ids []uint16) (*Set, map[int]bool) {
+	s := &Set{}
+	model := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		s.Add(int(id))
+		model[int(id)] = true
+	}
+	return s, model
+}
+
+// agrees reports whether s contains exactly the model's members, with a
+// consistent count.
+func agrees(s *Set, model map[int]bool) bool {
+	if s.Len() != len(model) {
+		return false
+	}
+	for id := range model {
+		if !s.Contains(id) {
+			return false
+		}
+	}
+	for _, id := range s.IDs() {
+		if !model[id] {
+			return false
+		}
+	}
+	return true
+}
+
+func quickCheck(t *testing.T, name string, f any) {
+	t.Helper()
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Errorf("%s: %v", name, err)
+	}
+}
+
+func TestQuickAddRemoveModel(t *testing.T) {
+	quickCheck(t, "add/remove vs model", func(add, remove []uint16) bool {
+		s, model := fromIDs16(add)
+		for _, id := range remove {
+			s.Remove(int(id))
+			delete(model, int(id))
+		}
+		return agrees(s, model)
+	})
+}
+
+func TestQuickUnionSemantics(t *testing.T) {
+	quickCheck(t, "union", func(a, b []uint16) bool {
+		sa, ma := fromIDs16(a)
+		sb, mb := fromIDs16(b)
+		u := Union(sa, sb)
+		mu := make(map[int]bool, len(ma)+len(mb))
+		for id := range ma {
+			mu[id] = true
+		}
+		for id := range mb {
+			mu[id] = true
+		}
+		// The operands must come through untouched (Union clones).
+		return agrees(u, mu) && agrees(sa, ma) && agrees(sb, mb)
+	})
+}
+
+func TestQuickIntersectSubtractSemantics(t *testing.T) {
+	quickCheck(t, "intersect/subtract", func(a, b []uint16) bool {
+		sa, ma := fromIDs16(a)
+		sb, mb := fromIDs16(b)
+		inter := Intersection(sa, sb)
+		diff := Difference(sa, sb)
+		mi := make(map[int]bool)
+		md := make(map[int]bool)
+		for id := range ma {
+			if mb[id] {
+				mi[id] = true
+			} else {
+				md[id] = true
+			}
+		}
+		if !agrees(inter, mi) || !agrees(diff, md) {
+			return false
+		}
+		// Partition law: (a ∩ b) ∪ (a \ b) == a, and the two parts are
+		// disjoint.
+		if inter.Intersects(diff) {
+			return false
+		}
+		return Union(inter, diff).Equal(sa)
+	})
+}
+
+func TestQuickSubtractUnionRoundTrip(t *testing.T) {
+	quickCheck(t, "subtract/union round-trip", func(a, b []uint16) bool {
+		sa, _ := fromIDs16(a)
+		sb, _ := fromIDs16(b)
+		// (a ∪ b) \ b == a \ b, and re-adding b restores a ∪ b.
+		u := Union(sa, sb)
+		stripped := Difference(u, sb)
+		if !stripped.Equal(Difference(sa, sb)) {
+			return false
+		}
+		stripped.UnionWith(sb)
+		return stripped.Equal(u)
+	})
+}
+
+func TestQuickCloneIsDeep(t *testing.T) {
+	quickCheck(t, "clone deep-copies", func(a, mutate []uint16) bool {
+		s, model := fromIDs16(a)
+		c := s.Clone()
+		if !c.Equal(s) {
+			return false
+		}
+		// Mutating the original must not leak into the clone, and vice versa.
+		for i, id := range mutate {
+			if i%2 == 0 {
+				s.Add(int(id))
+			} else {
+				s.Remove(int(id))
+			}
+		}
+		return agrees(c, model)
+	})
+}
+
+func TestQuickCountConsistency(t *testing.T) {
+	quickCheck(t, "count consistency", func(a, b []uint16, k uint8) bool {
+		s, _ := fromIDs16(a)
+		o, _ := fromIDs16(b)
+		s.UnionWith(o)
+		s.SubtractWith(o)
+		s.IntersectWith(s.Clone())
+		snapshot := s.Clone()
+		picked := s.Pick(int(k))
+		// Len must equal both the popcount of the words and len(IDs()) after
+		// any operation mix, and Pick must partition the set exactly.
+		pop := 0
+		for _, w := range s.words {
+			pop += bits.OnesCount64(w)
+		}
+		if s.Len() != pop || s.Len() != len(s.IDs()) {
+			return false
+		}
+		if picked.Len() != min(int(k), snapshot.Len()) {
+			return false
+		}
+		if picked.Intersects(s) {
+			return false
+		}
+		if !Union(picked, s).Equal(snapshot) {
+			return false
+		}
+		if s.Empty() != (s.Len() == 0) {
+			return false
+		}
+		return true
+	})
+}
+
+func TestGrowOnAdd(t *testing.T) {
+	cases := []struct {
+		name string
+		s    *Set
+	}{
+		{"zero value", &Set{}},
+		{"New(0)", New(0)},
+		{"New(4)", New(4)},
+		{"Range(0,3)", Range(0, 3)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			before := tc.s.Len()
+			tc.s.Add(1000) // far beyond any initial capacity
+			if len(tc.s.words) < 1000/wordBits+1 {
+				t.Fatalf("words did not grow: %d", len(tc.s.words))
+			}
+			if !tc.s.Contains(1000) || tc.s.Len() != before+1 {
+				t.Fatalf("Add(1000) not reflected: len %d", tc.s.Len())
+			}
+			tc.s.Add(1000) // re-add: count must not move
+			if tc.s.Len() != before+1 {
+				t.Fatalf("duplicate Add changed count to %d", tc.s.Len())
+			}
+			tc.s.Remove(5000) // beyond capacity: no-op, no growth panic
+			if tc.s.Len() != before+1 {
+				t.Fatalf("out-of-range Remove changed count to %d", tc.s.Len())
+			}
+		})
+	}
+}

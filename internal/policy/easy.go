@@ -23,6 +23,15 @@ type Start struct {
 // maxInt64 stands in for an unbounded shadow time.
 const maxInt64 = int64(^uint64(0) >> 1)
 
+// Planner computes EASY-backfilling plans with reusable scratch buffers, so a
+// scheduler invoking it once per event allocates nothing in steady state. The
+// zero value is ready to use. A Planner is not safe for concurrent use, and
+// each PlanEASY call invalidates the slice returned by the previous one.
+type Planner struct {
+	starts []Start
+	rel    []Running
+}
+
 // PlanEASY computes the set of waiting jobs to start now under FCFS/EASY
 // semantics (Mu'alem & Feitelson, TPDS'01):
 //
@@ -52,7 +61,9 @@ const maxInt64 = int64(^uint64(0) >> 1)
 // flexible enables malleable sizing: when false (the Table II baseline:
 // "no special treatments"), malleable jobs are scheduled rigidly at their
 // maximum size.
-func PlanEASY(now int64, queue []*job.Job, running []Running, free, backfillExtra int, ownReserve func(*job.Job) int, flexible bool) []Start {
+//
+// The returned slice is owned by the Planner and valid until its next call.
+func (p *Planner) PlanEASY(now int64, queue []*job.Job, running []Running, free, backfillExtra int, ownReserve func(*job.Job) int, flexible bool) []Start {
 	own := func(j *job.Job) int {
 		if ownReserve == nil {
 			return 0
@@ -60,10 +71,10 @@ func PlanEASY(now int64, queue []*job.Job, running []Running, free, backfillExtr
 		return ownReserve(j)
 	}
 	if !flexible {
-		return planEASYFixed(now, queue, running, free, backfillExtra, own)
+		return p.planEASYFixed(now, queue, running, free, backfillExtra, own)
 	}
 
-	var starts []Start
+	starts := p.starts[:0]
 	idx := 0
 
 	// Phase 1: run the head of the queue while it fits.
@@ -83,6 +94,7 @@ func PlanEASY(now int64, queue []*job.Job, running []Running, free, backfillExtr
 		idx++
 	}
 	if idx >= len(queue) {
+		p.starts = starts
 		return starts
 	}
 
@@ -90,7 +102,7 @@ func PlanEASY(now int64, queue []*job.Job, running []Running, free, backfillExtr
 	// reduces what it needs from the free pool and future releases.
 	head := queue[idx]
 	headNeed := minStart(head) - own(head)
-	shadow, extra := shadowAndExtra(running, free, headNeed)
+	shadow, extra := p.shadowAndExtra(running, free, headNeed)
 
 	// Phase 3: backfill the rest of the queue in priority order.
 	for _, j := range queue[idx+1:] {
@@ -124,14 +136,22 @@ func PlanEASY(now int64, queue []*job.Job, running []Running, free, backfillExtr
 			}
 		}
 	}
+	p.starts = starts
 	return starts
+}
+
+// PlanEASY is the allocation-per-call form of Planner.PlanEASY, retained for
+// one-shot callers and the engine's naive reference path.
+func PlanEASY(now int64, queue []*job.Job, running []Running, free, backfillExtra int, ownReserve func(*job.Job) int, flexible bool) []Start {
+	var p Planner
+	return p.PlanEASY(now, queue, running, free, backfillExtra, ownReserve, flexible)
 }
 
 // planEASYFixed is PlanEASY with every job treated as fixed-size (malleable
 // jobs at their maximum). It shares the same shadow/extra logic via the
 // rigid branch of the size chooser.
-func planEASYFixed(now int64, queue []*job.Job, running []Running, free, backfillExtra int, own func(*job.Job) int) []Start {
-	var starts []Start
+func (p *Planner) planEASYFixed(now int64, queue []*job.Job, running []Running, free, backfillExtra int, own func(*job.Job) int) []Start {
+	starts := p.starts[:0]
 	idx := 0
 	for idx < len(queue) {
 		j := queue[idx]
@@ -147,10 +167,11 @@ func planEASYFixed(now int64, queue []*job.Job, running []Running, free, backfil
 		idx++
 	}
 	if idx >= len(queue) {
+		p.starts = starts
 		return starts
 	}
 	head := queue[idx]
-	shadow, extra := shadowAndExtra(running, free, head.Size-own(head))
+	shadow, extra := p.shadowAndExtra(running, free, head.Size-own(head))
 	for _, j := range queue[idx+1:] {
 		bfExtra := backfillExtra
 		if j.Class == job.OnDemand {
@@ -198,6 +219,7 @@ func planEASYFixed(now int64, queue []*job.Job, running []Running, free, backfil
 			}
 		}
 	}
+	p.starts = starts
 	return starts
 }
 
@@ -206,14 +228,15 @@ func planEASYFixed(now int64, queue []*job.Job, running []Running, free, backfil
 // extra nodes left over at that instant beyond the head's need. If the head
 // can never be satisfied from running-job releases (e.g. reservations hold
 // nodes back), the shadow is unbounded and only the fits-now constraint
-// applies to backfill candidates.
-func shadowAndExtra(running []Running, free, headNeed int) (shadow int64, extra int) {
+// applies to backfill candidates. The release list is copied into planner
+// scratch before sorting, so the caller's slice is never reordered.
+func (p *Planner) shadowAndExtra(running []Running, free, headNeed int) (shadow int64, extra int) {
 	avail := free
 	if avail >= headNeed {
 		return maxInt64, avail - headNeed
 	}
-	rel := make([]Running, len(running))
-	copy(rel, running)
+	rel := append(p.rel[:0], running...)
+	p.rel = rel
 	sort.Slice(rel, func(i, j int) bool { return rel[i].EstEnd < rel[j].EstEnd })
 	for _, r := range rel {
 		avail += r.Nodes

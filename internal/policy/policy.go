@@ -36,6 +36,9 @@ func (FCFS) Less(a, b *job.Job, _ int64) bool {
 	return a.ID < b.ID
 }
 
+// TimeInvariant reports that FCFS order never changes as time passes.
+func (FCFS) TimeInvariant() bool { return true }
+
 // SJF orders by estimated wall time, shortest first.
 type SJF struct{}
 
@@ -54,6 +57,9 @@ func (SJF) Less(a, b *job.Job, _ int64) bool {
 	return a.ID < b.ID
 }
 
+// TimeInvariant reports that SJF order never changes as time passes.
+func (SJF) TimeInvariant() bool { return true }
+
 // LJF orders by requested size, largest first, to reduce fragmentation.
 type LJF struct{}
 
@@ -70,6 +76,9 @@ func (LJF) Less(a, b *job.Job, _ int64) bool {
 	}
 	return a.ID < b.ID
 }
+
+// TimeInvariant reports that LJF order never changes as time passes.
+func (LJF) TimeInvariant() bool { return true }
 
 // WFP3 implements the utilization-fairness policy used on Theta-class
 // systems: priority grows with (wait/estimate)^3 * size, so large jobs and
@@ -120,26 +129,46 @@ func ByName(name string) Ordering {
 	return nil
 }
 
-// Sort orders queue in place under ord at time now. On-demand jobs always
-// sort ahead of other classes when onDemandFirst is set (the mechanisms place
-// an on-demand job that could not start instantly "to the front of the queue
-// waiting for additional available nodes", §III-B.2); among themselves they
-// keep arrival order.
+// Less is the single queue ordering shared by Sort and incremental queue
+// maintenance: it reports whether a should run before b under ord at time
+// now, with the on-demand-first rule applied when onDemandFirst is set
+// (the mechanisms place an on-demand job that could not start instantly "to
+// the front of the queue waiting for additional available nodes", §III-B.2);
+// among themselves on-demand jobs keep arrival order.
+func Less(a, b *job.Job, ord Ordering, now int64, onDemandFirst bool) bool {
+	if onDemandFirst {
+		ao, bo := a.Class == job.OnDemand, b.Class == job.OnDemand
+		if ao != bo {
+			return ao
+		}
+		if ao && bo {
+			if a.SubmitTime != b.SubmitTime {
+				return a.SubmitTime < b.SubmitTime
+			}
+			return a.ID < b.ID
+		}
+	}
+	return ord.Less(a, b, now)
+}
+
+// Sort orders queue in place under ord at time now, applying the
+// on-demand-first rule when onDemandFirst is set (see Less).
 func Sort(queue []*job.Job, ord Ordering, now int64, onDemandFirst bool) {
 	sort.SliceStable(queue, func(i, k int) bool {
-		a, b := queue[i], queue[k]
-		if onDemandFirst {
-			ao, bo := a.Class == job.OnDemand, b.Class == job.OnDemand
-			if ao != bo {
-				return ao
-			}
-			if ao && bo {
-				if a.SubmitTime != b.SubmitTime {
-					return a.SubmitTime < b.SubmitTime
-				}
-				return a.ID < b.ID
-			}
-		}
-		return ord.Less(a, b, now)
+		return Less(queue[i], queue[k], ord, now, onDemandFirst)
 	})
+}
+
+// timeInvariant is the optional capability an Ordering implements to declare
+// that its pairwise comparisons never depend on the current virtual time.
+type timeInvariant interface{ TimeInvariant() bool }
+
+// TimeInvariant reports whether ord's ordering of any two jobs is independent
+// of now. A time-invariant ordering (with ties broken to a total order, as
+// all built-ins do) lets a scheduler maintain its waiting queue sorted
+// incrementally instead of re-sorting on every pass. Orderings that do not
+// implement the capability are conservatively reported as time-dependent.
+func TimeInvariant(ord Ordering) bool {
+	ti, ok := ord.(timeInvariant)
+	return ok && ti.TimeInvariant()
 }

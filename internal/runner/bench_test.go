@@ -32,9 +32,11 @@ func benchGrid() []Spec {
 // pool sizes; the speedup of workers=NumCPU over workers=1 is the headline
 // number for the parallel runner.
 func BenchmarkSweep(b *testing.B) {
+	b.ReportAllocs()
 	specs := benchGrid()
 	for _, workers := range []int{1, runtime.NumCPU()} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sweep := Run(specs, Options{Workers: workers})
 				if err := sweep.Err(); err != nil {
@@ -49,6 +51,7 @@ func BenchmarkSweep(b *testing.B) {
 // BenchmarkTraceCache isolates the workload-memoization win: the same grid
 // with and without trace sharing.
 func BenchmarkTraceCache(b *testing.B) {
+	b.ReportAllocs()
 	specs := benchGrid()
 	for _, disabled := range []bool{false, true} {
 		name := "cached"
@@ -56,6 +59,7 @@ func BenchmarkTraceCache(b *testing.B) {
 			name = "uncached"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sweep := Run(specs, Options{Workers: runtime.NumCPU(), NoTraceCache: disabled})
 				if err := sweep.Err(); err != nil {

@@ -40,6 +40,12 @@ type Config struct {
 	Validate bool
 	// MaxSimTime aborts the run if the clock passes this bound (0 = none).
 	MaxSimTime int64
+	// Reference drives the retained naive scheduling path — per-pass queue
+	// re-sorts, running-set reconstruction by map iteration + sort, fresh
+	// planner allocations, no event pooling — instead of the allocation-lean
+	// incremental structures. The two paths must produce byte-identical
+	// reports; internal/simtest holds them to that.
+	Reference bool
 }
 
 func (c Config) withDefaults() Config {
@@ -191,6 +197,22 @@ type squat struct {
 	nodes *nodeset.Set
 }
 
+// jobEntry is the engine's per-job bookkeeping, consolidated into one record
+// so the hot path does a single index lookup instead of probing five maps.
+type jobEntry struct {
+	j       *job.Job
+	inQueue bool
+	running bool // Running or Warning (holds nodes)
+	endEv   *eventq.Event
+	warnEv  *eventq.Event
+}
+
+// denseSlack bounds how far beyond the contiguous block of registered job IDs
+// the dense entry table may extend. Traces renumber jobs from 1, so in
+// practice every job lands in the dense table; a wild outlier ID falls back
+// to the sparse map instead of ballooning the table.
+const denseSlack = 1024
+
 // Engine is the simulator instance. Create with New. Run executes to
 // completion in one call; Step/Submit/AdvanceTo drive it incrementally.
 type Engine struct {
@@ -202,17 +224,35 @@ type Engine struct {
 	cl  *cluster.Cluster
 	met *metrics.Collector
 
-	jobs    []*job.Job
-	byID    map[int]*job.Job
-	queue   []*job.Job
-	inQueue map[int]bool
-	running map[int]*job.Job // Running or Warning (hold nodes)
+	jobs []*job.Job
 
-	endEv  map[int]*eventq.Event
-	warnEv map[int]*eventq.Event
+	// Job bookkeeping: a dense table indexed by job ID for the common
+	// contiguous-ID case, with a sparse fallback for outlier IDs. Entry
+	// pointers are invalidated by registering a new job (the dense table may
+	// reallocate); take them fresh, never store them.
+	dense  []jobEntry
+	sparse map[int]*jobEntry
+
+	// queue is the waiting queue. With sortedQueue set it is maintained in
+	// policy order incrementally (binary-search insertion on enqueue); the
+	// built-in orderings are total, so the result is exactly what the
+	// per-pass stable sort used to produce. Time-dependent policies (WFP3,
+	// unknown registered ones) and the reference path re-sort every pass.
+	queue       []*job.Job
+	sortedQueue bool
+	odFirst     bool // mech.QueueOnDemandFirst(), cached at construction
+
+	// running lists every job holding nodes (Running or Warning), in
+	// ascending ID order, maintained incrementally.
+	running []*job.Job
+
+	// Scheduler-pass scratch, reused across passes.
+	riScratch []policy.Running
+	planner   policy.Planner
 
 	schedPending bool
 	completed    int
+	dispatched   int
 	primed       bool
 	sink         func(Event)
 
@@ -228,37 +268,92 @@ type Engine struct {
 // IDs must be unique and sizes must fit the system.
 func New(cfg Config, jobs []*job.Job, mech Mechanism) (*Engine, error) {
 	cfg = cfg.withDefaults()
-	seen := make(map[int]bool, len(jobs))
-	for _, j := range jobs {
-		if j.Size > cfg.Nodes {
-			return nil, fmt.Errorf("sim: job %d size %d exceeds system %d", j.ID, j.Size, cfg.Nodes)
-		}
-		if seen[j.ID] {
-			return nil, fmt.Errorf("sim: duplicate job ID %d", j.ID)
-		}
-		seen[j.ID] = true
-	}
-	byID := make(map[int]*job.Job, len(jobs))
-	for _, j := range jobs {
-		byID[j.ID] = j
-	}
 	e := &Engine{
 		cfg:          cfg,
 		mech:         mech,
 		cl:           cluster.New(cfg.Nodes),
 		met:          metrics.NewCollector(cfg.Nodes),
 		jobs:         jobs,
-		byID:         byID,
-		inQueue:      make(map[int]bool),
-		running:      make(map[int]*job.Job),
-		endEv:        make(map[int]*eventq.Event),
-		warnEv:       make(map[int]*eventq.Event),
 		backfillable: make(map[int]bool),
 		squats:       make(map[int][]squat),
 		squatted:     make(map[int]int),
 	}
+	e.odFirst = mech.QueueOnDemandFirst()
+	e.sortedQueue = !cfg.Reference && policy.TimeInvariant(cfg.Policy)
+	if !cfg.Reference {
+		e.q.EnablePooling()
+	}
+	for _, j := range jobs {
+		if j.Size > cfg.Nodes {
+			return nil, fmt.Errorf("sim: job %d size %d exceeds system %d", j.ID, j.Size, cfg.Nodes)
+		}
+		if err := e.register(j); err != nil {
+			return nil, err
+		}
+	}
 	mech.Attach(e)
 	return e, nil
+}
+
+// register records j in the ID index, choosing dense or sparse storage. It
+// fails on a duplicate ID.
+func (e *Engine) register(j *job.Job) error {
+	if ent := e.lookup(j.ID); ent != nil {
+		return fmt.Errorf("sim: duplicate job ID %d", j.ID)
+	}
+	if j.ID >= 0 && j.ID < 2*(len(e.jobs)+1)+denseSlack {
+		for len(e.dense) <= j.ID {
+			e.dense = append(e.dense, jobEntry{})
+		}
+		e.dense[j.ID].j = j
+		return nil
+	}
+	if e.sparse == nil {
+		e.sparse = make(map[int]*jobEntry)
+	}
+	e.sparse[j.ID] = &jobEntry{j: j}
+	return nil
+}
+
+// lookup returns the entry for a registered job ID, or nil. The pointer is
+// valid only until the next register call. An empty dense slot falls through
+// to the sparse map: the dense table can grow past an ID that was registered
+// sparsely when its block was still out of range.
+func (e *Engine) lookup(id int) *jobEntry {
+	if id >= 0 && id < len(e.dense) {
+		if ent := &e.dense[id]; ent.j != nil {
+			return ent
+		}
+	}
+	return e.sparse[id]
+}
+
+// mustEnt returns the entry for a job the engine has registered; a missing
+// entry is an internal bug.
+func (e *Engine) mustEnt(j *job.Job) *jobEntry {
+	ent := e.lookup(j.ID)
+	if ent == nil {
+		panic(fmt.Sprintf("sim: job %d has no entry", j.ID))
+	}
+	return ent
+}
+
+// addRunning inserts j into the ID-ordered running list.
+func (e *Engine) addRunning(j *job.Job) {
+	i := sort.Search(len(e.running), func(k int) bool { return e.running[k].ID >= j.ID })
+	e.running = append(e.running, nil)
+	copy(e.running[i+1:], e.running[i:])
+	e.running[i] = j
+}
+
+// removeRunning deletes the job with the given ID from the running list.
+func (e *Engine) removeRunning(id int) {
+	i := sort.Search(len(e.running), func(k int) bool { return e.running[k].ID >= id })
+	if i < len(e.running) && e.running[i].ID == id {
+		copy(e.running[i:], e.running[i+1:])
+		e.running[len(e.running)-1] = nil
+		e.running = e.running[:len(e.running)-1]
+	}
 }
 
 // Now returns the virtual clock.
@@ -273,6 +368,7 @@ func (e *Engine) Metrics() *metrics.Collector { return e.met }
 // Running returns the currently running rigid and malleable jobs (the
 // preemption candidates: on-demand jobs are never preempted, and jobs
 // already in their warning are spoken for), sorted by ID for determinism.
+// The slice is freshly allocated — callers sort and mutate it freely.
 func (e *Engine) Running() []*job.Job {
 	out := make([]*job.Job, 0, len(e.running))
 	for _, j := range e.running {
@@ -280,18 +376,14 @@ func (e *Engine) Running() []*job.Job {
 			out = append(out, j)
 		}
 	}
-	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
 	return out
 }
 
 // RunningAll returns every job currently holding nodes (Running or Warning,
 // all classes), sorted by ID. The slice is freshly allocated.
 func (e *Engine) RunningAll() []*job.Job {
-	out := make([]*job.Job, 0, len(e.running))
-	for _, j := range e.running {
-		out = append(out, j)
-	}
-	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	out := make([]*job.Job, len(e.running))
+	copy(out, e.running)
 	return out
 }
 
@@ -315,11 +407,24 @@ func (e *Engine) SubmittedCount() int { return len(e.jobs) }
 // CompletedCount returns how many jobs have completed.
 func (e *Engine) CompletedCount() int { return e.completed }
 
+// DispatchedCount returns how many events the engine has dispatched so far
+// (arrivals, notices, completions, warnings, timers, and scheduler passes —
+// not deadlock-break housekeeping steps).
+func (e *Engine) DispatchedCount() int { return e.dispatched }
+
 // Queued reports whether job id is in the waiting queue.
-func (e *Engine) Queued(id int) bool { return e.inQueue[id] }
+func (e *Engine) Queued(id int) bool {
+	ent := e.lookup(id)
+	return ent != nil && ent.inQueue
+}
 
 // JobByID resolves a job by its ID (nil if unknown).
-func (e *Engine) JobByID(id int) *job.Job { return e.byID[id] }
+func (e *Engine) JobByID(id int) *job.Job {
+	if ent := e.lookup(id); ent != nil {
+		return ent.j
+	}
+	return nil
+}
 
 // EnqueueWaiting places a waiting job into the queue; mechanisms use it for
 // fallback paths after reporting an arrival as handled.
@@ -330,13 +435,15 @@ func (e *Engine) EnqueueWaiting(j *job.Job) {
 
 // IsRunningOrWarning reports whether job id currently holds nodes.
 func (e *Engine) IsRunningOrWarning(id int) bool {
-	_, ok := e.running[id]
-	return ok
+	ent := e.lookup(id)
+	return ent != nil && ent.running
 }
 
 // SetEventSink installs fn to receive every typed scheduling event the
 // engine processes, synchronously and in dispatch order. A nil fn disables
-// emission (the default). Set it before the first Step/Run.
+// emission (the default), and with no sink the engine skips constructing
+// events entirely. The sink may be installed or swapped between steps;
+// events dispatched while no sink was installed are not replayed.
 func (e *Engine) SetEventSink(fn func(Event)) { e.sink = fn }
 
 // emit delivers an event to the sink, if one is installed.
@@ -395,15 +502,17 @@ func (e *Engine) Submit(j *job.Job) error {
 	if j.Size > e.cfg.Nodes {
 		return fmt.Errorf("sim: job %d size %d exceeds system %d", j.ID, j.Size, e.cfg.Nodes)
 	}
-	if _, dup := e.byID[j.ID]; dup {
+	if e.lookup(j.ID) != nil {
 		return fmt.Errorf("sim: duplicate job ID %d", j.ID)
 	}
 	if e.primed && j.SubmitTime < e.clk {
 		return fmt.Errorf("sim: job %d submitted at t=%d, before the clock (t=%d)",
 			j.ID, j.SubmitTime, e.clk)
 	}
+	if err := e.register(j); err != nil {
+		return err
+	}
 	e.jobs = append(e.jobs, j)
-	e.byID[j.ID] = j
 	if e.primed {
 		e.met.NoteSubmit(j.SubmitTime)
 		e.pushArrival(j, true)
@@ -440,6 +549,7 @@ func (e *Engine) Step() (bool, error) {
 	}
 	e.met.NoteReserved(ev.Time, e.cl.TotalReserved())
 	e.clk = ev.Time
+	e.dispatched++
 	e.dispatch(ev)
 	e.met.NoteReserved(e.clk, e.cl.TotalReserved())
 	if e.err != nil {
@@ -539,21 +649,35 @@ type (
 )
 
 func (e *Engine) dispatch(ev *eventq.Event) {
+	// Popped events are recycled once no reference can survive: arrivals,
+	// notices, and scheduler passes hand out no handles; end/warning events
+	// are recycled only if the handler cleared the job's handle (it does,
+	// except on a failing run). Timer events are never recycled — their
+	// handles live with the mechanism, which may cancel them after firing.
 	switch p := ev.Payload.(type) {
 	case evArrive:
 		e.handleArrive(p.j)
+		e.q.Recycle(ev)
 	case evNotice:
 		e.handleNotice(p.j)
+		e.q.Recycle(ev)
 	case evEnd:
 		e.handleEnd(p.j)
+		if ent := e.lookup(p.j.ID); ent == nil || ent.endEv != ev {
+			e.q.Recycle(ev)
+		}
 	case evWarn:
 		e.handleWarnExpired(p.j, p.claim)
+		if ent := e.lookup(p.j.ID); ent == nil || ent.warnEv != ev {
+			e.q.Recycle(ev)
+		}
 	case evTimer:
 		e.mech.OnTimer(p.payload)
 		e.requestSchedule()
 	case evSched:
 		e.schedPending = false
 		e.schedulePass()
+		e.q.Recycle(ev)
 	default:
 		e.fail("sim: unknown event payload %T", ev.Payload)
 	}
@@ -599,14 +723,17 @@ func (e *Engine) handleEnd(j *job.Job) {
 	e.met.AddUsage(u)
 	e.met.NoteComplete(j)
 	e.completed++
-	delete(e.endEv, j.ID)
-	if wev, ok := e.warnEv[j.ID]; ok {
+	ent := e.mustEnt(j)
+	ent.endEv = nil
+	if wev := ent.warnEv; wev != nil {
 		// Completed inside its warning window; the expiry must not fire.
 		e.q.Cancel(wev)
-		delete(e.warnEv, j.ID)
+		ent.warnEv = nil
+		e.q.Recycle(wev)
 	}
 	freed := e.cl.Release(j.ID)
-	delete(e.running, j.ID)
+	ent.running = false
+	e.removeRunning(j.ID)
 	freed.SubtractWith(e.restoreSquattedNodes(j.ID))
 	e.mech.OnJobCompleted(j, freed)
 	e.requestSchedule()
@@ -621,13 +748,16 @@ func (e *Engine) handleWarnExpired(j *job.Job, claim int) {
 	e.emit(EventPreempt, j, j.CurSize)
 	u := j.FinalizeWarning(e.clk)
 	e.met.AddUsage(u)
-	delete(e.warnEv, j.ID)
-	if ev, ok := e.endEv[j.ID]; ok {
+	ent := e.mustEnt(j)
+	ent.warnEv = nil
+	if ev := ent.endEv; ev != nil {
 		e.q.Cancel(ev)
-		delete(e.endEv, j.ID)
+		ent.endEv = nil
+		e.q.Recycle(ev)
 	}
 	freed := e.cl.Release(j.ID)
-	delete(e.running, j.ID)
+	ent.running = false
+	e.removeRunning(j.ID)
 	freed.SubtractWith(e.restoreSquattedNodes(j.ID))
 	e.enqueue(j)
 	e.mech.OnWarningExpired(j, claim, freed)
@@ -635,25 +765,41 @@ func (e *Engine) handleWarnExpired(j *job.Job, claim int) {
 }
 
 func (e *Engine) enqueue(j *job.Job) {
-	if e.inQueue[j.ID] {
+	ent := e.mustEnt(j)
+	if ent.inQueue {
 		return
 	}
 	j.State = job.Waiting
-	e.queue = append(e.queue, j)
-	e.inQueue[j.ID] = true
+	if e.sortedQueue {
+		// Insert at the policy-order position. The built-in orderings are
+		// total (ties break by ID), so the incremental order matches what
+		// re-sorting the whole queue each pass used to produce.
+		i := sort.Search(len(e.queue), func(k int) bool {
+			return !policy.Less(e.queue[k], j, e.cfg.Policy, e.clk, e.odFirst)
+		})
+		e.queue = append(e.queue, nil)
+		copy(e.queue[i+1:], e.queue[i:])
+		e.queue[i] = j
+	} else {
+		e.queue = append(e.queue, j)
+	}
+	ent.inQueue = true
 }
 
 func (e *Engine) removeFromQueue(j *job.Job) {
-	if !e.inQueue[j.ID] {
+	ent := e.mustEnt(j)
+	if !ent.inQueue {
 		return
 	}
 	for i, q := range e.queue {
 		if q.ID == j.ID {
-			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			copy(e.queue[i:], e.queue[i+1:])
+			e.queue[len(e.queue)-1] = nil
+			e.queue = e.queue[:len(e.queue)-1]
 			break
 		}
 	}
-	delete(e.inQueue, j.ID)
+	ent.inQueue = false
 }
 
 func (e *Engine) requestSchedule() {

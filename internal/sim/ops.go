@@ -10,34 +10,30 @@ import (
 )
 
 // schedulePass runs the queue policy and EASY backfilling over the current
-// state and starts every planned job.
+// state and starts every planned job. The optimized path reads the
+// incrementally-sorted queue and running list through reusable scratch
+// buffers; the reference path re-derives both the naive way and must plan
+// exactly the same starts (internal/simtest holds the two to byte-identical
+// reports).
 func (e *Engine) schedulePass() {
 	if len(e.queue) == 0 {
 		return
 	}
-	policy.Sort(e.queue, e.cfg.Policy, e.clk, e.mech.QueueOnDemandFirst())
-
-	ri := make([]policy.Running, 0, len(e.running))
-	ids := make([]int, 0, len(e.running))
-	for id := range e.running {
-		ids = append(ids, id)
+	if !e.sortedQueue {
+		policy.Sort(e.queue, e.cfg.Policy, e.clk, e.odFirst)
 	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		j := e.running[id]
-		switch j.State {
-		case job.Running:
-			if j.Class == job.Malleable {
-				j.UpdateProgress(e.clk)
-				ri = append(ri, policy.Running{EstEnd: j.MalleableEstimatedEnd(e.clk), Nodes: j.CurSize})
-			} else {
-				ri = append(ri, policy.Running{EstEnd: j.EstimatedEnd(), Nodes: j.CurSize})
-			}
-		case job.Warning:
-			if ev, ok := e.warnEv[id]; ok {
-				ri = append(ri, policy.Running{EstEnd: ev.Time, Nodes: j.CurSize})
+
+	var ri []policy.Running
+	if e.cfg.Reference {
+		ri = e.referenceRunningInfo()
+	} else {
+		ri = e.riScratch[:0]
+		for _, j := range e.running {
+			if r, ok := e.runningInfo(j); ok {
+				ri = append(ri, r)
 			}
 		}
+		e.riScratch = ri
 	}
 
 	bfExtra := 0
@@ -50,10 +46,58 @@ func (e *Engine) schedulePass() {
 	}
 	own := func(j *job.Job) int { return e.cl.ReservedCount(j.ID) }
 
-	starts := policy.PlanEASY(e.clk, e.queue, ri, e.cl.FreeCount(), bfExtra, own, e.mech.FlexibleMalleable())
+	var starts []policy.Start
+	if e.cfg.Reference {
+		starts = policy.PlanEASY(e.clk, e.queue, ri, e.cl.FreeCount(), bfExtra, own, e.mech.FlexibleMalleable())
+	} else {
+		starts = e.planner.PlanEASY(e.clk, e.queue, ri, e.cl.FreeCount(), bfExtra, own, e.mech.FlexibleMalleable())
+	}
 	for _, s := range starts {
 		e.startJob(s.J, s.Size, true)
 	}
+}
+
+// runningInfo derives the backfill-planning view of one node-holding job.
+func (e *Engine) runningInfo(j *job.Job) (policy.Running, bool) {
+	switch j.State {
+	case job.Running:
+		if j.Class == job.Malleable {
+			j.UpdateProgress(e.clk)
+			return policy.Running{EstEnd: j.MalleableEstimatedEnd(e.clk), Nodes: j.CurSize}, true
+		}
+		return policy.Running{EstEnd: j.EstimatedEnd(), Nodes: j.CurSize}, true
+	case job.Warning:
+		if ev := e.mustEnt(j).warnEv; ev != nil {
+			return policy.Running{EstEnd: ev.Time, Nodes: j.CurSize}, true
+		}
+	}
+	return policy.Running{}, false
+}
+
+// referenceRunningInfo is the retained naive path: reconstruct the running
+// set by scanning the entry tables (the moral equivalent of the old
+// map-iteration), sort the IDs, and allocate a fresh view — exactly the
+// shape the incremental running list replaced.
+func (e *Engine) referenceRunningInfo() []policy.Running {
+	ids := make([]int, 0, len(e.running))
+	for i := range e.dense {
+		if e.dense[i].j != nil && e.dense[i].running {
+			ids = append(ids, e.dense[i].j.ID)
+		}
+	}
+	for id, ent := range e.sparse {
+		if ent.running {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	ri := make([]policy.Running, 0, len(ids))
+	for _, id := range ids {
+		if r, ok := e.runningInfo(e.lookup(id).j); ok {
+			ri = append(ri, r)
+		}
+	}
+	return ri
 }
 
 // startJob launches j on size nodes, drawing first from the job's own
@@ -105,8 +149,10 @@ func (e *Engine) startJob(j *job.Job, size int, allowSquat bool) {
 	} else {
 		end = e.clk + j.Start(e.clk)
 	}
-	e.running[j.ID] = j
-	e.endEv[j.ID] = e.q.Push(end, eventq.PrioEnd, evEnd{j})
+	ent := e.mustEnt(j)
+	ent.running = true
+	e.addRunning(j)
+	ent.endEv = e.q.Push(end, eventq.PrioEnd, evEnd{j})
 	e.emit(EventStart, j, size)
 	if j.Class == job.OnDemand {
 		e.mech.OnODStarted(j)
@@ -140,9 +186,11 @@ func (e *Engine) PreemptRigid(j *job.Job) *nodeset.Set {
 		e.fail("sim: PreemptRigid on job %d (%v, %v)", j.ID, j.Class, j.State)
 		return &nodeset.Set{}
 	}
-	if ev, ok := e.endEv[j.ID]; ok {
+	ent := e.mustEnt(j)
+	if ev := ent.endEv; ev != nil {
 		e.q.Cancel(ev)
-		delete(e.endEv, j.ID)
+		ent.endEv = nil
+		e.q.Recycle(ev)
 	}
 	e.emit(EventPreempt, j, j.CurSize)
 	u := j.FinalizePreempt(e.clk)
@@ -151,7 +199,8 @@ func (e *Engine) PreemptRigid(j *job.Job) *nodeset.Set {
 		e.emit(EventCheckpoint, j, j.Size)
 	}
 	freed := e.cl.Release(j.ID)
-	delete(e.running, j.ID)
+	ent.running = false
+	e.removeRunning(j.ID)
 	freed.SubtractWith(e.restoreSquattedNodes(j.ID))
 	e.enqueue(j)
 	return freed
@@ -171,12 +220,15 @@ func (e *Engine) PreemptMalleableNow(j *job.Job) *nodeset.Set {
 	j.BeginWarning(e.clk) // zero-length warning
 	u := j.FinalizeWarning(e.clk)
 	e.met.AddUsage(u)
-	if ev, ok := e.endEv[j.ID]; ok {
+	ent := e.mustEnt(j)
+	if ev := ent.endEv; ev != nil {
 		e.q.Cancel(ev)
-		delete(e.endEv, j.ID)
+		ent.endEv = nil
+		e.q.Recycle(ev)
 	}
 	freed := e.cl.Release(j.ID)
-	delete(e.running, j.ID)
+	ent.running = false
+	e.removeRunning(j.ID)
 	freed.SubtractWith(e.restoreSquattedNodes(j.ID))
 	e.enqueue(j)
 	return freed
@@ -194,7 +246,7 @@ func (e *Engine) PreemptMalleableWithWarning(j *job.Job, claim int) {
 	}
 	j.BeginWarning(e.clk)
 	e.emit(EventWarning, j, j.CurSize)
-	e.warnEv[j.ID] = e.q.Push(e.clk+job.WarningPeriod, eventq.PrioPreempt, evWarn{j: j, claim: claim})
+	e.mustEnt(j).warnEv = e.q.Push(e.clk+job.WarningPeriod, eventq.PrioPreempt, evWarn{j: j, claim: claim})
 }
 
 // ShrinkMalleable shrinks a running malleable job to newSize, reschedules its
@@ -269,10 +321,13 @@ func (e *Engine) ExpandMalleable(j *job.Job, grant *nodeset.Set) {
 }
 
 func (e *Engine) rescheduleEnd(j *job.Job, end int64) {
-	if ev, ok := e.endEv[j.ID]; ok {
+	ent := e.mustEnt(j)
+	if ev := ent.endEv; ev != nil {
 		e.q.Cancel(ev)
+		ent.endEv = nil
+		e.q.Recycle(ev)
 	}
-	e.endEv[j.ID] = e.q.Push(end, eventq.PrioEnd, evEnd{j})
+	ent.endEv = e.q.Push(end, eventq.PrioEnd, evEnd{j})
 }
 
 // TryResumeNow starts a waiting job immediately if its private reservation
@@ -281,7 +336,7 @@ func (e *Engine) rescheduleEnd(j *job.Job, end int64) {
 // "resume immediately if possible" when their leased nodes come back
 // (§III-B.3). Returns false if the job is not waiting or cannot fit.
 func (e *Engine) TryResumeNow(j *job.Job) bool {
-	if !e.inQueue[j.ID] {
+	if ent := e.lookup(j.ID); ent == nil || !ent.inQueue {
 		return false
 	}
 	avail := e.cl.ReservedCount(j.ID) + e.cl.FreeCount()
@@ -374,10 +429,11 @@ func (e *Engine) EvictSquatters(claim int) {
 	}
 	sort.Ints(victims)
 	for _, id := range victims {
-		j := e.running[id]
-		if j == nil {
+		ent := e.lookup(id)
+		if ent == nil || !ent.running {
 			continue
 		}
+		j := ent.j
 		switch {
 		case j.Class == job.Malleable && j.State == job.Running:
 			e.PreemptMalleableNow(j)

@@ -17,12 +17,19 @@ func attach(t *testing.T, cfg Config, jobs []*job.Job, mech Mechanism) *Engine {
 	return e
 }
 
+// forceRunning marks a registered job as holding nodes, bypassing startJob,
+// for direct primitive tests.
+func forceRunning(e *Engine, j *job.Job) {
+	e.mustEnt(j).running = true
+	e.addRunning(j)
+}
+
 func TestPreemptMalleableNowPrimitive(t *testing.T) {
 	m := malleable(1, 0, 80, 16, 1000)
 	e := attach(t, Config{Nodes: 100}, []*job.Job{m}, Baseline{})
 	m.State = job.Waiting
 	e.Cluster().AllocFree(1, 80)
-	e.running[1] = m
+	forceRunning(e, m)
 	m.StartMalleable(0, 80)
 	e.clk = 500
 
@@ -56,7 +63,7 @@ func TestShrinkGuards(t *testing.T) {
 	e := attach(t, Config{Nodes: 100}, []*job.Job{m}, Baseline{})
 	m.State = job.Waiting
 	e.Cluster().AllocFree(1, 40)
-	e.running[1] = m
+	forceRunning(e, m)
 	m.StartMalleable(0, 40)
 	// Growing via "shrink" is a bug.
 	e.ShrinkMalleable(m, 50)
@@ -70,7 +77,7 @@ func TestExpandGuards(t *testing.T) {
 	e := attach(t, Config{Nodes: 100}, []*job.Job{m}, Baseline{})
 	m.State = job.Waiting
 	e.Cluster().AllocFree(1, 80)
-	e.running[1] = m
+	forceRunning(e, m)
 	m.StartMalleable(0, 80)
 	grant := e.Cluster().FreeSet().Pick(5)
 	e.ExpandMalleable(m, grant) // already at max: error
@@ -164,6 +171,9 @@ func TestSquatLifecycle(t *testing.T) {
 
 	// A backfill job starts on 20 free + 30 squatted nodes.
 	sq := rigid(1, 0, 50, 1000)
+	if err := e.register(sq); err != nil {
+		t.Fatal(err)
+	}
 	sq.State = job.Waiting
 	e.Cluster().AllocFree(99, 40) // free: 20
 	e.enqueue(sq)
@@ -199,6 +209,9 @@ func TestDropClaimSquats(t *testing.T) {
 	e.Cluster().Reserve(50, 40)
 	e.SetClaimBackfillable(50, true)
 	sq := rigid(1, 0, 40, 1000)
+	if err := e.register(sq); err != nil {
+		t.Fatal(err)
+	}
 	sq.State = job.Waiting
 	e.Cluster().AllocFree(99, 60) // free: 0
 	e.enqueue(sq)
@@ -248,10 +261,10 @@ func TestRunningExcludesWarningAndOnDemand(t *testing.T) {
 	e := attach(t, Config{Nodes: 100}, []*job.Job{m, od}, Baseline{})
 	m.State, od.State = job.Waiting, job.Waiting
 	e.Cluster().AllocFree(1, 40)
-	e.running[1] = m
+	forceRunning(e, m)
 	m.StartMalleable(0, 40)
 	e.Cluster().AllocFree(2, 20)
-	e.running[2] = od
+	forceRunning(e, od)
 	od.Start(0)
 
 	if got := e.Running(); len(got) != 1 || got[0].ID != 1 {

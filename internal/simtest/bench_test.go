@@ -1,0 +1,43 @@
+package simtest
+
+import (
+	"testing"
+)
+
+// benchScenario is the engine benchmark scale: the full mechanism × mix grid
+// at 1024 nodes over one week, the same scale cmd/benchengine measures for
+// BENCH_engine.json.
+func benchScenario(mech, mix string) Scenario {
+	return Scenario{Mechanism: mech, Mix: mix, Seed: 1, Nodes: 1024, Weeks: 1}
+}
+
+// BenchmarkEngine runs one full simulation per iteration for every mechanism
+// × Table III mix; ns/op is the cost of a whole 1024-node/1-week run and
+// allocs/op tracks the engine's allocation budget (trace materialization and
+// engine construction are excluded from the timed region).
+func BenchmarkEngine(b *testing.B) {
+	for _, mech := range Mechanisms() {
+		for _, mix := range Mixes() {
+			sc := benchScenario(mech, mix)
+			records, err := sc.Records()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(mech+"/"+mix, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					e, err := NewEngine(sc, records)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					if _, err := e.Run(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(len(records)), "jobs/sim")
+			})
+		}
+	}
+}

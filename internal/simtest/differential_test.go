@@ -1,0 +1,117 @@
+package simtest
+
+import (
+	"bytes"
+	"testing"
+)
+
+// testScale is the grid scale the harness tests run at: the full 7-mechanism
+// × W1..W5 grid on a 1024-node system over one simulated week (a few hundred
+// jobs and a few thousand events per cell) — the same scale cmd/benchengine
+// measures.
+func testScale(mech, mix string) Scenario {
+	return Scenario{Mechanism: mech, Mix: mix, Seed: 1, Nodes: 1024, Weeks: 1}
+}
+
+// TestDifferentialReports is the differential checker: for every mechanism ×
+// mix cell, the optimized engine and the retained naive reference path must
+// produce byte-identical canonical reports. Any hot-path refactor that
+// changes scheduling outcomes — a queue ordered differently, a running view
+// assembled in another order, a planner scratch bug — fails here.
+func TestDifferentialReports(t *testing.T) {
+	for _, mech := range Mechanisms() {
+		for _, mix := range Mixes() {
+			sc := testScale(mech, mix)
+			t.Run(mech+"/"+mix, func(t *testing.T) {
+				t.Parallel()
+				opt, ref, err := Differential(sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(opt, ref) {
+					t.Fatalf("optimized and reference reports diverge\noptimized: %s\nreference: %s",
+						truncate(opt), truncate(ref))
+				}
+			})
+		}
+	}
+}
+
+// TestDeterministicReplay pins run-to-run determinism of the optimized path:
+// the same scenario executed twice yields byte-identical canonical reports.
+// Hidden iteration-order dependence (map ranges feeding scheduling decisions)
+// would break this.
+func TestDeterministicReplay(t *testing.T) {
+	for _, cell := range []Scenario{
+		testScale("baseline", "W1"),
+		testScale("CUA&SPAA", "W5"),
+		testScale("CUP&PAA", "W4"),
+	} {
+		t.Run(cell.Mechanism+"/"+cell.Mix, func(t *testing.T) {
+			t.Parallel()
+			first, err := Run(cell)
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := Run(cell)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := ReportJSON(first)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := ReportJSON(second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a, b) {
+				t.Fatalf("replay diverges\nfirst:  %s\nsecond: %s", truncate(a), truncate(b))
+			}
+		})
+	}
+}
+
+// TestRunInvariants drives every grid cell with the cluster partition check
+// enabled after each event (no double allocation, exact conservation of
+// nodes across loans and returns at the resource-manager level) and the
+// event-stream InvariantChecker attached (monotone time, start/release
+// pairing, global held-node conservation at the observable level).
+func TestRunInvariants(t *testing.T) {
+	for _, mech := range Mechanisms() {
+		for _, mix := range Mixes() {
+			sc := testScale(mech, mix)
+			sc.Validate = true
+			t.Run(mech+"/"+mix, func(t *testing.T) {
+				t.Parallel()
+				records, err := sc.Records()
+				if err != nil {
+					t.Fatal(err)
+				}
+				e, err := NewEngine(sc, records)
+				if err != nil {
+					t.Fatal(err)
+				}
+				chk := NewInvariantChecker(sc.Nodes)
+				e.SetEventSink(chk.Sink())
+				if _, err := e.Run(); err != nil {
+					t.Fatal(err)
+				}
+				if err := chk.Err(); err != nil {
+					t.Fatal(err)
+				}
+				if chk.HeldTotal() != 0 {
+					t.Fatalf("%d nodes still held after every job completed", chk.HeldTotal())
+				}
+			})
+		}
+	}
+}
+
+func truncate(b []byte) []byte {
+	const n = 400
+	if len(b) <= n {
+		return b
+	}
+	return append(append([]byte{}, b[:n]...), "..."...)
+}

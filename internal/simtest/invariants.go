@@ -1,0 +1,99 @@
+package simtest
+
+import (
+	"fmt"
+
+	"hybridsched/internal/sim"
+)
+
+// InvariantChecker validates the structural invariants of a simulation from
+// its typed event stream, independently of the engine's own bookkeeping:
+//
+//   - monotone virtual time: events never carry a timestamp earlier than the
+//     one before;
+//   - no double allocation: a job never starts while it already holds nodes;
+//   - conservation of nodes: the sum of all held nodes never exceeds the
+//     system size, every release (end, preempt) returns exactly what the job
+//     held, and shrink/expand deltas keep the per-job ledger non-negative.
+//
+// Install it with sim.Engine.SetEventSink before the first step. Combined
+// with Config.Validate (the cluster's exact partition check after every
+// event), a clean run proves the loan/return plumbing conserves nodes.
+type InvariantChecker struct {
+	nodes  int
+	last   int64
+	seen   bool
+	held   map[int]int // job ID -> nodes currently held
+	total  int         // sum of held
+	errs   []string
+	maxErr int
+}
+
+// NewInvariantChecker returns a checker for a system of the given node count.
+func NewInvariantChecker(nodes int) *InvariantChecker {
+	return &InvariantChecker{nodes: nodes, held: make(map[int]int), maxErr: 10}
+}
+
+// Sink adapts the checker to the engine's event-sink signature.
+func (c *InvariantChecker) Sink() func(sim.Event) { return c.handle }
+
+func (c *InvariantChecker) violate(format string, args ...any) {
+	if len(c.errs) < c.maxErr {
+		c.errs = append(c.errs, fmt.Sprintf(format, args...))
+	}
+}
+
+func (c *InvariantChecker) handle(ev sim.Event) {
+	if c.seen && ev.Time < c.last {
+		c.violate("time went backwards: %v at t=%d after t=%d", ev.Type, ev.Time, c.last)
+	}
+	c.last, c.seen = ev.Time, true
+
+	switch ev.Type {
+	case sim.EventStart:
+		if held := c.held[ev.Job]; held != 0 {
+			c.violate("double allocation: job %d started with %d nodes while holding %d at t=%d",
+				ev.Job, ev.Nodes, held, ev.Time)
+		}
+		c.held[ev.Job] = ev.Nodes
+		c.total += ev.Nodes
+	case sim.EventEnd, sim.EventPreempt:
+		if held := c.held[ev.Job]; held != ev.Nodes {
+			c.violate("%v of job %d releases %d nodes but it held %d at t=%d",
+				ev.Type, ev.Job, ev.Nodes, held, ev.Time)
+		}
+		c.total -= c.held[ev.Job]
+		delete(c.held, ev.Job)
+	case sim.EventShrink:
+		if c.held[ev.Job] < ev.Nodes {
+			c.violate("shrink of job %d by %d nodes but it held %d at t=%d",
+				ev.Job, ev.Nodes, c.held[ev.Job], ev.Time)
+		}
+		c.held[ev.Job] -= ev.Nodes
+		c.total -= ev.Nodes
+	case sim.EventExpand:
+		if c.held[ev.Job] == 0 {
+			c.violate("expand of job %d by %d nodes but it holds nothing at t=%d",
+				ev.Job, ev.Nodes, ev.Time)
+		}
+		c.held[ev.Job] += ev.Nodes
+		c.total += ev.Nodes
+	}
+	if c.total > c.nodes {
+		c.violate("conservation broken: %d nodes held on a %d-node system after %v of job %d at t=%d",
+			c.total, c.nodes, ev.Type, ev.Job, ev.Time)
+	}
+}
+
+// Err returns nil if every invariant held, or an error describing the first
+// violations (capped at ten).
+func (c *InvariantChecker) Err() error {
+	if len(c.errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("simtest: %d invariant violation(s), first: %v", len(c.errs), c.errs)
+}
+
+// HeldTotal returns the checker's current sum of held nodes (0 after a run
+// in which every started job ended).
+func (c *InvariantChecker) HeldTotal() int { return c.total }

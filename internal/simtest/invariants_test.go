@@ -1,0 +1,79 @@
+package simtest
+
+import (
+	"strings"
+	"testing"
+
+	"hybridsched/internal/job"
+	"hybridsched/internal/sim"
+)
+
+// TestInvariantCheckerCatches verifies the checker itself detects each class
+// of violation — a harness that cannot fail proves nothing.
+func TestInvariantCheckerCatches(t *testing.T) {
+	ev := func(typ sim.EventType, at int64, id, nodes int) sim.Event {
+		return sim.Event{Type: typ, Time: at, Job: id, Class: job.Rigid, Nodes: nodes}
+	}
+	cases := []struct {
+		name   string
+		events []sim.Event
+		want   string // substring of the violation, "" for a clean run
+	}{
+		{"clean", []sim.Event{
+			ev(sim.EventStart, 0, 1, 4),
+			ev(sim.EventEnd, 10, 1, 4),
+		}, ""},
+		{"time-backwards", []sim.Event{
+			ev(sim.EventStart, 10, 1, 4),
+			ev(sim.EventEnd, 5, 1, 4),
+		}, "time went backwards"},
+		{"double-allocation", []sim.Event{
+			ev(sim.EventStart, 0, 1, 4),
+			ev(sim.EventStart, 1, 1, 4),
+		}, "double allocation"},
+		{"release-mismatch", []sim.Event{
+			ev(sim.EventStart, 0, 1, 4),
+			ev(sim.EventEnd, 10, 1, 3),
+		}, "but it held"},
+		{"over-shrink", []sim.Event{
+			ev(sim.EventStart, 0, 1, 4),
+			ev(sim.EventShrink, 5, 1, 6),
+		}, "shrink"},
+		{"expand-nothing", []sim.Event{
+			ev(sim.EventExpand, 0, 1, 2),
+		}, "holds nothing"},
+		{"overcommit", []sim.Event{
+			ev(sim.EventStart, 0, 1, 6),
+			ev(sim.EventStart, 0, 2, 6),
+		}, "conservation broken"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			chk := NewInvariantChecker(8)
+			sink := chk.Sink()
+			for _, e := range tc.events {
+				sink(e)
+			}
+			err := chk.Err()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("clean stream flagged: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want violation containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+// TestScenarioValidation pins the harness's own error paths.
+func TestScenarioValidation(t *testing.T) {
+	if _, err := Run(Scenario{Mechanism: "CUA&SPAA", Mix: "W9", Seed: 1, Nodes: 256, Weeks: 1}); err == nil {
+		t.Fatal("unknown mix must fail")
+	}
+	if _, err := Run(Scenario{Mechanism: "nope", Mix: "W1", Seed: 1, Nodes: 256, Weeks: 1}); err == nil {
+		t.Fatal("unknown mechanism must fail")
+	}
+}

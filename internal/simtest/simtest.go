@@ -1,0 +1,129 @@
+// Package simtest is the simulation property-test harness: it builds
+// engine scenarios over the full mechanism × workload grid of the paper's
+// evaluation, runs a differential checker that pins the optimized engine
+// against the retained naive reference path (byte-identical reports), and
+// asserts structural invariants — no node double-allocation, conservation of
+// nodes across loans and returns, monotone virtual time — over the typed
+// event stream of a run.
+//
+// The harness exists so hot-path refactors of internal/sim stay safe: any
+// divergence between the allocation-lean structures and the straightforward
+// map-and-re-sort semantics they replaced shows up as a report mismatch or an
+// invariant violation, not as a silently different experiment result.
+package simtest
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"hybridsched/internal/checkpoint"
+	"hybridsched/internal/metrics"
+	"hybridsched/internal/registry"
+	"hybridsched/internal/sim"
+	"hybridsched/internal/trace"
+	"hybridsched/internal/workload"
+)
+
+// Mechanisms returns the seven schedulers of the paper's evaluation: the
+// FCFS/EASY baseline plus the six hybrid mechanisms ({N,CUA,CUP} × {PAA,SPAA}).
+func Mechanisms() []string {
+	return []string{"baseline", "N&PAA", "N&SPAA", "CUA&PAA", "CUA&SPAA", "CUP&PAA", "CUP&SPAA"}
+}
+
+// Mixes returns the five Table III advance-notice mixes.
+func Mixes() []string { return []string{"W1", "W2", "W3", "W4", "W5"} }
+
+// Scenario is one cell of the engine test/benchmark grid: a scheduler, a
+// Table III notice mix, and the system/trace scale.
+type Scenario struct {
+	Mechanism string // one of Mechanisms()
+	Mix       string // one of Mixes()
+	Seed      int64
+	Nodes     int // system size; also scales the generated workload
+	Weeks     int
+	Validate  bool // check the cluster partition invariant after every event
+	Reference bool // drive the retained naive reference path of the engine
+}
+
+// Records generates the scenario's trace; the same scenario always yields the
+// same records.
+func (sc Scenario) Records() ([]trace.Record, error) {
+	mix, err := workload.MixByName(sc.Mix)
+	if err != nil {
+		return nil, err
+	}
+	return workload.Generate(workload.Config{
+		Seed: sc.Seed, Nodes: sc.Nodes, Weeks: sc.Weeks, Mix: mix,
+	})
+}
+
+// NewEngine materializes records (fresh jobs — job state is consumed by a
+// run) and builds an engine with a fresh mechanism instance, using the
+// paper-default scheduler configuration (directed returns on, Daly-optimal
+// checkpointing at 24 h MTBF).
+func NewEngine(sc Scenario, records []trace.Record) (*sim.Engine, error) {
+	jobs := trace.Materialize(records, func(size int) checkpoint.Plan {
+		return checkpoint.NewPlan(size, 24*3600, 1)
+	})
+	mech, err := registry.NewScheduler(sc.Mechanism, registry.SchedulerConfig{DirectedReturn: true})
+	if err != nil {
+		return nil, err
+	}
+	return sim.New(sim.Config{
+		Nodes:     sc.Nodes,
+		Validate:  sc.Validate,
+		Reference: sc.Reference,
+	}, jobs, mech)
+}
+
+// Run generates, builds, and runs the scenario to completion.
+func Run(sc Scenario) (metrics.Report, error) {
+	records, err := sc.Records()
+	if err != nil {
+		return metrics.Report{}, err
+	}
+	e, err := NewEngine(sc, records)
+	if err != nil {
+		return metrics.Report{}, err
+	}
+	return e.Run()
+}
+
+// ReportJSON canonicalizes a report for byte-level comparison: the two
+// wall-clock decision-latency fields — the only nondeterministic content of a
+// report — are zeroed (their count stays, it is virtual-time deterministic),
+// and the rest marshals as-is.
+func ReportJSON(r metrics.Report) ([]byte, error) {
+	r.MeanDecisionMs, r.MaxDecisionMs = 0, 0
+	b, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("simtest: marshal report: %w", err)
+	}
+	return b, nil
+}
+
+// Differential runs the scenario twice — once on the optimized engine path
+// and once on the retained naive reference path — and returns both canonical
+// report encodings. The two must be byte-identical; the differential tests
+// hold every mechanism × mix cell to that.
+func Differential(sc Scenario) (optimized, reference []byte, err error) {
+	sc.Reference = false
+	optRep, err := Run(sc)
+	if err != nil {
+		return nil, nil, fmt.Errorf("simtest: optimized %s/%s: %w", sc.Mechanism, sc.Mix, err)
+	}
+	sc.Reference = true
+	refRep, err := Run(sc)
+	if err != nil {
+		return nil, nil, fmt.Errorf("simtest: reference %s/%s: %w", sc.Mechanism, sc.Mix, err)
+	}
+	optimized, err = ReportJSON(optRep)
+	if err != nil {
+		return nil, nil, err
+	}
+	reference, err = ReportJSON(refRep)
+	if err != nil {
+		return nil, nil, err
+	}
+	return optimized, reference, nil
+}

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"hybridsched/internal/job"
@@ -291,6 +292,16 @@ func TestParseSpecErrors(t *testing.T) {
 	}
 }
 
+// The registry is append-only, so "spiketest" registers exactly once per
+// test binary and routes its captured state through a pointer — this keeps
+// the test correct under -count>1 (CI's determinism smoke reruns every test
+// in one process).
+var (
+	spiketestOnce sync.Once
+	spiketestArg  *string
+	spiketestErr  error
+)
+
 func TestRegisterSource(t *testing.T) {
 	if err := Register("", nil); err == nil {
 		t.Error("empty name should fail")
@@ -305,12 +316,15 @@ func TestRegisterSource(t *testing.T) {
 		t.Error("metacharacter name should fail")
 	}
 	var gotArg string
-	err := Register("spiketest", func(arg string) (Source, error) {
-		gotArg = arg
-		return FromRecords([]trace.Record{rec(1, 0)}), nil
+	spiketestArg = &gotArg
+	spiketestOnce.Do(func() {
+		spiketestErr = Register("spiketest", func(arg string) (Source, error) {
+			*spiketestArg = arg
+			return FromRecords([]trace.Record{rec(1, 0)}), nil
+		})
 	})
-	if err != nil {
-		t.Fatal(err)
+	if spiketestErr != nil {
+		t.Fatal(spiketestErr)
 	}
 	if err := Register("spiketest", func(string) (Source, error) { return nil, nil }); err == nil {
 		t.Error("duplicate registration should fail")

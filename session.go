@@ -316,6 +316,7 @@ type Session struct {
 	plan      func(size int) checkpoint.Plan
 	obs       []Observer
 	chans     []chan Event
+	sinkOn    bool // engine sink installed (lazily, on first observer)
 	drops     int
 	closed    bool
 	srcs      []sourceState
@@ -385,13 +386,26 @@ func NewSession(opts ...Option) (*Session, error) {
 		obs:       c.observers,
 		lookahead: lookahead,
 	}
-	eng.SetEventSink(s.emit)
+	// The sink is installed only once someone listens: an unobserved session
+	// pays nothing per event — the engine skips constructing and fanning out
+	// Event values entirely.
+	if len(s.obs) > 0 {
+		s.installSink()
+	}
 	for _, src := range c.sources {
 		if err := s.SubmitSource(src); err != nil {
 			return nil, err
 		}
 	}
 	return s, nil
+}
+
+// installSink wires the session's fan-out into the engine (idempotent).
+func (s *Session) installSink() {
+	if !s.sinkOn {
+		s.sinkOn = true
+		s.eng.SetEventSink(s.emit)
+	}
 }
 
 // emit fans one engine event out to the observers and event channels.
@@ -652,6 +666,7 @@ func (s *Session) Events() <-chan Event {
 		close(ch)
 		return ch
 	}
+	s.installSink()
 	s.chans = append(s.chans, ch)
 	return ch
 }

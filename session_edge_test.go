@@ -1,0 +1,149 @@
+package hybridsched
+
+import (
+	"strings"
+	"testing"
+)
+
+// edgeRecord builds a small rigid record for the session edge-case tests.
+func edgeRecord(id int, submit int64) Record {
+	return Record{ID: id, Class: Rigid, Submit: submit, Size: 8,
+		Work: 600, Estimate: 900}
+}
+
+// edgeSession builds a small baseline session.
+func edgeSession(t *testing.T) *Session {
+	t.Helper()
+	s, err := NewSession(WithNodes(64), WithMechanism("baseline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSubmitAfterRunUntilPastFinalEvent pins the contract for submitting
+// into a session whose clock has already advanced beyond its last event: a
+// record dated before the clock is rejected with a descriptive error, a
+// record at or after the clock joins the live run, and the session drains to
+// a report covering both generations of jobs.
+func TestSubmitAfterRunUntilPastFinalEvent(t *testing.T) {
+	s := edgeSession(t)
+	if err := s.Submit(edgeRecord(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Far past the single job's completion: the clock lands exactly on t.
+	const parked = 50_000
+	if err := s.RunUntil(parked); err != nil {
+		t.Fatal(err)
+	}
+	if s.Now() != parked {
+		t.Fatalf("Now() = %d, want %d", s.Now(), parked)
+	}
+	if snap := s.Snapshot(); snap.Completed != 1 || snap.Submitted != 1 {
+		t.Fatalf("snapshot %d/%d, want 1/1", snap.Completed, snap.Submitted)
+	}
+
+	// A submission dated before the parked clock must fail, not rewind time.
+	err := s.Submit(edgeRecord(2, parked-1))
+	if err == nil {
+		t.Fatal("past-dated Submit after RunUntil must error")
+	}
+	if !strings.Contains(err.Error(), "before the clock") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+
+	// A submission at the clock (and later) continues the run.
+	if err := s.Submit(edgeRecord(3, parked)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(edgeRecord(4, parked+3600)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs != 3 {
+		t.Fatalf("report covers %d jobs, want 3 (the rejected record must not count)", rep.Jobs)
+	}
+}
+
+// TestDoubleRun pins that Run is idempotent once drained: a second Run
+// returns immediately with a report identical to the first, and stepping a
+// drained session reports no more work without error.
+func TestDoubleRun(t *testing.T) {
+	s := edgeSession(t)
+	for id := 1; id <= 3; id++ {
+		if err := s.Submit(edgeRecord(id, int64(id)*60)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Run()
+	if err != nil {
+		t.Fatalf("second Run must be a no-op, got %v", err)
+	}
+	if canonicalJSON(t, first) != canonicalJSON(t, second) {
+		t.Fatal("second Run changed the report")
+	}
+	more, err := s.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if more {
+		t.Fatal("drained session must report no more work")
+	}
+}
+
+// TestEventsDrainOnEarlyClose pins the Events contract around Close: an
+// early Close ends the stream (a ranging consumer terminates), already
+// buffered events stay readable, nothing is emitted after Close, Close is
+// idempotent, and Events called on a closed session returns an
+// already-closed channel.
+func TestEventsDrainOnEarlyClose(t *testing.T) {
+	s := edgeSession(t)
+	ch := s.Events()
+	for id := 1; id <= 3; id++ {
+		if err := s.Submit(edgeRecord(id, int64(id)*60)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Step a few events, then close mid-run.
+	for i := 0; i < 4; i++ {
+		if _, err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buffered := len(ch)
+	if buffered == 0 {
+		t.Fatal("expected buffered events before Close")
+	}
+	s.Close()
+	s.Close() // idempotent
+
+	drained := 0
+	for range ch {
+		drained++
+	}
+	if drained != buffered {
+		t.Fatalf("drained %d events, want the %d buffered at Close", drained, buffered)
+	}
+	if s.DroppedEvents() != 0 {
+		t.Fatalf("%d drops on a drained consumer", s.DroppedEvents())
+	}
+
+	// The closed session still steps and reports, but emits nothing.
+	if _, err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	late := s.Events()
+	if _, ok := <-late; ok {
+		t.Fatal("Events after Close must return a closed channel")
+	}
+	if rep := s.Report(); rep.Nodes != 64 {
+		t.Fatalf("closed session must stay queryable, got %d nodes", rep.Nodes)
+	}
+}

@@ -38,10 +38,12 @@ func drainRate(b *testing.B, makeSrc func() Source) {
 }
 
 func BenchmarkSourceSynthetic(b *testing.B) {
+	b.ReportAllocs()
 	drainRate(b, func() Source { return Synthetic(benchWorkload) })
 }
 
 func BenchmarkSourceCSV(b *testing.B) {
+	b.ReportAllocs()
 	var buf bytes.Buffer
 	if err := WriteTraceCSV(&buf, benchTrace(b)); err != nil {
 		b.Fatal(err)
@@ -51,6 +53,7 @@ func BenchmarkSourceCSV(b *testing.B) {
 }
 
 func BenchmarkSourceSWF(b *testing.B) {
+	b.ReportAllocs()
 	var buf bytes.Buffer
 	if err := WriteSWF(&buf, benchTrace(b)); err != nil {
 		b.Fatal(err)
@@ -60,6 +63,7 @@ func BenchmarkSourceSWF(b *testing.B) {
 }
 
 func BenchmarkSourceMerge3(b *testing.B) {
+	b.ReportAllocs()
 	records := benchTrace(b)
 	var csvBuf, swfBuf bytes.Buffer
 	if err := WriteTraceCSV(&csvBuf, records); err != nil {

@@ -5,7 +5,17 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+)
+
+// countedsrc registration state, shared across -count reruns (see
+// TestRunSweepWithSourceSpecs).
+var (
+	countedSrcOnce    sync.Once
+	countedSrcErr     error
+	countedSrcCalls   *int
+	countedSrcRecords []Record
 )
 
 // sweepGrid is a small mechanism × seed grid on a 512-node, one-week system.
@@ -166,13 +176,19 @@ func TestRunSweepWithSourceSpecs(t *testing.T) {
 	}
 	// Identical specs share one materialization: with the file deleted
 	// mid-sweep impossible to assert directly here, so assert via a
-	// one-shot source head registered to count invocations.
+	// one-shot source head registered to count invocations. Registration is
+	// append-only, so it happens once per test binary and routes through
+	// package-level pointers — keeping the test correct under -count>1.
 	calls := 0
-	if err := RegisterSource("countedsrc", func(arg string) (Source, error) {
-		calls++
-		return FromRecords(records), nil
-	}); err != nil {
-		t.Fatal(err)
+	countedSrcCalls, countedSrcRecords = &calls, records
+	countedSrcOnce.Do(func() {
+		countedSrcErr = RegisterSource("countedsrc", func(arg string) (Source, error) {
+			*countedSrcCalls++
+			return FromRecords(countedSrcRecords), nil
+		})
+	})
+	if countedSrcErr != nil {
+		t.Fatal(countedSrcErr)
 	}
 	var counted []SweepSpec
 	for _, mech := range []string{"baseline", "N&PAA", "CUA&SPAA"} {
