@@ -1,8 +1,10 @@
 // Command benchengine measures the discrete-event scheduling core: full-run
 // event throughput (events/sec) and allocation budget (allocs per event) for
 // every scheduler — the FCFS/EASY baseline plus the paper's six mechanisms —
-// across the five Table III advance-notice mixes W1..W5, at 1024 nodes over
-// one simulated week, and emits the measurements as JSON. CI runs it to
+// across the five Table III advance-notice mixes W1..W5 plus a fault-enabled
+// W5 configuration (6 h MTBF, 2 h mean repair, exercising the availability
+// model), at 1024 nodes over one simulated week, and emits the measurements
+// as JSON. CI runs it to
 // produce BENCH_engine.json, the engine point of the performance trajectory;
 // run it locally to compare before/after a hot-path change:
 //
@@ -59,6 +61,25 @@ func main() {
 	flag.Parse()
 
 	doc := output{Go: runtime.Version(), Nodes: *nodes, Weeks: *weeks, Seed: *seed, Iterations: *iters}
+	measure := func(label string, sc simtest.Scenario, records []trace.Record) {
+		best := measurement{Mechanism: sc.Mechanism, Mix: label, Jobs: len(records)}
+		for i := 0; i < *iters; i++ {
+			m, err := runOnce(sc, records)
+			if err != nil {
+				fatal(fmt.Errorf("%s/%s: %w", sc.Mechanism, label, err))
+			}
+			if m.EventsPerSec > best.EventsPerSec {
+				best.Events, best.Seconds, best.EventsPerSec = m.Events, m.Seconds, m.EventsPerSec
+			}
+			if best.Allocs == 0 || m.Allocs < best.Allocs {
+				best.Allocs = m.Allocs
+			}
+		}
+		if best.Events > 0 {
+			best.AllocsPerEvent = float64(best.Allocs) / float64(best.Events)
+		}
+		doc.Benchmarks = append(doc.Benchmarks, best)
+	}
 	for _, mix := range simtest.Mixes() {
 		sc := simtest.Scenario{Mix: mix, Seed: *seed, Nodes: *nodes, Weeks: *weeks}
 		records, err := sc.Records()
@@ -67,23 +88,23 @@ func main() {
 		}
 		for _, mech := range simtest.Mechanisms() {
 			sc.Mechanism = mech
-			best := measurement{Mechanism: mech, Mix: mix, Jobs: len(records)}
-			for i := 0; i < *iters; i++ {
-				m, err := runOnce(sc, records)
-				if err != nil {
-					fatal(fmt.Errorf("%s/%s: %w", mech, mix, err))
-				}
-				if m.EventsPerSec > best.EventsPerSec {
-					best.Events, best.Seconds, best.EventsPerSec = m.Events, m.Seconds, m.EventsPerSec
-				}
-				if best.Allocs == 0 || m.Allocs < best.Allocs {
-					best.Allocs = m.Allocs
-				}
-			}
-			if best.Events > 0 {
-				best.AllocsPerEvent = float64(best.Allocs) / float64(best.Events)
-			}
-			doc.Benchmarks = append(doc.Benchmarks, best)
+			measure(mix, sc, records)
+		}
+	}
+	// Fault-enabled configs: the W5 mix under an aggressive failure process
+	// (6 h MTBF, 2 h mean repair), so the performance trajectory covers the
+	// availability model's hot paths — failure strikes, repair events, and
+	// capacity-aware scheduler passes.
+	{
+		sc := simtest.Scenario{Mix: "W5", Seed: *seed, Nodes: *nodes, Weeks: *weeks,
+			FaultMTBF: 6 * 3600, FaultRepair: 2 * 3600}
+		records, err := sc.Records()
+		if err != nil {
+			fatal(err)
+		}
+		for _, mech := range simtest.Mechanisms() {
+			sc.Mechanism = mech
+			measure("W5+faults", sc, records)
 		}
 	}
 

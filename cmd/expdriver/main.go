@@ -11,6 +11,8 @@
 //	expdriver -exp fig6,fig7 -workers 8  # a selection, 8-way parallel
 //	expdriver -format csv -o cells.csv   # averaged cells as CSV
 //	expdriver -format json -o all.json   # result structs as JSON
+//	expdriver -exp resilience -mtbf 6h,24h -repair 0,1h   # degraded capacity
+//	expdriver -exp resilience -drain 24h+4h:512           # + maintenance window
 //
 // The csv form contains only deterministic metrics and is byte-identical for
 // any -workers value; json serializes the full result structs, whose decision
@@ -34,7 +36,7 @@ import (
 func main() {
 	var (
 		which = flag.String("exp", "all",
-			"comma-separated experiments: all, tablei, tableii, tableiii, fig3, fig4, fig5, fig6, fig7, latency, ablations")
+			"comma-separated experiments: all, tablei, tableii, tableiii, fig3, fig4, fig5, fig6, fig7, latency, ablations, resilience")
 		seeds    = flag.Int("seeds", 10, "traces averaged per data point")
 		weeks    = flag.Int("weeks", 4, "trace length in weeks")
 		nodes    = flag.Int("nodes", 4392, "system size in nodes")
@@ -45,6 +47,9 @@ func main() {
 		format   = flag.String("format", "text", "output format: text, json, csv")
 		out      = flag.String("o", "", "output file (default stdout)")
 		quiet    = flag.Bool("q", false, "suppress progress messages")
+		mtbfs    = flag.String("mtbf", "", "resilience failure-MTBF axis: comma-separated durations, e.g. '6h,24h' (default 6h,24h)")
+		repairs  = flag.String("repair", "", "resilience mean-repair axis: comma-separated durations, '0' = instant (default 0,1h)")
+		drains   = flag.String("drain", "", "maintenance windows applied to every resilience cell: 'start+duration:nodes', e.g. '24h+4h:512,96h+2h:256'")
 	)
 	flag.Parse()
 
@@ -64,6 +69,32 @@ func main() {
 		}
 	}
 
+	// Resilience axes parse before anything runs — like the policy and source
+	// validations above, and before the output file is created, so a typo in
+	// a flag cannot truncate an existing results file.
+	faultMTBFs, err := parseDurationList(*mtbfs)
+	if err != nil {
+		fatalUsage(fmt.Errorf("-mtbf: %w", err))
+	}
+	faultRepairs, err := parseDurationList(*repairs)
+	if err != nil {
+		fatalUsage(fmt.Errorf("-repair: %w", err))
+	}
+	for _, m := range faultMTBFs {
+		if m <= 0 {
+			fatalUsage(fmt.Errorf("-mtbf values must be positive, got %gs", m))
+		}
+	}
+	for _, r := range faultRepairs {
+		if r < 0 {
+			fatalUsage(fmt.Errorf("-repair values must be non-negative, got %gs", r))
+		}
+	}
+	drainSpecs, err := hybridsched.ParseDrains(*drains)
+	if err != nil {
+		fatalUsage(fmt.Errorf("-drain: %w", err))
+	}
+
 	var w io.Writer = os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -73,14 +104,18 @@ func main() {
 		defer f.Close()
 		w = f
 	}
+
 	opt := exp.Options{
-		Nodes:    *nodes,
-		Weeks:    *weeks,
-		Seeds:    *seeds,
-		BaseSeed: *baseSeed,
-		Policy:   *pol,
-		Workers:  *workers,
-		Source:   *srcSpec,
+		Nodes:        *nodes,
+		Weeks:        *weeks,
+		Seeds:        *seeds,
+		BaseSeed:     *baseSeed,
+		Policy:       *pol,
+		Workers:      *workers,
+		Source:       *srcSpec,
+		FaultMTBFs:   faultMTBFs,
+		FaultRepairs: faultRepairs,
+		Drains:       drainSpecs,
 	}
 	if !*quiet {
 		opt.Progress = os.Stderr
@@ -92,7 +127,7 @@ func main() {
 		fatal(fmt.Errorf("unknown format %q (want text, json, or csv)", *format))
 	}
 	known := []string{"all", "tablei", "fig3", "fig4", "fig5",
-		"tableii", "tableiii", "fig6", "fig7", "latency", "ablations"}
+		"tableii", "tableiii", "fig6", "fig7", "latency", "ablations", "resilience"}
 	selected := map[string]bool{}
 	for _, name := range strings.Split(*which, ",") {
 		name = strings.TrimSpace(name)
@@ -139,6 +174,10 @@ func main() {
 	d.run("latency", func() (renderer, []exp.CellGroup, error) {
 		r, err := exp.DecisionLatency(opt)
 		return r, []exp.CellGroup{{Experiment: "latency", Cells: r.Flatten()}}, err
+	})
+	d.run("resilience", func() (renderer, []exp.CellGroup, error) {
+		r, err := exp.Resilience(opt)
+		return r, []exp.CellGroup{{Experiment: "resilience", Cells: r.Flatten()}}, err
 	})
 	d.run("ablations", func() (renderer, []exp.CellGroup, error) {
 		ablations := []struct {
@@ -258,7 +297,31 @@ func (d *driver) finish() error {
 	return nil
 }
 
+// parseDurationList parses comma-separated Go durations ("6h,24h") into
+// seconds. An empty string yields nil (the experiment's defaults apply).
+func parseDurationList(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		d, err := time.ParseDuration(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d.Seconds())
+	}
+	return out, nil
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "expdriver:", err)
 	os.Exit(1)
+}
+
+// fatalUsage reports a bad flag value and exits 2, the conventional
+// usage-error status, before any expensive work has been done.
+func fatalUsage(err error) {
+	fmt.Fprintln(os.Stderr, "expdriver:", err)
+	os.Exit(2)
 }

@@ -12,6 +12,16 @@
 //	hybridsim -trace jobs.swf -format swf -mech baseline
 //	hybridsim -mechs all -seeds 3 -workers 8 -out csv   # parallel sweep
 //	hybridsim -source 'swf:theta.swf|relabel:paper|scale:1.2' -mechs all
+//	hybridsim -mtbf 6h -repair 1h -mechs all            # degraded capacity
+//	hybridsim -drain '24h+4h:512' -mech baseline        # maintenance window
+//
+// -mtbf injects node failures at the given system MTBF (each strikes one
+// uniformly random node, interrupting whatever holds it); -repair keeps the
+// failed node out of service for a drawn repair time (0 = instant repair);
+// -drain schedules maintenance windows that absorb free capacity between
+// start and start+duration. All three apply to every path (-trace, -source,
+// and generated sweeps), and fault telemetry lands in the failures /
+// failure_misses / unavailable_frac output columns.
 //
 // -source accepts the source-spec grammar (csv:/swf:/synthetic: heads,
 // relabel/scale/shift/limit/filter transforms, '+' merges); the named
@@ -26,6 +36,7 @@ import (
 	"os"
 	"slices"
 	"strings"
+	"time"
 
 	"hybridsched"
 )
@@ -46,6 +57,9 @@ func main() {
 		ckptMult  = flag.Float64("ckpt", 1.0, "checkpoint interval multiplier (0.5 = twice as frequent)")
 		bfres     = flag.Bool("backfill-reserved", false, "backfill jobs onto reserved nodes (evicted on arrival)")
 		noReturn  = flag.Bool("no-directed-return", false, "drop returned lease nodes into the common pool")
+		mtbf      = flag.Duration("mtbf", 0, "inject node failures at this system MTBF, e.g. 6h (0 = no injection; also drives the Daly checkpoint plans)")
+		repair    = flag.Duration("repair", 0, "mean node repair time, e.g. 1h (0 = instant repair: capacity never shrinks)")
+		drain     = flag.String("drain", "", "maintenance windows 'start+duration:nodes', e.g. '24h+4h:512,96h+2h:256'")
 		workers   = flag.Int("workers", 0, "parallel sweep workers (0 = all CPU cores)")
 		out       = flag.String("out", "text", "output format: text, json, csv")
 		quiet     = flag.Bool("q", false, "suppress sweep progress messages")
@@ -87,8 +101,18 @@ func main() {
 		fatalUsage(fmt.Errorf("unknown policy %q (valid: %s)",
 			*pol, strings.Join(validPols, ", ")))
 	}
+	if *mtbf < 0 || *repair < 0 {
+		fatalUsage(fmt.Errorf("-mtbf and -repair must be non-negative"))
+	}
+	if *repair > 0 && *mtbf == 0 {
+		fatalUsage(fmt.Errorf("-repair requires -mtbf (no failures to repair)"))
+	}
+	drains, err := hybridsched.ParseDrains(*drain)
+	if err != nil {
+		fatalUsage(err)
+	}
 	simCfg := func(m string) hybridsched.SimulationConfig {
-		return hybridsched.SimulationConfig{
+		cfg := hybridsched.SimulationConfig{
 			Nodes:              *nodes,
 			Mechanism:          m,
 			Policy:             *pol,
@@ -96,6 +120,16 @@ func main() {
 			BackfillReserved:   *bfres,
 			NoDirectedReturn:   *noReturn,
 		}
+		if *mtbf > 0 {
+			// Checkpoint for the failure rate actually injected.
+			cfg.MTBF = mtbf.Seconds()
+		}
+		return cfg
+	}
+	fillResilience := func(sp *hybridsched.SweepSpec) {
+		sp.FaultMTBF = mtbf.Seconds()
+		sp.FaultMeanRepair = repair.Seconds()
+		sp.Drains = drains
 	}
 
 	// A source spec runs through the sweep runner: one cell per mechanism,
@@ -110,11 +144,13 @@ func main() {
 		}
 		var specs []hybridsched.SweepSpec
 		for _, m := range mechList {
-			specs = append(specs, hybridsched.SweepSpec{
+			sp := hybridsched.SweepSpec{
 				Label:  m,
 				Source: *srcSpec,
 				Sim:    simCfg(m),
-			})
+			}
+			fillResilience(&sp)
+			specs = append(specs, sp)
 		}
 		runSweep(specs, *workers, *out, *pol, *quiet)
 		return
@@ -134,7 +170,7 @@ func main() {
 			if i > 0 {
 				fmt.Println()
 			}
-			rep, err := hybridsched.Simulate(simCfg(m), records)
+			rep, err := replay(simCfg(m), records, *mtbf, *repair, drains)
 			if err != nil {
 				fatal(err)
 			}
@@ -150,13 +186,15 @@ func main() {
 	var specs []hybridsched.SweepSpec
 	for _, m := range mechList {
 		for s := 0; s < *seeds; s++ {
-			specs = append(specs, hybridsched.SweepSpec{
+			sp := hybridsched.SweepSpec{
 				Label: m,
 				Workload: hybridsched.WorkloadConfig{
 					Seed: *seed + int64(s), Weeks: *weeks, Nodes: *nodes, Mix: mix,
 				},
 				Sim: simCfg(m),
-			})
+			}
+			fillResilience(&sp)
+			specs = append(specs, sp)
 		}
 	}
 	runSweep(specs, *workers, *out, *pol, *quiet)
@@ -188,6 +226,43 @@ func runSweep(specs []hybridsched.SweepSpec, workers int, out, pol string, quiet
 	if err != nil {
 		fatal(err)
 	}
+}
+
+// replay runs a fixed trace under cfg through a session, wiring in fault
+// injection and maintenance windows when requested (Simulate has no
+// availability knobs; without them this is exactly Simulate).
+func replay(cfg hybridsched.SimulationConfig, records []hybridsched.Record,
+	mtbf, repair time.Duration, drains []hybridsched.DrainSpec) (hybridsched.Report, error) {
+	opts := []hybridsched.Option{hybridsched.WithConfig(cfg)}
+	if mtbf > 0 {
+		// The failure timeline must cover the whole replay: span of the
+		// trace's submissions plus generous tail room for the queue to drain.
+		var span int64
+		for _, r := range records {
+			if r.Submit > span {
+				span = r.Submit
+			}
+		}
+		opts = append(opts, hybridsched.WithFaults(hybridsched.FaultConfig{
+			MTBF:       mtbf.Seconds(),
+			Seed:       1,
+			Horizon:    span + 4*7*24*hybridsched.Hour,
+			MeanRepair: repair.Seconds(),
+		}))
+	}
+	for _, d := range drains {
+		opts = append(opts, hybridsched.WithDrain(d.Start, d.Duration, d.Nodes))
+	}
+	s, err := hybridsched.NewSession(opts...)
+	if err != nil {
+		return hybridsched.Report{}, err
+	}
+	for _, r := range records {
+		if err := s.Submit(r); err != nil {
+			return hybridsched.Report{}, err
+		}
+	}
+	return s.Run()
 }
 
 // readTrace loads a fixed input trace in the native CSV or SWF schema. SWF
@@ -226,6 +301,11 @@ func printReport(mech, pol string, rep hybridsched.Report) {
 		100*rep.InstantStartRate, 100*rep.StrictInstantStartRate, rep.MeanStartDelay)
 	fmt.Printf("preemption ratio    rigid %.2f%%  malleable %.2f%%\n",
 		100*rep.Rigid.PreemptRatio, 100*rep.Malleable.PreemptRatio)
+	if rep.FailuresInjected+rep.FailureMisses > 0 || rep.DownNodeSeconds > 0 {
+		fmt.Printf("availability        %d failures struck, %d missed; unavailable %.2f%% (%s node-downtime)\n",
+			rep.FailuresInjected, rep.FailureMisses,
+			100*rep.Breakdown.Unavailable, hybridsched.FormatDuration(rep.DownNodeSeconds))
+	}
 	if rep.DecisionCount > 0 {
 		fmt.Printf("decision latency    mean %.4f ms, max %.4f ms over %d decisions\n",
 			rep.MeanDecisionMs, rep.MaxDecisionMs, rep.DecisionCount)

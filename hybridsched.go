@@ -72,6 +72,19 @@
 // periodic snapshots should migrate to NewSession — Simulate(cfg, records)
 // is exactly NewSession(WithConfig(cfg)) + Submit loop + Run().
 //
+// # Degraded capacity
+//
+// Node availability is part of the engine model: WithFaults injects node
+// failures (each strikes a uniformly random node, interrupts whatever holds
+// it, and removes the node for a drawn repair time) and WithDrain schedules
+// maintenance windows that absorb free capacity without preempting. Both
+// shrink the pool every scheduler pass plans against, stream as typed
+// EventNodeDown/EventNodeUp/EventDrain events, and surface telemetry in the
+// Report (FailuresInjected, FailureMisses, DownNodeSeconds, and the
+// Unavailable utilization share). Sweeps take the same knobs per cell via
+// SweepSpec, and cmd/hybridsim / cmd/expdriver expose -mtbf, -repair, and
+// -drain flags (expdriver's "resilience" experiment sweeps the grid).
+//
 // # Extension points
 //
 // Scheduling logic and queue orderings are pluggable by name:

@@ -59,7 +59,10 @@ func NewPlan(size int, mtbfSeconds float64, intervalMultiplier float64) Plan {
 	}
 	delta := Overhead(size)
 	opt := OptimalInterval(float64(delta), mtbfSeconds)
-	iv := int64(opt * intervalMultiplier)
+	// Round to the nearest second rather than truncating: flooring
+	// systematically shortens the interval by up to a second, which a
+	// multiplier sweep (Fig. 7) then scales.
+	iv := int64(math.Round(opt * intervalMultiplier))
 	if iv < 1 {
 		iv = 1
 	}

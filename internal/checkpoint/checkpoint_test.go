@@ -88,7 +88,7 @@ func TestNewPlan(t *testing.T) {
 	if p.Overhead != 600 {
 		t.Fatalf("overhead %d", p.Overhead)
 	}
-	want := int64(OptimalInterval(600, 24*3600))
+	want := int64(math.Round(OptimalInterval(600, 24*3600)))
 	if p.Interval != want {
 		t.Fatalf("interval %d, want %d", p.Interval, want)
 	}
@@ -131,5 +131,37 @@ func TestNewPlanMinimumInterval(t *testing.T) {
 	p := NewPlan(512, 3600, 1e-9)
 	if p.Interval < 1 {
 		t.Fatalf("interval clamped to >=1, got %d", p.Interval)
+	}
+}
+
+func TestNewPlanRoundsInterval(t *testing.T) {
+	// At delta >= 2*mtbf the Daly estimate degenerates to exactly mtbf, so
+	// the plan interval is the multiplier scaling mtbf directly — and a
+	// fractional product must round to nearest, not floor. With mtbf=250 and
+	// multiplier 1.9, opt*mult = 475 exactly; with 1.999, 499.75 rounds to
+	// 500 where truncation would give 499.
+	plan := NewPlan(100, 250, 1.999) // delta 600 >= 2*250
+	if plan.Interval != 500 {
+		t.Fatalf("interval %d, want 500 (rounded, not truncated)", plan.Interval)
+	}
+	if plan.Overhead != 600 {
+		t.Fatalf("overhead %d", plan.Overhead)
+	}
+}
+
+func TestNewPlanDegenerateBoundary(t *testing.T) {
+	// Exactly at the delta == 2*mtbf boundary OptimalInterval returns mtbf;
+	// the plan must follow it on both sides of the boundary.
+	if got := OptimalInterval(600, 300); got != 300 {
+		t.Fatalf("OptimalInterval at boundary = %g, want 300", got)
+	}
+	if plan := NewPlan(100, 300, 1.0); plan.Interval != 300 {
+		t.Fatalf("degenerate plan interval %d, want 300", plan.Interval)
+	}
+	// Just past the boundary the higher-order estimate takes over and must
+	// stay positive and finite.
+	plan := NewPlan(100, 300.5, 1.0)
+	if plan.Interval < 1 {
+		t.Fatalf("plan interval %d past the boundary", plan.Interval)
 	}
 }

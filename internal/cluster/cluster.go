@@ -1,13 +1,17 @@
 // Package cluster implements the node-granular resource manager of the
 // simulated HPC system.
 //
-// Every node is in exactly one of three places at any instant:
+// Every node is in exactly one of four places at any instant:
 //
 //   - the FREE pool,
 //   - a RESERVATION held by a claimant (an on-demand job collecting nodes
 //     ahead of its arrival, or a preempted lender waiting to reclaim returned
-//     nodes), or
-//   - an ALLOCATION held by a running job.
+//     nodes),
+//   - an ALLOCATION held by a running job, or
+//   - the DOWN pool: nodes out of service because they failed and are under
+//     repair, or because a maintenance drain took them. Down nodes are
+//     invisible to every scheduling decision — they are neither free nor
+//     reservable until Restore moves them back.
 //
 // All state changes are explicit moves between these places, so the
 // partition invariant can be checked exactly (CheckInvariant), which the
@@ -26,6 +30,7 @@ import (
 type Cluster struct {
 	n        int
 	free     *nodeset.Set
+	down     *nodeset.Set
 	alloc    map[int]*nodeset.Set // job ID -> held nodes
 	reserved map[int]*nodeset.Set // claim ID -> reserved nodes
 	totalRes int
@@ -39,6 +44,7 @@ func New(n int) *Cluster {
 	return &Cluster{
 		n:        n,
 		free:     nodeset.Range(0, n),
+		down:     nodeset.New(n),
 		alloc:    make(map[int]*nodeset.Set),
 		reserved: make(map[int]*nodeset.Set),
 	}
@@ -52,6 +58,97 @@ func (c *Cluster) FreeCount() int { return c.free.Len() }
 
 // FreeSet returns a copy of the free pool's node set.
 func (c *Cluster) FreeSet() *nodeset.Set { return c.free.Clone() }
+
+// DownCount returns the number of out-of-service nodes.
+func (c *Cluster) DownCount() int { return c.down.Len() }
+
+// DownSet returns a copy of the out-of-service node set.
+func (c *Cluster) DownSet() *nodeset.Set { return c.down.Clone() }
+
+// AvailableCount returns the number of in-service nodes (total minus down),
+// regardless of whether they are free, reserved, or allocated.
+func (c *Cluster) AvailableCount() int { return c.n - c.down.Len() }
+
+// IsDown reports whether node id is out of service.
+func (c *Cluster) IsDown(id int) bool { return c.down.Contains(id) }
+
+// IsFree reports whether node id is in the free pool.
+func (c *Cluster) IsFree(id int) bool { return c.free.Contains(id) }
+
+// AllocHolder returns the job whose allocation contains node id, if any. A
+// node lives in exactly one pool, so the answer is unique and independent of
+// map iteration order.
+func (c *Cluster) AllocHolder(id int) (jobID int, ok bool) {
+	for j, s := range c.alloc {
+		if s.Contains(id) {
+			return j, true
+		}
+	}
+	return 0, false
+}
+
+// ReservationHolder returns the claim whose reservation contains node id, if
+// any.
+func (c *Cluster) ReservationHolder(id int) (claim int, ok bool) {
+	for cl, s := range c.reserved {
+		if s.Contains(id) {
+			return cl, true
+		}
+	}
+	return 0, false
+}
+
+// TakeDownFree moves up to k free nodes out of service and returns the set
+// actually moved (smaller than k when the free pool is short).
+func (c *Cluster) TakeDownFree(k int) *nodeset.Set {
+	taken := c.free.Pick(k)
+	c.down.UnionWith(taken)
+	return taken
+}
+
+// TakeDownExact moves the specific free nodes in set out of service. It
+// panics if any node is not free.
+func (c *Cluster) TakeDownExact(set *nodeset.Set) {
+	if set.Empty() {
+		return
+	}
+	if nodeset.Difference(set, c.free).Len() != 0 {
+		panic("cluster: TakeDownExact on non-free nodes")
+	}
+	c.free.SubtractWith(set)
+	c.down.UnionWith(set)
+}
+
+// TakeDownReserved moves one node out of claim's reservation into the down
+// pool (a failure striking a reserved node). It panics if the claim does not
+// hold the node.
+func (c *Cluster) TakeDownReserved(claim, id int) {
+	s, ok := c.reserved[claim]
+	if !ok || !s.Contains(id) {
+		panic(fmt.Sprintf("cluster: TakeDownReserved(%d, %d): claim does not hold the node", claim, id))
+	}
+	s.Remove(id)
+	c.totalRes--
+	if s.Empty() {
+		delete(c.reserved, claim)
+	}
+	c.down.Add(id)
+}
+
+// Restore moves the out-of-service nodes in set back into the free pool (a
+// repair completing, or a maintenance window ending). It panics if any node
+// is not down — restoring an in-service node is an availability-bookkeeping
+// bug.
+func (c *Cluster) Restore(set *nodeset.Set) {
+	if set.Empty() {
+		return
+	}
+	if nodeset.Difference(set, c.down).Len() != 0 {
+		panic("cluster: Restore on nodes that are not down")
+	}
+	c.down.SubtractWith(set)
+	c.free.UnionWith(set)
+}
 
 // TotalReserved returns the number of nodes held across all reservations.
 func (c *Cluster) TotalReserved() int { return c.totalRes }
@@ -219,11 +316,17 @@ func (c *Cluster) Claims() []int {
 	return out
 }
 
-// CheckInvariant verifies that free, reservations, and allocations partition
-// the node universe exactly. It returns a descriptive error on violation.
+// CheckInvariant verifies that free, down, reservations, and allocations
+// partition the node universe exactly. It returns a descriptive error on
+// violation.
 func (c *Cluster) CheckInvariant() error {
 	all := c.free.Clone()
 	total := c.free.Len()
+	if all.Intersects(c.down) {
+		return fmt.Errorf("cluster: down pool overlaps the free pool")
+	}
+	all.UnionWith(c.down)
+	total += c.down.Len()
 	resTotal := 0
 	for claim, s := range c.reserved {
 		if s.Empty() {

@@ -307,3 +307,107 @@ func BenchmarkAllocReleaseCycle(b *testing.B) {
 		c.Release(1)
 	}
 }
+
+func TestDownPoolLifecycle(t *testing.T) {
+	c := New(100)
+	taken := c.TakeDownFree(10)
+	if taken.Len() != 10 || c.DownCount() != 10 || c.FreeCount() != 90 || c.AvailableCount() != 90 {
+		t.Fatalf("take-down wrong: down=%d free=%d avail=%d", c.DownCount(), c.FreeCount(), c.AvailableCount())
+	}
+	mustOK(t, c)
+	taken.ForEach(func(id int) bool {
+		if !c.IsDown(id) || c.IsFree(id) {
+			t.Fatalf("node %d not tracked as down", id)
+		}
+		return true
+	})
+	c.Restore(taken)
+	if c.DownCount() != 0 || c.FreeCount() != 100 {
+		t.Fatalf("restore wrong: down=%d free=%d", c.DownCount(), c.FreeCount())
+	}
+	mustOK(t, c)
+}
+
+func TestTakeDownFreeClampsToFree(t *testing.T) {
+	c := New(10)
+	c.AllocFree(1, 8)
+	taken := c.TakeDownFree(5)
+	if taken.Len() != 2 || c.FreeCount() != 0 || c.DownCount() != 2 {
+		t.Fatalf("clamp wrong: taken=%d", taken.Len())
+	}
+	mustOK(t, c)
+}
+
+func TestTakeDownExactPanicsOnHeldNodes(t *testing.T) {
+	c := New(10)
+	held := c.AllocFree(1, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.TakeDownExact(held)
+}
+
+func TestTakeDownReserved(t *testing.T) {
+	c := New(10)
+	res := c.Reserve(7, 3)
+	id := res.IDs()[0]
+	c.TakeDownReserved(7, id)
+	if c.ReservedCount(7) != 2 || c.TotalReserved() != 2 || !c.IsDown(id) {
+		t.Fatalf("reserved take-down wrong: res=%d down=%v", c.ReservedCount(7), c.IsDown(id))
+	}
+	mustOK(t, c)
+	// Draining the whole reservation deletes the claim entry.
+	for _, rest := range c.ReservedSet(7).IDs() {
+		c.TakeDownReserved(7, rest)
+	}
+	if c.ReservedCount(7) != 0 || c.DownCount() != 3 {
+		t.Fatalf("full reserved take-down wrong")
+	}
+	mustOK(t, c)
+}
+
+func TestTakeDownReservedPanicsOnWrongClaim(t *testing.T) {
+	c := New(10)
+	c.Reserve(7, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.TakeDownReserved(8, 0)
+}
+
+func TestRestorePanicsOnInServiceNodes(t *testing.T) {
+	c := New(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Restore(nodeset.FromIDs(3))
+}
+
+func TestHolderLookups(t *testing.T) {
+	c := New(20)
+	a := c.AllocFree(5, 4)
+	r := c.Reserve(9, 3)
+	aid, rid := a.IDs()[0], r.IDs()[0]
+	if j, ok := c.AllocHolder(aid); !ok || j != 5 {
+		t.Fatalf("AllocHolder(%d) = %d,%v", aid, j, ok)
+	}
+	if cl, ok := c.ReservationHolder(rid); !ok || cl != 9 {
+		t.Fatalf("ReservationHolder(%d) = %d,%v", rid, cl, ok)
+	}
+	if _, ok := c.AllocHolder(rid); ok {
+		t.Fatal("reserved node reported as allocated")
+	}
+	free := c.FreeSet().IDs()[0]
+	if _, ok := c.AllocHolder(free); ok {
+		t.Fatal("free node reported as allocated")
+	}
+	if _, ok := c.ReservationHolder(free); ok {
+		t.Fatal("free node reported as reserved")
+	}
+}

@@ -48,6 +48,15 @@ type Options struct {
 	// no longer vary the input, so figure-style experiments degrade to
 	// mechanism comparisons over the given trace.
 	Source string
+
+	// Resilience-grid axes (the expdriver -mtbf/-repair flags). Empty slices
+	// take the defaults: MTBFs {6 h, 24 h}, repairs {instant, 1 h}.
+	FaultMTBFs   []float64 // failure MTBFs swept, seconds
+	FaultRepairs []float64 // mean repair times swept, seconds (0 = instant)
+
+	// Drains applies these maintenance windows to every resilience cell
+	// (the expdriver -drain flag).
+	Drains []runner.DrainSpec
 }
 
 func (o Options) withDefaults() Options {
@@ -201,6 +210,11 @@ type Cell struct {
 	MeanDecMs  float64 // mean mechanism decision latency
 	MaxDecMs   float64 // max mechanism decision latency
 	MeanDelayS float64 // mean on-demand start delay, seconds
+
+	// Availability telemetry (resilience grid; zero on clean runs).
+	Failures float64 // mean injected failures that struck a job, per run
+	Misses   float64 // mean failures that hit no job, per run
+	DownFrac float64 // mean out-of-service share of the window's node-seconds
 }
 
 // accumulate folds one run's report into the cell (call finish after).
@@ -218,6 +232,9 @@ func (c *Cell) accumulate(r metrics.Report) {
 	c.LostFrac += r.Breakdown.Lost
 	c.MeanDecMs += r.MeanDecisionMs
 	c.MeanDelayS += r.MeanStartDelay
+	c.Failures += float64(r.FailuresInjected)
+	c.Misses += float64(r.FailureMisses)
+	c.DownFrac += r.Breakdown.Unavailable
 	if r.MaxDecisionMs > c.MaxDecMs {
 		c.MaxDecMs = r.MaxDecisionMs
 	}
@@ -240,4 +257,7 @@ func (c *Cell) finish() {
 	c.LostFrac /= n
 	c.MeanDecMs /= n
 	c.MeanDelayS /= n
+	c.Failures /= n
+	c.Misses /= n
+	c.DownFrac /= n
 }

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"hybridsched/internal/runner"
 )
 
 // tiny returns options small enough for unit tests while still running the
@@ -285,5 +287,81 @@ func TestProgressLogging(t *testing.T) {
 	}
 	if !strings.Contains(log.String(), "ablation policy") {
 		t.Fatal("progress log empty")
+	}
+}
+
+func TestResilience(t *testing.T) {
+	o := tiny()
+	o.Seeds = 1
+	o.FaultMTBFs = []float64{6 * 3600}
+	o.FaultRepairs = []float64{0, 3600}
+	r, err := Resilience(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 MTBF x 2 repairs x 2 checkpoint multipliers.
+	if len(r.Variants) != 4 {
+		t.Fatalf("variants %v", r.Variants)
+	}
+	cells := r.Flatten()
+	if len(cells) != 4*len(Mechanisms()) {
+		t.Fatalf("cells %d, want %d", len(cells), 4*len(Mechanisms()))
+	}
+	var struck, down bool
+	for _, c := range cells {
+		if c.Failures > 0 {
+			struck = true
+		}
+		if c.DownFrac > 0 {
+			down = true
+		}
+	}
+	if !struck {
+		t.Fatal("no cell recorded failures at a 6h MTBF")
+	}
+	if !down {
+		t.Fatal("no repair-enabled cell recorded downtime")
+	}
+	// Instant-repair variants must record no downtime.
+	for _, v := range r.Variants {
+		if !strings.Contains(v, "repinst") {
+			continue
+		}
+		for _, c := range r.Cells[v] {
+			if c.DownFrac != 0 {
+				t.Fatalf("instant-repair variant %s has down share %g", v, c.DownFrac)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "failures") {
+		t.Fatal("render missing failures column")
+	}
+	var csv bytes.Buffer
+	if err := WriteCellsCSV(&csv, CellGroup{Experiment: "resilience", Cells: cells}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "unavailable_frac") {
+		t.Fatal("cell CSV missing availability columns")
+	}
+}
+
+func TestResilienceWithDrains(t *testing.T) {
+	o := tiny()
+	o.Seeds = 1
+	o.FaultMTBFs = []float64{24 * 3600}
+	o.FaultRepairs = []float64{0}
+	o.Drains = []runner.DrainSpec{{Start: 24 * 3600, Duration: 12 * 3600, Nodes: 128}}
+	r, err := Resilience(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range r.Variants {
+		for mech, c := range r.Cells[v] {
+			if c.DownFrac <= 0 {
+				t.Fatalf("%s/%s: drain recorded no downtime", v, mech)
+			}
+		}
 	}
 }

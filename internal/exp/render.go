@@ -84,6 +84,7 @@ func WriteCellsCSV(w io.Writer, groups ...CellGroup) error {
 		"utilization", "instant_start_rate", "strict_instant_start_rate",
 		"preempt_rigid_ratio", "preempt_malleable_ratio",
 		"lost_frac", "mean_start_delay_s",
+		"failures", "failure_misses", "unavailable_frac",
 	}
 	if err := cw.Write(header); err != nil {
 		return err
@@ -97,6 +98,7 @@ func WriteCellsCSV(w io.Writer, groups ...CellGroup) error {
 				f(c.Util), f(c.Instant), f(c.Strict),
 				f(c.PreemptRigid), f(c.PreemptMall),
 				f(c.LostFrac), f(c.MeanDelayS),
+				f(c.Failures), f(c.Misses), f(c.DownFrac),
 			}
 			if err := cw.Write(rec); err != nil {
 				return err

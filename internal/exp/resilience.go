@@ -1,0 +1,125 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"hybridsched/internal/runner"
+	"hybridsched/internal/simtime"
+	"hybridsched/internal/workload"
+)
+
+// --- Resilience: degraded-capacity comparison --------------------------------
+
+// Default resilience axes: an aggressive and a paper-default failure rate,
+// crossed with the legacy instant-repair shortcut and a one-hour mean repair.
+var (
+	defaultFaultMTBFs   = []float64{6 * 3600, 24 * 3600}
+	defaultFaultRepairs = []float64{0, 3600}
+)
+
+// resilienceCkptMults is the checkpoint-interval axis of the grid: Daly
+// optimal and the Fig. 7 "twice as frequent" point, where the interplay with
+// real repair times is most visible.
+var resilienceCkptMults = []float64{1.0, 0.5}
+
+// ResilienceResult holds one Cell per (variant, mechanism), where a variant
+// is one (MTBF, repair, checkpoint-multiplier) coordinate.
+type ResilienceResult struct {
+	Variants []string
+	Cells    map[string]map[string]Cell // variant -> mechanism -> cell
+}
+
+// resilienceKey renders one grid coordinate as a stable variant label.
+func resilienceKey(mtbf, repair, mult float64) string {
+	rep := "inst"
+	if repair > 0 {
+		rep = simtime.Format(int64(repair))
+	}
+	return fmt.Sprintf("mtbf%s/rep%s/ckpt%.0f%%",
+		simtime.Format(int64(mtbf)), rep, 100*mult)
+}
+
+// Resilience sweeps the availability model over every scheduler: failure
+// MTBF × mean repair time × checkpoint-interval multiplier × the 7
+// mechanisms, under the W5 mix. The checkpoint plans use the swept failure
+// MTBF (a system that fails every 6 h checkpoints for a 6 h MTBF), so the
+// grid shows how each mechanism degrades as capacity becomes unreliable —
+// the scenario family the instant-repair shortcut used to hide.
+func Resilience(o Options) (ResilienceResult, error) {
+	o = o.withDefaults()
+	mtbfs := o.FaultMTBFs
+	if len(mtbfs) == 0 {
+		mtbfs = defaultFaultMTBFs
+	}
+	repairs := o.FaultRepairs
+	if len(repairs) == 0 {
+		repairs = defaultFaultRepairs
+	}
+	var specs []runner.Spec
+	var variants []string
+	for _, mtbf := range mtbfs {
+		for _, repair := range repairs {
+			for _, mult := range resilienceCkptMults {
+				variant := resilienceKey(mtbf, repair, mult)
+				variants = append(variants, variant)
+				for _, mech := range Mechanisms() {
+					specs = append(specs, o.cellSpecs("resilience", variant, mech, workload.W5,
+						func(sp *runner.Spec) {
+							sp.FaultMTBF = mtbf
+							sp.FaultMeanRepair = repair
+							sp.MTBF = mtbf // Daly plans match the injected rate
+							sp.CkptFreqMult = mult
+							sp.Drains = o.Drains
+						})...)
+				}
+			}
+		}
+	}
+	o.logf("resilience: %d cells (%d mechanisms x %d mtbf x %d repair x %d ckpt x %d seeds)",
+		len(specs), len(Mechanisms()), len(mtbfs), len(repairs), len(resilienceCkptMults), o.Seeds)
+	cells, err := o.runGrid(specs)
+	if err != nil {
+		return ResilienceResult{Variants: variants}, err
+	}
+	return ResilienceResult{Variants: variants, Cells: cellMap(cells)}, nil
+}
+
+// Flatten returns the grid-ordered cells for serialization.
+func (r ResilienceResult) Flatten() []Cell {
+	var out []Cell
+	for _, v := range r.Variants {
+		for _, mech := range Mechanisms() {
+			if c, ok := r.Cells[v][mech]; ok {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// Render writes the resilience comparison, one row per (variant, mechanism).
+func (r ResilienceResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Resilience: scheduling under node failures and repair windows\n")
+	fmt.Fprintf(w, "(failures strike uniformly random nodes; rep=inst is the legacy\n")
+	fmt.Fprintf(w, "instant-repair shortcut, so capacity never shrinks there)\n")
+	tw := newTable(w, "variant", "mechanism", "turn (h)", "util (%)", "instant (%)",
+		"lost (%)", "down (%)", "failures", "misses")
+	for _, v := range r.Variants {
+		for _, mech := range Mechanisms() {
+			c, ok := r.Cells[v][mech]
+			if !ok {
+				continue
+			}
+			tw.row(v, mech,
+				fmt.Sprintf("%.1f", c.TurnAllH),
+				fmt.Sprintf("%.1f", 100*c.Util),
+				fmt.Sprintf("%.1f", 100*c.Instant),
+				fmt.Sprintf("%.2f", 100*c.LostFrac),
+				fmt.Sprintf("%.2f", 100*c.DownFrac),
+				fmt.Sprintf("%.1f", c.Failures),
+				fmt.Sprintf("%.1f", c.Misses))
+		}
+	}
+	tw.flush()
+}

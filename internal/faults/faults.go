@@ -1,23 +1,37 @@
 // Package faults injects node failures into a simulation, exercising the
 // checkpoint/restart path that motivates Daly-optimal checkpointing in the
-// paper (§IV-B): a failure interrupts the job running on the failed node —
+// paper (§IV-B): a failure interrupts the job holding the failed node —
 // rigid jobs fall back to their last checkpoint, malleable jobs lose only
 // their setup (completed tasks are durable), on-demand jobs are assumed to
 // rerun from scratch.
 //
-// The injector is a Mechanism decorator: it wraps any sim.Mechanism
-// (including the six paper mechanisms and the baseline), draws a failure
-// timeline from an exponential inter-arrival process at construction time
-// (so runs stay deterministic and the event queue stays finite), and
-// forwards every other engine callback to the wrapped mechanism unchanged.
+// The injector remains a Mechanism decorator for compatibility — Wrap any
+// sim.Mechanism and hand the result to the engine — but the failure
+// semantics now live in the engine's availability model (sim.Engine.FailNode
+// and the cluster's down pool): each failure strikes one uniformly random
+// node of the system, and with Config.MeanRepair set the node leaves service
+// for a drawn repair time, shrinking the capacity every scheduler pass plans
+// against until the engine-level repair event restores it. With MeanRepair
+// zero the injector keeps the instant-repair shortcut — failed nodes rejoin
+// the free pool immediately and the cluster never shrinks — which DESIGN.md
+// documents as an explicit simplification. Note that victim selection also
+// changed with the rewrite: the old decorator always struck a running job
+// (weighted by its node count), while a uniform node strike misses whenever
+// it lands on a free or reserved node, so even MeanRepair=0 results are not
+// numerically comparable with pre-availability releases.
 //
-// Simplifications, documented per DESIGN.md: failed nodes repair instantly
-// (repair time is negligible against the MTBF at system scale), and a
-// failure strikes a running job weighted by its node count — the larger the
-// allocation, the larger the failure cross-section.
+// The failure timeline is an exponential inter-arrival process drawn at
+// attach time (so runs stay deterministic and the event queue stays finite).
+// Arrival instants accumulate in float64 and are rounded once per event:
+// truncating each draw independently — the pre-availability behavior —
+// floors every inter-arrival gap, which collapses sub-second draws to zero
+// (duplicate same-instant failures) and inflates the effective rate by up to
+// a second per failure, a large systematic bias at small MTBFs.
 package faults
 
 import (
+	"math"
+
 	"hybridsched/internal/job"
 	"hybridsched/internal/nodeset"
 	"hybridsched/internal/sim"
@@ -28,11 +42,23 @@ import (
 type Config struct {
 	// MTBF is the system mean time between failures, in seconds.
 	MTBF float64
-	// Seed drives the failure timeline and victim choice.
+	// Seed drives the failure timeline, victim choice, and repair draws.
 	Seed int64
 	// Horizon bounds the pre-drawn failure timeline, in seconds of virtual
 	// time from the first event. Failures past the horizon never fire.
 	Horizon int64
+	// MeanRepair is the mean node repair time in seconds. When positive,
+	// each failed node leaves service for a repair time drawn from RepairTime
+	// (exponential with this mean by default, clamped to at least 1 s). Zero
+	// keeps the legacy instant-repair shortcut: the victim job is interrupted
+	// but capacity never shrinks.
+	MeanRepair float64
+	// RepairTime overrides the repair-time draw (consulted only when
+	// MeanRepair is positive): it maps one uniform variate u in [0,1) —
+	// drawn from the injector's seeded stream, so runs stay deterministic —
+	// to a repair time in seconds (an inverse CDF; ignore u for a fixed
+	// repair time). The default draws Exponential(MeanRepair).
+	RepairTime func(u float64) float64
 }
 
 // Injector wraps a mechanism with fault injection. It satisfies
@@ -43,9 +69,15 @@ type Injector struct {
 	rng   *stats.RNG
 	e     *sim.Engine
 
-	// Failures counts injected failures that struck a running job.
+	// Failures counts injected failures that struck a job holding the failed
+	// node, over the whole pre-drawn timeline. The engine mirrors the
+	// counters into the run's metrics.Report (FailuresInjected /
+	// FailureMisses) clipped to the observation window — timeline events
+	// after the last completion keep counting here but not there — so sweeps
+	// and CSV emitters see horizon-independent telemetry.
 	Failures int
-	// Misses counts failure instants with no running victim.
+	// Misses counts failure instants whose node held no job (free, reserved,
+	// or already down), over the whole pre-drawn timeline.
 	Misses int
 }
 
@@ -53,7 +85,7 @@ type Injector struct {
 type failTag struct{ seq int }
 
 // Wrap decorates inner with fault injection under cfg. MTBF and Horizon must
-// be positive.
+// be positive; MeanRepair must be non-negative.
 func Wrap(inner sim.Mechanism, cfg Config) *Injector {
 	if cfg.MTBF <= 0 {
 		panic("faults: MTBF must be positive")
@@ -61,28 +93,43 @@ func Wrap(inner sim.Mechanism, cfg Config) *Injector {
 	if cfg.Horizon <= 0 {
 		panic("faults: Horizon must be positive")
 	}
+	if cfg.MeanRepair < 0 {
+		panic("faults: MeanRepair must be non-negative")
+	}
 	return &Injector{inner: inner, cfg: cfg, rng: stats.NewRNG(cfg.Seed)}
+}
+
+// timeline draws the failure instants of an exponential process with the
+// given mean inter-arrival, as offsets in [0, horizon]. The running sum
+// accumulates in float64 and each event instant is rounded once, so the mean
+// spacing matches the MTBF instead of being floored per draw.
+func timeline(rng *stats.RNG, mtbf float64, horizon int64) []int64 {
+	var out []int64
+	t := 0.0
+	for {
+		t += rng.ExpFloat64(mtbf)
+		it := int64(math.Round(t))
+		if it > horizon {
+			return out
+		}
+		out = append(out, it)
+	}
+}
+
+// Attach wires both layers and lays out the failure timeline within the
+// horizon. Failures dispatch at the availability model's fault priority —
+// after completions, before notices and arrivals — matching the ordering of
+// failures scheduled directly with Engine.ScheduleNodeFailure.
+func (i *Injector) Attach(e *sim.Engine) {
+	i.e = e
+	i.inner.Attach(e)
+	for seq, off := range timeline(i.rng, i.cfg.MTBF, i.cfg.Horizon) {
+		e.ScheduleFaultTimer(e.Now()+off, failTag{seq: seq})
+	}
 }
 
 // Name reports the wrapped mechanism plus the injection marker.
 func (i *Injector) Name() string { return i.inner.Name() + "+faults" }
-
-// Attach wires both layers and lays out the failure timeline within the
-// horizon.
-func (i *Injector) Attach(e *sim.Engine) {
-	i.e = e
-	i.inner.Attach(e)
-	t := e.Now()
-	seq := 0
-	for {
-		t += int64(i.rng.ExpFloat64(i.cfg.MTBF))
-		if t-e.Now() > i.cfg.Horizon {
-			break
-		}
-		e.ScheduleTimer(t, failTag{seq: seq})
-		seq++
-	}
-}
 
 // QueueOnDemandFirst defers to the wrapped mechanism.
 func (i *Injector) QueueOnDemandFirst() bool { return i.inner.QueueOnDemandFirst() }
@@ -118,31 +165,27 @@ func (i *Injector) OnTimer(payload any) {
 	i.inner.OnTimer(payload)
 }
 
-// injectFailure strikes one running job, chosen with probability
-// proportional to its node count (every node is equally likely to fail).
+// injectFailure fails one uniformly random node of the system — every node
+// is equally likely to fail, so a running job's strike probability is
+// proportional to its allocation — through the engine's availability model.
 func (i *Injector) injectFailure() {
-	running := i.e.Running()
-	total := 0
-	for _, r := range running {
-		total += r.CurSize
-	}
-	if total == 0 {
-		i.Misses++
-		return
-	}
-	pick := int(i.rng.UniformInt64(0, int64(total)-1))
-	var victim *job.Job
-	for _, r := range running {
-		if pick < r.CurSize {
-			victim = r
-			break
+	node := int(i.rng.UniformInt64(0, int64(i.e.Nodes())-1))
+	repair := int64(0)
+	if i.cfg.MeanRepair > 0 {
+		var d float64
+		if i.cfg.RepairTime != nil {
+			d = i.cfg.RepairTime(i.rng.Float64())
+		} else {
+			d = i.rng.ExpFloat64(i.cfg.MeanRepair)
 		}
-		pick -= r.CurSize
+		repair = int64(math.Round(d))
+		if repair < 1 {
+			repair = 1
+		}
 	}
-	i.Failures++
-	if victim.Class == job.Malleable {
-		i.e.PreemptMalleableNow(victim)
+	if i.e.FailNode(node, repair) {
+		i.Failures++
 	} else {
-		i.e.PreemptRigid(victim)
+		i.Misses++
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"hybridsched/internal/job"
 	"hybridsched/internal/sim"
 	"hybridsched/internal/simtime"
+	"hybridsched/internal/stats"
 	"hybridsched/internal/trace"
 	"hybridsched/internal/workload"
 )
@@ -148,4 +149,157 @@ func TestMoreFrequentCheckpointsLoseLessUnderFaults(t *testing.T) {
 	if frequent > rare {
 		t.Fatalf("frequent checkpoints lost more (%.4f) than rare (%.4f)", frequent, rare)
 	}
+}
+
+func TestTimelineMeanInterArrivalUnbiased(t *testing.T) {
+	// Regression for the truncation bias: each draw used to be floored
+	// independently (int64(ExpFloat64(mtbf)) per step), so at a 0.9 s MTBF
+	// the mean inter-arrival collapsed to ~0.49 s — an ~2x inflated failure
+	// rate and duplicate same-instant events. Accumulating in float64 and
+	// rounding once per event keeps the realized rate at the configured MTBF;
+	// this pins it within 5%, far tighter than the old bias.
+	const (
+		mtbf    = 0.9
+		horizon = int64(200_000)
+	)
+	tl := timeline(stats.NewRNG(42), mtbf, horizon)
+	if len(tl) == 0 {
+		t.Fatal("empty timeline")
+	}
+	mean := float64(horizon) / float64(len(tl))
+	if mean < mtbf*0.95 || mean > mtbf*1.05 {
+		t.Fatalf("mean inter-arrival %.4f s, want %.1f s +-5%% (truncation bias regressed)", mean, mtbf)
+	}
+	// The bias also shows at moderate MTBFs: flooring shaves E[frac] = ~0.5 s
+	// off every gap. At a 5 s MTBF that is a 10% rate inflation; the rounded
+	// accumulator must stay within 3%.
+	tl = timeline(stats.NewRNG(7), 5, 2_000_000)
+	mean = 2_000_000 / float64(len(tl))
+	if mean < 5*0.97 || mean > 5*1.03 {
+		t.Fatalf("mean inter-arrival %.3f s at MTBF 5 s, want +-3%%", mean)
+	}
+	for i := 1; i < len(tl); i++ {
+		if tl[i] < tl[i-1] {
+			t.Fatal("timeline not sorted")
+		}
+	}
+}
+
+func TestFailureTelemetryReachesReport(t *testing.T) {
+	jobs := genSmall(t, 9)
+	inj := Wrap(sim.Baseline{}, Config{MTBF: 2 * 3600, Seed: 5, Horizon: 4 * simtime.Week})
+	e, err := sim.New(sim.Config{Nodes: 512, Validate: true}, jobs, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.Failures == 0 {
+		t.Fatal("no failures fired")
+	}
+	// The report clips the counters to the observation window; the injector
+	// counts its whole pre-drawn timeline, which runs past the last
+	// completion to the horizon. So report <= injector, and every in-window
+	// strike must be visible.
+	if rep.FailuresInjected == 0 || rep.FailuresInjected > inj.Failures {
+		t.Fatalf("report strikes %d outside (0, %d]", rep.FailuresInjected, inj.Failures)
+	}
+	if rep.FailureMisses > inj.Misses {
+		t.Fatalf("report misses %d exceed injector %d", rep.FailureMisses, inj.Misses)
+	}
+	if rep.FailuresInjected+rep.FailureMisses >= inj.Failures+inj.Misses {
+		t.Fatalf("window clipping had no effect: report %d+%d vs injector %d+%d (horizon tail should be excluded)",
+			rep.FailuresInjected, rep.FailureMisses, inj.Failures, inj.Misses)
+	}
+	// Instant repair: the cluster never shrank.
+	if rep.DownNodeSeconds != 0 {
+		t.Fatalf("instant-repair run recorded %d down node-seconds", rep.DownNodeSeconds)
+	}
+}
+
+func TestRepairTimeShrinksCapacity(t *testing.T) {
+	jobs := genSmall(t, 3)
+	inj := Wrap(sim.Baseline{}, Config{
+		MTBF: 3 * 3600, Seed: 11, Horizon: 4 * simtime.Week, MeanRepair: 2 * 3600,
+	})
+	e, err := sim.New(sim.Config{Nodes: 512, Validate: true}, jobs, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs != len(jobs) {
+		t.Fatalf("completed %d/%d under repairs", rep.Jobs, len(jobs))
+	}
+	if rep.DownNodeSeconds == 0 {
+		t.Fatal("repair windows removed no capacity")
+	}
+	if rep.Breakdown.Unavailable <= 0 {
+		t.Fatal("unavailable share missing from the breakdown")
+	}
+	if e.DownCount() != 0 {
+		t.Fatalf("%d nodes still down after the run", e.DownCount())
+	}
+}
+
+func TestCustomRepairDistribution(t *testing.T) {
+	jobs := genSmall(t, 3)
+	const fixed = 1800.0
+	inj := Wrap(sim.Baseline{}, Config{
+		MTBF: 3 * 3600, Seed: 11, Horizon: 4 * simtime.Week,
+		MeanRepair: fixed,
+		RepairTime: func(float64) float64 { return fixed },
+	})
+	e, err := sim.New(sim.Config{Nodes: 512, Validate: true}, jobs, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every failure on an in-service node removes exactly one node for
+	// exactly 1800 s, so the downtime integral is bounded by the failure
+	// count (downtime before the first submission falls outside the
+	// observation window, so the bound is not exact).
+	total := rep.FailuresInjected + rep.FailureMisses
+	if rep.DownNodeSeconds <= 0 {
+		t.Fatal("fixed repair removed no capacity")
+	}
+	if rep.DownNodeSeconds > int64(total)*int64(fixed) {
+		t.Fatalf("downtime %d exceeds %d failures x %g", rep.DownNodeSeconds, total, fixed)
+	}
+}
+
+func TestDeterministicTimelineWithRepairs(t *testing.T) {
+	run := func() (int, int, int64, float64) {
+		jobs := genSmall(t, 4)
+		inj := Wrap(sim.Baseline{}, Config{
+			MTBF: 3 * 3600, Seed: 11, Horizon: 4 * simtime.Week, MeanRepair: 3600,
+		})
+		e, _ := sim.New(sim.Config{Nodes: 512}, jobs, inj)
+		rep, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inj.Failures, inj.Misses, rep.DownNodeSeconds, rep.Utilization
+	}
+	f1, m1, d1, u1 := run()
+	f2, m2, d2, u2 := run()
+	if f1 != f2 || m1 != m2 || d1 != d2 || u1 != u2 {
+		t.Fatalf("nondeterministic: %d/%d/%d/%g vs %d/%d/%d/%g", f1, m1, d1, u1, f2, m2, d2, u2)
+	}
+}
+
+func TestWrapRejectsNegativeRepair(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Wrap(sim.Baseline{}, Config{MTBF: 3600, Horizon: 1, MeanRepair: -1})
 }

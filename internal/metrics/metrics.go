@@ -50,6 +50,28 @@ type Collector struct {
 	lastReserved   int
 	lastResTime    int64
 
+	// Availability extension: out-of-service node-seconds (failed nodes under
+	// repair, drained maintenance windows) and injected-failure counters. All
+	// zero — and absent from reports — when the availability model is off.
+	// The *AtEnd values clip the ledger to the observation window: fault and
+	// repair events keep firing (integrating downtime, counting strikes and
+	// misses) after the last job completes — the pre-drawn timeline runs to
+	// its horizon — but the report only charges what happened inside
+	// winStart..winEnd, so Breakdown stays a partition of the window and the
+	// counters do not scale with an arbitrary horizon tail. They are
+	// re-closed at every completion — virtual time is monotone, so at that
+	// instant the live values are exactly the window integrals. The live
+	// values also reset when the window opens (see NoteSubmit), dropping
+	// anything accrued before the first submission.
+	downNS       int64
+	downNSAtEnd  int64
+	lastDown     int
+	lastDownTime int64
+	failures     int
+	failMisses   int
+	failsAtEnd   int
+	missesAtEnd  int
+
 	results  []JobResult
 	decision stats.Welford
 	maxDecNS int64
@@ -65,7 +87,11 @@ func NewCollector(nodes int) *Collector {
 // any order; the window start tracks the minimum.
 func (c *Collector) NoteSubmit(t int64) {
 	if !c.haveWindow {
-		c.winStart, c.winEnd, c.lastResTime = t, t, t
+		c.winStart, c.winEnd, c.lastResTime, c.lastDownTime = t, t, t, t
+		// Open the availability ledger fresh: downtime and failures from
+		// before the first submission (a drain opened at t=0, a timeline
+		// head before the trace starts) fall outside the window.
+		c.downNS, c.failures, c.failMisses = 0, 0, 0
 		c.haveWindow = true
 		return
 	}
@@ -76,6 +102,9 @@ func (c *Collector) NoteSubmit(t int64) {
 		// keeps out-of-order pre-run submissions equivalent to a batch load.
 		if c.lastReserved == 0 && c.reservedIdleNS == 0 && t < c.lastResTime {
 			c.lastResTime = t
+		}
+		if c.lastDown == 0 && c.downNS == 0 && t < c.lastDownTime {
+			c.lastDownTime = t
 		}
 	}
 }
@@ -88,6 +117,38 @@ func (c *Collector) NoteReserved(now int64, reservedNodes int) {
 		c.lastResTime = now
 	}
 	c.lastReserved = reservedNodes
+}
+
+// NoteDown integrates out-of-service node time up to now and records the new
+// down-node level. The engine calls it whenever time advances, mirroring
+// NoteReserved; with the availability model off the level is always zero and
+// the integral stays empty.
+func (c *Collector) NoteDown(now int64, downNodes int) {
+	if now > c.lastDownTime {
+		c.downNS += int64(c.lastDown) * (now - c.lastDownTime)
+		c.lastDownTime = now
+	}
+	c.lastDown = downNodes
+}
+
+// downThrough projects the down integral to virtual time t (no mutation).
+func (c *Collector) downThrough(t int64) int64 {
+	ns := c.downNS
+	if t > c.lastDownTime {
+		ns += int64(c.lastDown) * (t - c.lastDownTime)
+	}
+	return ns
+}
+
+// NoteFailure records one injected node failure; struck reports whether it
+// interrupted a job holding the node (a miss hit a free, reserved, or
+// already-down node).
+func (c *Collector) NoteFailure(struck bool) {
+	if struck {
+		c.failures++
+	} else {
+		c.failMisses++
+	}
 }
 
 // AddUsage merges an incarnation's node-second usage into the ledger.
@@ -119,6 +180,8 @@ func (c *Collector) NoteComplete(j *job.Job) {
 	if j.EndTime > c.winEnd {
 		c.winEnd = j.EndTime
 	}
+	c.downNSAtEnd = c.downThrough(c.winEnd)
+	c.failsAtEnd, c.missesAtEnd = c.failures, c.failMisses
 }
 
 // NoteDecision records the wall-clock latency of one mechanism decision
@@ -151,6 +214,12 @@ type Snapshot struct {
 	Usage                   job.Usage // node-second ledger so far
 	ReservedIdleNodeSeconds int64
 
+	// Availability extension: out-of-service node-seconds so far and the
+	// injected-failure counters (zero with the availability model off).
+	DownNodeSeconds int64
+	Failures        int
+	FailureMisses   int
+
 	// Utilization is the paper's definition — (useful + setup + checkpoint)
 	// node-seconds over the window start..Now — accrued from completed and
 	// preempted incarnations (running jobs contribute at finalization).
@@ -161,13 +230,19 @@ type Snapshot struct {
 // mutates the collector, so interleaving snapshots with a run is safe.
 func (c *Collector) Snapshot(now int64) Snapshot {
 	s := Snapshot{Now: now, Completed: len(c.results), Usage: c.usage,
-		ReservedIdleNodeSeconds: c.reservedIdleNS}
+		ReservedIdleNodeSeconds: c.reservedIdleNS,
+		DownNodeSeconds:         c.downNS,
+		Failures:                c.failures,
+		FailureMisses:           c.failMisses}
 	if !c.haveWindow {
 		return s
 	}
 	s.WindowStart = c.winStart
 	if now > c.lastResTime {
 		s.ReservedIdleNodeSeconds += int64(c.lastReserved) * (now - c.lastResTime)
+	}
+	if now > c.lastDownTime {
+		s.DownNodeSeconds += int64(c.lastDown) * (now - c.lastDownTime)
 	}
 	if total := float64(c.nodes) * float64(now-c.winStart); total > 0 {
 		s.Utilization = (float64(c.usage.Useful) + float64(c.usage.Setup) +
@@ -186,12 +261,17 @@ type ClassStats struct {
 }
 
 // UtilizationBreakdown partitions the window's node-seconds into fractions.
+// Unavailable is the availability extension's share (failed nodes under
+// repair, drained maintenance windows); it is zero — and omitted from the
+// JSON form — when the availability model is off, so canonical reports of
+// clean runs are unchanged by its existence.
 type UtilizationBreakdown struct {
 	Useful       float64
 	Setup        float64
 	Ckpt         float64
 	Lost         float64
 	ReservedIdle float64
+	Unavailable  float64 `json:",omitempty"`
 	Idle         float64
 }
 
@@ -216,6 +296,15 @@ type Report struct {
 	StrictInstantStartRate float64 // start delay == 0
 	MeanStartDelay         float64 // seconds
 
+	// Availability extension (all zero, and omitted from the JSON form, when
+	// the availability model is off — clean-run reports stay byte-identical).
+	// All three are clipped to the observation window (winStart..winEnd), so
+	// they do not depend on how far past the workload the fault timeline's
+	// horizon happens to extend.
+	FailuresInjected int   `json:",omitempty"` // node failures that struck a job
+	FailureMisses    int   `json:",omitempty"` // failures that hit no job
+	DownNodeSeconds  int64 `json:",omitempty"` // out-of-service node-seconds
+
 	// Mechanism decision latency (wall clock).
 	DecisionCount  int
 	MeanDecisionMs float64
@@ -234,6 +323,9 @@ func (c *Collector) Report() Report {
 	}
 	c.NoteReserved(c.winEnd, c.lastReserved) // close the integral
 	r.Makespan = c.winEnd - c.winStart
+	r.FailuresInjected = c.failsAtEnd
+	r.FailureMisses = c.missesAtEnd
+	r.DownNodeSeconds = c.downNSAtEnd
 
 	turn := make([]float64, 0, len(c.results))
 	var turnR, turnO, turnM []float64
@@ -293,9 +385,11 @@ func (c *Collector) Report() Report {
 			Ckpt:         float64(u.Ckpt) / total,
 			Lost:         float64(u.Lost) / total,
 			ReservedIdle: float64(c.reservedIdleNS) / total,
+			Unavailable:  float64(c.downNSAtEnd) / total,
 		}
 		r.Breakdown.Idle = 1 - r.Breakdown.Useful - r.Breakdown.Setup -
-			r.Breakdown.Ckpt - r.Breakdown.Lost - r.Breakdown.ReservedIdle
+			r.Breakdown.Ckpt - r.Breakdown.Lost - r.Breakdown.ReservedIdle -
+			r.Breakdown.Unavailable
 	}
 
 	r.DecisionCount = c.decision.N()

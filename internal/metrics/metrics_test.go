@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"bytes"
+	"encoding/json"
 	"testing"
 	"time"
 
@@ -160,5 +162,46 @@ func TestNoteReservedMonotonicTime(t *testing.T) {
 	want := float64(5*10) / float64(10*100)
 	if r.Breakdown.ReservedIdle != want {
 		t.Fatalf("reserved idle %g, want %g", r.Breakdown.ReservedIdle, want)
+	}
+}
+
+func TestAvailabilityLedger(t *testing.T) {
+	c := NewCollector(100)
+	c.NoteSubmit(0)
+	c.NoteDown(10, 5) // 0..10 at level 0
+	c.NoteDown(30, 0) // 10..30 at level 5 -> 100 node-seconds
+	c.NoteFailure(true)
+	c.NoteFailure(true)
+	c.NoteFailure(false)
+	c.NoteComplete(completeJob(1, job.Rigid, 0, 0, 50, 10, 0))
+	r := c.Report()
+	if r.DownNodeSeconds != 100 {
+		t.Fatalf("DownNodeSeconds = %d, want 100", r.DownNodeSeconds)
+	}
+	if r.FailuresInjected != 2 || r.FailureMisses != 1 {
+		t.Fatalf("failure counters = %d/%d, want 2/1", r.FailuresInjected, r.FailureMisses)
+	}
+	// 100 down node-seconds over a 100-node, 50-second window.
+	if got, want := r.Breakdown.Unavailable, 100.0/(100.0*50.0); got != want {
+		t.Fatalf("Breakdown.Unavailable = %g, want %g", got, want)
+	}
+	snap := c.Snapshot(40)
+	if snap.DownNodeSeconds != 100 || snap.Failures != 2 || snap.FailureMisses != 1 {
+		t.Fatalf("snapshot availability fields wrong: %+v", snap)
+	}
+}
+
+func TestCleanReportOmitsAvailabilityFields(t *testing.T) {
+	c := NewCollector(10)
+	c.NoteSubmit(0)
+	c.NoteComplete(completeJob(1, job.Rigid, 0, 0, 20, 4, 0))
+	b, err := json.Marshal(c.Report())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"FailuresInjected", "FailureMisses", "DownNodeSeconds", "Unavailable"} {
+		if bytes.Contains(b, []byte(field)) {
+			t.Fatalf("clean report serializes availability field %s:\n%s", field, b)
+		}
 	}
 }

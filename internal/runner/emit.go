@@ -45,6 +45,14 @@ type Row struct {
 	PreemptRigid float64 `json:"preempt_rigid_ratio"`
 	PreemptMall  float64 `json:"preempt_malleable_ratio"`
 
+	// Availability telemetry (zero on clean runs; the fault coordinates of
+	// the cell appear alongside so fault rows are self-describing).
+	FaultMTBF       float64 `json:"fault_mtbf,omitempty"`
+	FaultMeanRepair float64 `json:"fault_repair,omitempty"`
+	Failures        int     `json:"failures,omitempty"`
+	FailureMisses   int     `json:"failure_misses,omitempty"`
+	UnavailableFrac float64 `json:"unavailable_frac,omitempty"`
+
 	Err string `json:"err,omitempty"`
 }
 
@@ -54,14 +62,16 @@ func (s Sweep) Rows() []Row {
 	rows := make([]Row, 0, len(s.Results))
 	for _, res := range s.Results {
 		r := Row{
-			Group:     res.Spec.Group,
-			Variant:   res.Spec.Variant,
-			Mechanism: res.Spec.Mechanism,
-			Policy:    res.Spec.Policy,
-			Seed:      res.Spec.Workload.Seed,
-			Nodes:     res.Spec.Nodes,
-			Source:    res.Spec.Source,
-			Err:       res.Err,
+			Group:           res.Spec.Group,
+			Variant:         res.Spec.Variant,
+			Mechanism:       res.Spec.Mechanism,
+			Policy:          res.Spec.Policy,
+			Seed:            res.Spec.Workload.Seed,
+			Nodes:           res.Spec.Nodes,
+			Source:          res.Spec.Source,
+			FaultMTBF:       res.Spec.FaultMTBF,
+			FaultMeanRepair: res.Spec.FaultMeanRepair,
+			Err:             res.Err,
 		}
 		if !res.Failed() {
 			rep := res.Report
@@ -83,6 +93,9 @@ func (s Sweep) Rows() []Row {
 			r.MeanDelayS = rep.MeanStartDelay
 			r.PreemptRigid = rep.Rigid.PreemptRatio
 			r.PreemptMall = rep.Malleable.PreemptRatio
+			r.Failures = rep.FailuresInjected
+			r.FailureMisses = rep.FailureMisses
+			r.UnavailableFrac = rep.Breakdown.Unavailable
 		}
 		rows = append(rows, r)
 	}
@@ -108,7 +121,9 @@ var csvHeader = []string{
 	"utilization", "useful_frac", "setup_frac", "ckpt_frac", "lost_frac",
 	"reserved_idle_frac", "idle_frac",
 	"instant_start_rate", "strict_instant_start_rate", "mean_start_delay_s",
-	"preempt_rigid_ratio", "preempt_malleable_ratio", "err",
+	"preempt_rigid_ratio", "preempt_malleable_ratio",
+	"fault_mtbf", "fault_repair", "failures", "failure_misses", "unavailable_frac",
+	"err",
 }
 
 // WriteCSV emits the sweep as CSV, one Row per cell in grid order.
@@ -127,7 +142,10 @@ func (s Sweep) WriteCSV(w io.Writer) error {
 			f(r.Util), f(r.Useful), f(r.Setup), f(r.Ckpt), f(r.Lost),
 			f(r.ReservedIdle), f(r.Idle),
 			f(r.Instant), f(r.StrictInstant), f(r.MeanDelayS),
-			f(r.PreemptRigid), f(r.PreemptMall), r.Err,
+			f(r.PreemptRigid), f(r.PreemptMall),
+			f(r.FaultMTBF), f(r.FaultMeanRepair),
+			strconv.Itoa(r.Failures), strconv.Itoa(r.FailureMisses), f(r.UnavailableFrac),
+			r.Err,
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

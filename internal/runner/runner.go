@@ -35,6 +35,7 @@ import (
 
 	"hybridsched/internal/checkpoint"
 	"hybridsched/internal/core"
+	"hybridsched/internal/faults"
 	"hybridsched/internal/metrics"
 	"hybridsched/internal/registry"
 	"hybridsched/internal/sim"
@@ -93,6 +94,37 @@ type Spec struct {
 	Validate bool `json:"-"`
 	// MaxSimTime aborts a run whose virtual clock passes this bound (0 = none).
 	MaxSimTime int64 `json:"-"`
+
+	// FaultMTBF, when positive, wraps the cell's mechanism in the fault
+	// injector at this system MTBF (seconds): failures strike uniformly
+	// random nodes on an exponential timeline and interrupt whatever holds
+	// them.
+	FaultMTBF float64 `json:"fault_mtbf,omitempty"`
+	// FaultMeanRepair is the mean node repair time in seconds; failed nodes
+	// leave service for a drawn repair window. Zero keeps the legacy
+	// instant-repair shortcut (capacity never shrinks).
+	FaultMeanRepair float64 `json:"fault_repair,omitempty"`
+	// FaultSeed drives the failure timeline. Zero derives from the workload
+	// seed (or, for source-backed cells, from the source spec string) —
+	// never from the mechanism, so every mechanism replaying one workload
+	// faces the identical failure process.
+	FaultSeed int64 `json:"-"`
+	// FaultHorizon bounds the failure timeline in virtual seconds. Zero
+	// derives from the workload length (Weeks+4 weeks), or for source-backed
+	// cells from the materialized trace's span plus four weeks.
+	FaultHorizon int64 `json:"-"`
+
+	// Drains schedules maintenance windows on the cell's engine.
+	Drains []DrainSpec `json:"-"`
+}
+
+// DrainSpec is one scheduled maintenance window of a cell: up to Nodes nodes
+// leave service at Start (free nodes immediately, more as jobs release them)
+// and return at Start+Duration. Drains never preempt.
+type DrainSpec struct {
+	Start    int64
+	Duration int64
+	Nodes    int
 }
 
 // withDefaults fills the paper-faithful defaults into zero fields.
@@ -126,6 +158,27 @@ func (s Spec) withDefaults() Spec {
 	if s.MTBF == 0 {
 		s.MTBF = 24 * float64(simtime.Hour)
 	}
+	if s.FaultMTBF > 0 && s.FaultSeed == 0 {
+		// The fault seed must not depend on the mechanism: every mechanism
+		// replaying one workload sees the same failure timeline, the
+		// controlled comparison the resilience grid relies on. Generated
+		// cells reuse the workload seed; source cells derive from the spec
+		// string alone.
+		if s.Source != "" {
+			s.FaultSeed = DeriveSeed("faults", s.Source)
+		} else {
+			s.FaultSeed = s.Workload.Seed
+		}
+	}
+	if s.FaultMTBF > 0 && s.FaultHorizon == 0 && s.Source == "" {
+		// Source-backed cells resolve the horizon in runOne instead, once
+		// the trace is materialized and its span known.
+		weeks := s.Workload.Weeks
+		if weeks <= 0 {
+			weeks = 4 // the generator's own default trace length
+		}
+		s.FaultHorizon = int64(weeks+4) * simtime.Week
+	}
 	if s.CkptFreqMult == 0 {
 		s.CkptFreqMult = 1.0
 	} else if s.CkptFreqMult < 0 {
@@ -142,6 +195,9 @@ func (s Spec) Key() string {
 	}
 	if s.Group != "" {
 		key = s.Group + "/" + key
+	}
+	if s.FaultMTBF > 0 {
+		key = fmt.Sprintf("%s/mtbf%.0fs", key, s.FaultMTBF)
 	}
 	if s.Source != "" {
 		return fmt.Sprintf("%s/src=%s", key, s.Source)
@@ -319,6 +375,27 @@ func runOne(spec Spec, cache *traceCache) (res Result) {
 		res.Err = err.Error()
 		return
 	}
+	if s.FaultMTBF > 0 {
+		if s.FaultHorizon == 0 {
+			// Source-backed cell: cover the whole replayed trace plus tail
+			// room for the queue to drain, so failures do not silently stop
+			// partway through a long import.
+			var span int64
+			for _, r := range recs {
+				if r.Submit > span {
+					span = r.Submit
+				}
+			}
+			s.FaultHorizon = span + 4*simtime.Week
+			res.Spec.FaultHorizon = s.FaultHorizon
+		}
+		mech = faults.Wrap(mech, faults.Config{
+			MTBF:       s.FaultMTBF,
+			Seed:       s.FaultSeed,
+			Horizon:    s.FaultHorizon,
+			MeanRepair: s.FaultMeanRepair,
+		})
+	}
 	ord := registry.PolicyByName(s.Policy)
 	if ord == nil {
 		res.Err = fmt.Sprintf("unknown policy %q (valid: %v)", s.Policy, registry.PolicyNames())
@@ -334,6 +411,12 @@ func runOne(spec Spec, cache *traceCache) (res Result) {
 	if err != nil {
 		res.Err = err.Error()
 		return
+	}
+	for _, d := range s.Drains {
+		if err := engine.ScheduleDrain(d.Start, d.Duration, d.Nodes); err != nil {
+			res.Err = err.Error()
+			return
+		}
 	}
 	rep, err := engine.Run()
 	if err != nil {

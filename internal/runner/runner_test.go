@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"hybridsched/internal/simtime"
 	"hybridsched/internal/trace"
 	"hybridsched/internal/workload"
 )
@@ -356,5 +357,51 @@ func TestSourceSpecPrecedenceOverWorkload(t *testing.T) {
 	sweep := Run([]Spec{bad}, Options{Workers: 1})
 	if sweep.Err() == nil {
 		t.Error("unparseable source spec must fail the cell")
+	}
+}
+
+func TestFaultSeedIndependentOfMechanism(t *testing.T) {
+	// Every mechanism replaying one workload must face the identical failure
+	// process, on both the generated and the source-backed path.
+	gen := func(mech string) Spec {
+		return Spec{Group: "g", Variant: "v", Mechanism: mech, FaultMTBF: 3600,
+			Workload: workload.Config{Seed: 7, Nodes: 256, Weeks: 1}}.withDefaults()
+	}
+	if a, b := gen("baseline"), gen("CUA&SPAA"); a.FaultSeed != b.FaultSeed || a.FaultSeed == 0 {
+		t.Fatalf("generated fault seeds diverge across mechanisms: %d vs %d", a.FaultSeed, b.FaultSeed)
+	}
+	src := func(mech string) Spec {
+		return Spec{Group: "g", Variant: mech, Mechanism: mech, FaultMTBF: 3600,
+			Source: "synthetic:seed=1,weeks=1,nodes=256"}.withDefaults()
+	}
+	a, b := src("baseline"), src("CUA&SPAA")
+	if a.FaultSeed != b.FaultSeed || a.FaultSeed == 0 {
+		t.Fatalf("source fault seeds diverge across mechanisms: %d vs %d", a.FaultSeed, b.FaultSeed)
+	}
+	// Source cells defer the horizon to runOne (trace span not yet known).
+	if a.FaultHorizon != 0 {
+		t.Fatalf("source cell resolved horizon %d in withDefaults", a.FaultHorizon)
+	}
+	if g := gen("baseline"); g.FaultHorizon != int64(1+4)*simtime.Week {
+		t.Fatalf("generated horizon %d, want %d", g.FaultHorizon, int64(5)*simtime.Week)
+	}
+}
+
+func TestSourceCellFaultHorizonCoversTrace(t *testing.T) {
+	// A fault-enabled source cell must inject across the whole replayed
+	// trace: the resolved horizon (echoed in the result spec) covers the
+	// trace span plus drain room.
+	spec := Spec{Mechanism: "baseline", Nodes: 256, FaultMTBF: 6 * 3600, FaultMeanRepair: 600,
+		Source: "synthetic:seed=3,weeks=2,nodes=256"}
+	sweep := Run([]Spec{spec}, Options{Workers: 1})
+	if err := sweep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	res := sweep.Results[0]
+	if res.Spec.FaultHorizon < 2*simtime.Week {
+		t.Fatalf("resolved horizon %d does not cover the 2-week trace", res.Spec.FaultHorizon)
+	}
+	if res.Report.FailuresInjected == 0 {
+		t.Fatal("no failures struck over the source replay")
 	}
 }

@@ -154,6 +154,17 @@ const (
 	// EventCheckpoint: a preempted rigid job's progress was rolled back to
 	// its last completed defensive checkpoint.
 	EventCheckpoint
+	// EventNodeDown: Nodes nodes left service (a failure under repair, or a
+	// maintenance drain absorbing them). Node events carry no job: Job is -1
+	// and Class is meaningless.
+	EventNodeDown
+	// EventNodeUp: Nodes nodes returned to service (repair completed or a
+	// maintenance window ended). Job is -1.
+	EventNodeUp
+	// EventDrain: a maintenance drain window opened, requesting Nodes nodes.
+	// The nodes it actually absorbs are reported by EventNodeDown events as
+	// free capacity appears. Job is -1.
+	EventDrain
 )
 
 // String returns the lower-case event name.
@@ -177,18 +188,26 @@ func (t EventType) String() string {
 		return "expand"
 	case EventCheckpoint:
 		return "checkpoint"
+	case EventNodeDown:
+		return "nodedown"
+	case EventNodeUp:
+		return "nodeup"
+	case EventDrain:
+		return "drain"
 	}
 	return fmt.Sprintf("event(%d)", int(t))
 }
 
 // Event is one typed scheduling event, emitted synchronously as the engine
-// processes the underlying state change.
+// processes the underlying state change. Node-availability events
+// (EventNodeDown, EventNodeUp, EventDrain) carry no job: Job is -1 and Class
+// is meaningless.
 type Event struct {
 	Type  EventType
 	Time  int64     // virtual time of the event
-	Job   int       // job ID
+	Job   int       // job ID (-1 for node-availability events)
 	Class job.Class // job class
-	Nodes int       // node count involved (job size, shrink/expand delta)
+	Nodes int       // node count involved (job size, shrink/expand delta, down/up count)
 }
 
 // squat records a backfilled job occupying nodes reserved for a claim.
@@ -255,6 +274,11 @@ type Engine struct {
 	dispatched   int
 	primed       bool
 	sink         func(Event)
+
+	// Availability model: maintenance windows currently absorbing nodes.
+	// Failed nodes under repair are tracked by their pending evNodeUp events
+	// and the cluster's down pool; see avail.go.
+	drains []*drainWindow
 
 	// BackfillReserved bookkeeping.
 	backfillable map[int]bool    // claims whose reservations may host squatters
@@ -548,10 +572,12 @@ func (e *Engine) Step() (bool, error) {
 		return false, fmt.Errorf("sim: exceeded MaxSimTime at t=%d", ev.Time)
 	}
 	e.met.NoteReserved(ev.Time, e.cl.TotalReserved())
+	e.met.NoteDown(ev.Time, e.cl.DownCount())
 	e.clk = ev.Time
 	e.dispatched++
 	e.dispatch(ev)
 	e.met.NoteReserved(e.clk, e.cl.TotalReserved())
+	e.met.NoteDown(e.clk, e.cl.DownCount())
 	if e.err != nil {
 		return false, e.err
 	}
@@ -589,6 +615,7 @@ func (e *Engine) AdvanceTo(t int64) error {
 		return fmt.Errorf("sim: AdvanceTo(%d) would skip the event pending at t=%d", t, ev.Time)
 	}
 	e.met.NoteReserved(t, e.cl.TotalReserved())
+	e.met.NoteDown(t, e.cl.DownCount())
 	e.clk = t
 	return nil
 }
@@ -674,6 +701,18 @@ func (e *Engine) dispatch(ev *eventq.Event) {
 	case evTimer:
 		e.mech.OnTimer(p.payload)
 		e.requestSchedule()
+	case evNodeDown:
+		e.FailNode(p.node, p.repairAfter)
+		e.q.Recycle(ev)
+	case evNodeUp:
+		e.handleNodeUp(p.nodes)
+		e.q.Recycle(ev)
+	case evDrainStart:
+		e.handleDrainStart(p.d)
+		e.q.Recycle(ev)
+	case evDrainEnd:
+		e.handleDrainEnd(p.d)
+		e.q.Recycle(ev)
 	case evSched:
 		e.schedPending = false
 		e.schedulePass()

@@ -16,6 +16,11 @@ import (
 // exactly the same starts (internal/simtest holds the two to byte-identical
 // reports).
 func (e *Engine) schedulePass() {
+	if len(e.drains) > 0 {
+		// Open maintenance windows absorb newly freed capacity before the
+		// planner sees it, on both engine paths identically.
+		e.drainAbsorb()
+	}
 	if len(e.queue) == 0 {
 		return
 	}
@@ -362,6 +367,18 @@ func (e *Engine) ScheduleTimer(t int64, payload any) *eventq.Event {
 		t = e.clk
 	}
 	return e.q.Push(t, eventq.PrioTimeout, evTimer{payload: payload})
+}
+
+// ScheduleFaultTimer delivers payload to Mechanism.OnTimer at time t at the
+// availability model's dispatch priority: after completions, before notices,
+// warning expiries, reservation timeouts, and arrivals. Fault injectors use
+// it so a failure fired from OnTimer orders exactly like one scheduled with
+// ScheduleNodeFailure at the same instant. Cancellable with CancelTimer.
+func (e *Engine) ScheduleFaultTimer(t int64, payload any) *eventq.Event {
+	if t < e.clk {
+		t = e.clk
+	}
+	return e.q.Push(t, eventq.PrioFault, evTimer{payload: payload})
 }
 
 // CancelTimer cancels a pending timer handle (nil-safe).

@@ -1,0 +1,126 @@
+package simtest
+
+import (
+	"bytes"
+	"testing"
+)
+
+// faultScale is the fault-enabled grid scale: the clean testScale plus an
+// aggressive fault process (6 h system MTBF, 2 h mean repair) so every cell
+// sees dozens of failures, repairs shrinking capacity, and restarts.
+func faultScale(mech, mix string) Scenario {
+	sc := testScale(mech, mix)
+	sc.FaultMTBF = 6 * 3600
+	sc.FaultRepair = 2 * 3600
+	return sc
+}
+
+// TestFaultDifferentialReports pins the optimized engine against the naive
+// reference path with the fault injector enabled: failures, repair windows,
+// and the drain-free capacity accounting must not diverge between the two
+// scheduling paths. (The clean-run differential lives in
+// TestDifferentialReports; this is the degraded-capacity counterpart.)
+func TestFaultDifferentialReports(t *testing.T) {
+	for _, mech := range Mechanisms() {
+		for _, mix := range []string{"W2", "W5"} {
+			sc := faultScale(mech, mix)
+			t.Run(mech+"/"+mix, func(t *testing.T) {
+				t.Parallel()
+				opt, ref, err := Differential(sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(opt, ref) {
+					t.Fatalf("optimized and reference reports diverge under faults\noptimized: %s\nreference: %s",
+						truncate(opt), truncate(ref))
+				}
+			})
+		}
+	}
+}
+
+// TestInstantRepairDifferential covers the legacy instant-repair shortcut
+// (MeanRepair zero) on both engine paths.
+func TestInstantRepairDifferential(t *testing.T) {
+	for _, mech := range []string{"baseline", "CUA&SPAA"} {
+		sc := faultScale(mech, "W5")
+		sc.FaultRepair = 0
+		t.Run(mech, func(t *testing.T) {
+			t.Parallel()
+			opt, ref, err := Differential(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(opt, ref) {
+				t.Fatalf("instant-repair reports diverge\noptimized: %s\nreference: %s",
+					truncate(opt), truncate(ref))
+			}
+		})
+	}
+}
+
+// TestFaultRunInvariants drives every mechanism with the injector enabled,
+// the cluster partition check after each event, and the extended
+// InvariantChecker: conservation against the time-varying in-service
+// capacity and no allocation onto down nodes.
+func TestFaultRunInvariants(t *testing.T) {
+	for _, mech := range Mechanisms() {
+		sc := faultScale(mech, "W5")
+		sc.Validate = true
+		t.Run(mech, func(t *testing.T) {
+			t.Parallel()
+			records, err := sc.Records()
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := NewEngine(sc, records)
+			if err != nil {
+				t.Fatal(err)
+			}
+			chk := NewInvariantChecker(sc.Nodes)
+			e.SetEventSink(chk.Sink())
+			rep, err := e.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := chk.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if chk.HeldTotal() != 0 {
+				t.Fatalf("%d nodes still held after every job completed", chk.HeldTotal())
+			}
+			if rep.FailuresInjected == 0 {
+				t.Fatal("no failures struck at a 6 h MTBF over a week")
+			}
+			if rep.DownNodeSeconds == 0 {
+				t.Fatal("repair windows removed no capacity")
+			}
+		})
+	}
+}
+
+// TestFaultReplayDeterminism pins run-to-run determinism of a fault-enabled
+// cell: the failure timeline, victim choice, and repair draws must derive
+// only from the scenario seed.
+func TestFaultReplayDeterminism(t *testing.T) {
+	sc := faultScale("CUA&SPAA", "W3")
+	first, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ReportJSON(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReportJSON(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("fault replay diverges\nfirst:  %s\nsecond: %s", truncate(a), truncate(b))
+	}
+}

@@ -12,15 +12,25 @@ import (
 //   - monotone virtual time: events never carry a timestamp earlier than the
 //     one before;
 //   - no double allocation: a job never starts while it already holds nodes;
-//   - conservation of nodes: the sum of all held nodes never exceeds the
-//     system size, every release (end, preempt) returns exactly what the job
-//     held, and shrink/expand deltas keep the per-job ledger non-negative.
+//   - conservation of nodes against time-varying capacity: the sum of all
+//     held nodes never exceeds the capacity currently in service (system
+//     size minus nodes reported down by EventNodeDown/EventNodeUp), every
+//     release (end, preempt) returns exactly what the job held, and
+//     shrink/expand deltas keep the per-job ledger non-negative;
+//   - no allocation onto unavailable nodes: a start can only draw from
+//     in-service capacity not already held, so a start larger than the free
+//     in-service remainder — the observable signature of allocating onto a
+//     down or drained node — is a violation (the cluster-level
+//     Config.Validate check pins the same property per node ID);
+//   - the down ledger itself is sane: down never goes negative or beyond
+//     the system size.
 //
 // Install it with sim.Engine.SetEventSink before the first step. Combined
 // with Config.Validate (the cluster's exact partition check after every
 // event), a clean run proves the loan/return plumbing conserves nodes.
 type InvariantChecker struct {
 	nodes  int
+	down   int // nodes currently out of service per the event stream
 	last   int64
 	seen   bool
 	held   map[int]int // job ID -> nodes currently held
@@ -55,6 +65,10 @@ func (c *InvariantChecker) handle(ev sim.Event) {
 			c.violate("double allocation: job %d started with %d nodes while holding %d at t=%d",
 				ev.Job, ev.Nodes, held, ev.Time)
 		}
+		if free := c.nodes - c.down - c.total; ev.Nodes > free {
+			c.violate("allocation onto unavailable nodes: job %d started with %d nodes but only %d in-service nodes are unheld (%d down) at t=%d",
+				ev.Job, ev.Nodes, free, c.down, ev.Time)
+		}
 		c.held[ev.Job] = ev.Nodes
 		c.total += ev.Nodes
 	case sim.EventEnd, sim.EventPreempt:
@@ -78,10 +92,20 @@ func (c *InvariantChecker) handle(ev sim.Event) {
 		}
 		c.held[ev.Job] += ev.Nodes
 		c.total += ev.Nodes
+	case sim.EventNodeDown:
+		c.down += ev.Nodes
+		if c.down > c.nodes {
+			c.violate("down ledger broken: %d of %d nodes down at t=%d", c.down, c.nodes, ev.Time)
+		}
+	case sim.EventNodeUp:
+		c.down -= ev.Nodes
+		if c.down < 0 {
+			c.violate("down ledger broken: %d nodes down (negative) at t=%d", c.down, ev.Time)
+		}
 	}
-	if c.total > c.nodes {
-		c.violate("conservation broken: %d nodes held on a %d-node system after %v of job %d at t=%d",
-			c.total, c.nodes, ev.Type, ev.Job, ev.Time)
+	if c.total > c.nodes-c.down {
+		c.violate("conservation broken: %d nodes held with %d of %d in service after %v of job %d at t=%d",
+			c.total, c.nodes-c.down, c.nodes, ev.Type, ev.Job, ev.Time)
 	}
 }
 

@@ -46,6 +46,27 @@ func TestInvariantCheckerCatches(t *testing.T) {
 			ev(sim.EventStart, 0, 1, 6),
 			ev(sim.EventStart, 0, 2, 6),
 		}, "conservation broken"},
+		{"clean-degraded", []sim.Event{
+			ev(sim.EventNodeDown, 0, -1, 4),
+			ev(sim.EventStart, 1, 1, 4),
+			ev(sim.EventEnd, 10, 1, 4),
+			ev(sim.EventNodeUp, 20, -1, 4),
+		}, ""},
+		{"start-onto-down-nodes", []sim.Event{
+			ev(sim.EventNodeDown, 0, -1, 4),
+			ev(sim.EventStart, 1, 1, 6),
+		}, "allocation onto unavailable nodes"},
+		{"held-past-capacity-shrink", []sim.Event{
+			ev(sim.EventStart, 0, 1, 6),
+			ev(sim.EventNodeDown, 5, -1, 4),
+		}, "conservation broken"},
+		{"down-overflow", []sim.Event{
+			ev(sim.EventNodeDown, 0, -1, 9),
+		}, "down ledger broken"},
+		{"up-underflow", []sim.Event{
+			ev(sim.EventNodeDown, 0, -1, 2),
+			ev(sim.EventNodeUp, 1, -1, 3),
+		}, "down ledger broken"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -17,9 +17,11 @@ import (
 	"fmt"
 
 	"hybridsched/internal/checkpoint"
+	"hybridsched/internal/faults"
 	"hybridsched/internal/metrics"
 	"hybridsched/internal/registry"
 	"hybridsched/internal/sim"
+	"hybridsched/internal/simtime"
 	"hybridsched/internal/trace"
 	"hybridsched/internal/workload"
 )
@@ -34,7 +36,8 @@ func Mechanisms() []string {
 func Mixes() []string { return []string{"W1", "W2", "W3", "W4", "W5"} }
 
 // Scenario is one cell of the engine test/benchmark grid: a scheduler, a
-// Table III notice mix, and the system/trace scale.
+// Table III notice mix, the system/trace scale, and (optionally) a fault
+// process exercising the availability model.
 type Scenario struct {
 	Mechanism string // one of Mechanisms()
 	Mix       string // one of Mixes()
@@ -43,6 +46,13 @@ type Scenario struct {
 	Weeks     int
 	Validate  bool // check the cluster partition invariant after every event
 	Reference bool // drive the retained naive reference path of the engine
+
+	// FaultMTBF, when positive, wraps the mechanism in the fault injector at
+	// this system MTBF (seconds). FaultRepair is the mean node repair time
+	// (0 = the legacy instant-repair shortcut). The failure timeline derives
+	// from Seed, so a scenario remains fully deterministic.
+	FaultMTBF   float64
+	FaultRepair float64
 }
 
 // Records generates the scenario's trace; the same scenario always yields the
@@ -60,7 +70,8 @@ func (sc Scenario) Records() ([]trace.Record, error) {
 // NewEngine materializes records (fresh jobs — job state is consumed by a
 // run) and builds an engine with a fresh mechanism instance, using the
 // paper-default scheduler configuration (directed returns on, Daly-optimal
-// checkpointing at 24 h MTBF).
+// checkpointing at 24 h MTBF). With FaultMTBF set the mechanism is wrapped
+// in the fault injector, so the availability model is exercised end to end.
 func NewEngine(sc Scenario, records []trace.Record) (*sim.Engine, error) {
 	jobs := trace.Materialize(records, func(size int) checkpoint.Plan {
 		return checkpoint.NewPlan(size, 24*3600, 1)
@@ -68,6 +79,14 @@ func NewEngine(sc Scenario, records []trace.Record) (*sim.Engine, error) {
 	mech, err := registry.NewScheduler(sc.Mechanism, registry.SchedulerConfig{DirectedReturn: true})
 	if err != nil {
 		return nil, err
+	}
+	if sc.FaultMTBF > 0 {
+		mech = faults.Wrap(mech, faults.Config{
+			MTBF:       sc.FaultMTBF,
+			Seed:       sc.Seed,
+			Horizon:    int64(sc.Weeks+4) * simtime.Week,
+			MeanRepair: sc.FaultRepair,
+		})
 	}
 	return sim.New(sim.Config{
 		Nodes:     sc.Nodes,

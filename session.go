@@ -4,11 +4,13 @@ import (
 	"fmt"
 
 	"hybridsched/internal/checkpoint"
+	"hybridsched/internal/faults"
 	"hybridsched/internal/job"
 	"hybridsched/internal/metrics"
 	"hybridsched/internal/nodeset"
 	"hybridsched/internal/policy"
 	"hybridsched/internal/registry"
+	"hybridsched/internal/runner"
 	"hybridsched/internal/sim"
 	"hybridsched/internal/simtime"
 	"hybridsched/internal/trace"
@@ -50,8 +52,10 @@ type SchedulerConfig = registry.SchedulerConfig
 type SchedulerFactory = registry.SchedulerFactory
 
 // Event is one typed scheduling event: a job arrival, advance notice, start,
-// end, preemption warning, preemption, shrink, expand, or checkpoint
-// rollback, stamped with the virtual time and the job's identity.
+// end, preemption warning, preemption, shrink, expand, checkpoint rollback,
+// or a node-availability change (nodes leaving or rejoining service), stamped
+// with the virtual time and the job's identity. Node-availability events
+// carry no job: their Job field is -1.
 type Event = sim.Event
 
 // EventType classifies an Event.
@@ -68,6 +72,15 @@ const (
 	EventShrink     = sim.EventShrink
 	EventExpand     = sim.EventExpand
 	EventCheckpoint = sim.EventCheckpoint
+	// EventNodeDown reports nodes leaving service: a failure under repair, or
+	// a maintenance drain absorbing freed capacity (Nodes = count).
+	EventNodeDown = sim.EventNodeDown
+	// EventNodeUp reports nodes returning to service after a repair or at the
+	// end of a maintenance window.
+	EventNodeUp = sim.EventNodeUp
+	// EventDrain reports a maintenance window opening (Nodes = requested
+	// count; the nodes actually absorbed arrive as EventNodeDown events).
+	EventDrain = sim.EventDrain
 )
 
 // Observer receives every scheduling event synchronously, in dispatch order,
@@ -107,6 +120,7 @@ type Snapshot struct {
 	FreeNodes     int
 	ReservedNodes int
 	BusyNodes     int
+	DownNodes     int // out of service: failed under repair, or drained
 
 	Submitted  int
 	Completed  int
@@ -148,6 +162,8 @@ type sessionConfig struct {
 	lookahead  int64
 	sources    []Source
 	observers  []Observer
+	faults     *FaultConfig
+	drains     []DrainSpec
 }
 
 // Option configures a Session under construction.
@@ -279,6 +295,40 @@ func WithObserver(o Observer) Option {
 	}
 }
 
+// FaultConfig parameterizes session-level fault injection: the system MTBF
+// driving an exponential failure timeline, the seed it derives from, the
+// timeline horizon, and the node repair-time distribution (MeanRepair = 0
+// keeps the legacy instant-repair shortcut, where capacity never shrinks).
+// See the internal faults package for field semantics.
+type FaultConfig = faults.Config
+
+// DrainSpec is one scheduled maintenance window: starting at Start (virtual
+// seconds), up to Nodes nodes are taken out of service — free nodes
+// immediately, more as running jobs release capacity — and everything
+// absorbed returns at Start+Duration. Drains never preempt running jobs.
+// It aliases the sweep runner's spec type, so SweepSpec.Drains and the
+// experiment grids share one definition.
+type DrainSpec = runner.DrainSpec
+
+// WithFaults wraps the session's scheduler in the fault injector: node
+// failures strike uniformly random nodes on an exponential timeline, each
+// interrupting whatever job holds the node, and (with cfg.MeanRepair set)
+// removing the node from service for a drawn repair time. The observable
+// consequences stream as EventPreempt/EventNodeDown/EventNodeUp events, and
+// the run's Report carries FailuresInjected/FailureMisses/DownNodeSeconds.
+func WithFaults(cfg FaultConfig) Option {
+	return func(c *sessionConfig) { c.faults = &cfg }
+}
+
+// WithDrain schedules a maintenance window on the new session (repeatable;
+// windows may overlap). Capacity the drain absorbs disappears from every
+// scheduler pass until the window closes.
+func WithDrain(start, duration int64, nodes int) Option {
+	return func(c *sessionConfig) {
+		c.drains = append(c.drains, DrainSpec{Start: start, Duration: duration, Nodes: nodes})
+	}
+}
+
 // eventChanBuffer is the capacity of each Events() channel. Events that
 // would overflow a full channel are dropped (see Session.DroppedEvents) so a
 // single-goroutine submit/step/drain loop can never deadlock on itself.
@@ -362,6 +412,20 @@ func NewSession(opts ...Option) (*Session, error) {
 		}
 		mech = m
 	}
+	if fc := c.faults; fc != nil {
+		// Validate here: faults.Wrap panics on misuse, but a constructor
+		// should fail with an error.
+		if fc.MTBF <= 0 {
+			return nil, fmt.Errorf("hybridsched: WithFaults requires a positive MTBF, got %g", fc.MTBF)
+		}
+		if fc.Horizon <= 0 {
+			return nil, fmt.Errorf("hybridsched: WithFaults requires a positive Horizon, got %d", fc.Horizon)
+		}
+		if fc.MeanRepair < 0 {
+			return nil, fmt.Errorf("hybridsched: WithFaults MeanRepair must be non-negative, got %g", fc.MeanRepair)
+		}
+		mech = faults.Wrap(mech, *fc)
+	}
 	eng, err := sim.New(sim.Config{
 		Nodes:            cfg.Nodes,
 		Policy:           ord,
@@ -371,6 +435,11 @@ func NewSession(opts ...Option) (*Session, error) {
 	}, nil, mech)
 	if err != nil {
 		return nil, err
+	}
+	for _, d := range c.drains {
+		if err := eng.ScheduleDrain(d.Start, d.Duration, d.Nodes); err != nil {
+			return nil, fmt.Errorf("hybridsched: WithDrain: %w", err)
+		}
 	}
 	lookahead := c.lookahead
 	if lookahead == 0 {
@@ -628,12 +697,13 @@ func (s *Session) Snapshot() Snapshot {
 		Nodes:         eng.Nodes(),
 		FreeNodes:     cl.FreeCount(),
 		ReservedNodes: cl.TotalReserved(),
+		DownNodes:     cl.DownCount(),
 		Submitted:     eng.SubmittedCount(),
 		Completed:     eng.CompletedCount(),
 		QueueDepth:    eng.QueueDepth(),
 		Metrics:       eng.Metrics().Snapshot(eng.Now()),
 	}
-	snap.BusyNodes = snap.Nodes - snap.FreeNodes - snap.ReservedNodes
+	snap.BusyNodes = snap.Nodes - snap.FreeNodes - snap.ReservedNodes - snap.DownNodes
 	for _, j := range eng.RunningAll() {
 		snap.Running = append(snap.Running, jobStatus(j))
 	}

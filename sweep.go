@@ -1,7 +1,11 @@
 package hybridsched
 
 import (
+	"fmt"
 	"io"
+	"strconv"
+	"strings"
+	"time"
 
 	"hybridsched/internal/core"
 	"hybridsched/internal/runner"
@@ -23,6 +27,61 @@ type SweepSpec struct {
 	Source   string
 	Workload WorkloadConfig
 	Sim      SimulationConfig
+
+	// FaultMTBF, when positive, injects node failures at this system MTBF
+	// (seconds) into the cell. FaultMeanRepair is the mean node repair time
+	// (0 = instant repair, the legacy shortcut: capacity never shrinks). The
+	// failure timeline derives from the workload seed (or the cell
+	// coordinates for source-backed cells), so sweeps stay deterministic.
+	FaultMTBF       float64
+	FaultMeanRepair float64
+
+	// Drains schedules maintenance windows on the cell (see DrainSpec).
+	Drains []DrainSpec
+}
+
+// ParseDrains parses a comma-separated list of maintenance windows in the
+// form "start+duration:nodes", where start and duration are Go duration
+// strings: "24h+4h:128" drains 128 nodes for four hours starting at virtual
+// hour 24, and "24h+4h:128,72h+30m:64" schedules two windows. An empty
+// string yields no windows.
+func ParseDrains(s string) ([]DrainSpec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []DrainSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		timespec, nodespec, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("hybridsched: drain %q: want start+duration:nodes", part)
+		}
+		startStr, durStr, ok := strings.Cut(timespec, "+")
+		if !ok {
+			return nil, fmt.Errorf("hybridsched: drain %q: want start+duration:nodes", part)
+		}
+		start, err := time.ParseDuration(startStr)
+		if err != nil {
+			return nil, fmt.Errorf("hybridsched: drain %q: bad start: %w", part, err)
+		}
+		dur, err := time.ParseDuration(durStr)
+		if err != nil {
+			return nil, fmt.Errorf("hybridsched: drain %q: bad duration: %w", part, err)
+		}
+		nodes, err := strconv.Atoi(nodespec)
+		if err != nil {
+			return nil, fmt.Errorf("hybridsched: drain %q: bad node count: %w", part, err)
+		}
+		if start < 0 || dur <= 0 || nodes < 1 {
+			return nil, fmt.Errorf("hybridsched: drain %q: start must be >= 0, duration and nodes positive", part)
+		}
+		out = append(out, DrainSpec{
+			Start:    int64(start / time.Second),
+			Duration: int64(dur / time.Second),
+			Nodes:    nodes,
+		})
+	}
+	return out, nil
 }
 
 // SweepResult is the structured outcome of one sweep cell. Err is non-empty
@@ -95,6 +154,9 @@ func RunSweep(specs []SweepSpec, opt SweepOptions) (*SweepReport, error) {
 			CkptFreqMult:     s.Sim.CheckpointFreqMult,
 			BackfillReserved: cfg.BackfillReserved,
 			Validate:         cfg.Validate,
+			FaultMTBF:        s.FaultMTBF,
+			FaultMeanRepair:  s.FaultMeanRepair,
+			Drains:           s.Drains,
 		}
 	}
 	sweep := runner.Run(rspecs, runner.Options{Workers: opt.Workers, Progress: opt.Progress})
