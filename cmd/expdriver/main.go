@@ -13,6 +13,8 @@
 //	expdriver -format json -o all.json   # result structs as JSON
 //	expdriver -exp resilience -mtbf 6h,24h -repair 0,1h   # degraded capacity
 //	expdriver -exp resilience -drain 24h+4h:512           # + maintenance window
+//	expdriver -exp fig6 -resume ckpt/                     # resumable: rerun after a kill
+//	                                                      # picks up where it stopped
 //
 // The csv form contains only deterministic metrics and is byte-identical for
 // any -workers value; json serializes the full result structs, whose decision
@@ -47,6 +49,7 @@ func main() {
 		format   = flag.String("format", "text", "output format: text, json, csv")
 		out      = flag.String("o", "", "output file (default stdout)")
 		quiet    = flag.Bool("q", false, "suppress progress messages")
+		resume   = flag.String("resume", "", "persist per-cell progress into this directory and resume from whatever it already holds: finished cells are skipped, interrupted cells continue from their snapshots")
 		mtbfs    = flag.String("mtbf", "", "resilience failure-MTBF axis: comma-separated durations, e.g. '6h,24h' (default 6h,24h)")
 		repairs  = flag.String("repair", "", "resilience mean-repair axis: comma-separated durations, '0' = instant (default 0,1h)")
 		drains   = flag.String("drain", "", "maintenance windows applied to every resilience cell: 'start+duration:nodes', e.g. '24h+4h:512,96h+2h:256'")
@@ -106,16 +109,17 @@ func main() {
 	}
 
 	opt := exp.Options{
-		Nodes:        *nodes,
-		Weeks:        *weeks,
-		Seeds:        *seeds,
-		BaseSeed:     *baseSeed,
-		Policy:       *pol,
-		Workers:      *workers,
-		Source:       *srcSpec,
-		FaultMTBFs:   faultMTBFs,
-		FaultRepairs: faultRepairs,
-		Drains:       drainSpecs,
+		Nodes:         *nodes,
+		Weeks:         *weeks,
+		Seeds:         *seeds,
+		BaseSeed:      *baseSeed,
+		Policy:        *pol,
+		Workers:       *workers,
+		Source:        *srcSpec,
+		FaultMTBFs:    faultMTBFs,
+		FaultRepairs:  faultRepairs,
+		Drains:        drainSpecs,
+		CheckpointDir: *resume,
 	}
 	if !*quiet {
 		opt.Progress = os.Stderr

@@ -14,6 +14,8 @@
 //	hybridsim -source 'swf:theta.swf|relabel:paper|scale:1.2' -mechs all
 //	hybridsim -mtbf 6h -repair 1h -mechs all            # degraded capacity
 //	hybridsim -drain '24h+4h:512' -mech baseline        # maintenance window
+//	hybridsim -mechs all -out csv -checkpoint ckpt/     # resumable sweep
+//	hybridsim -mechs all -out csv -restore ckpt/        # continue after a kill
 //
 // -mtbf injects node failures at the given system MTBF (each strikes one
 // uniformly random node, interrupting whatever holds it); -repair keeps the
@@ -63,6 +65,9 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel sweep workers (0 = all CPU cores)")
 		out       = flag.String("out", "text", "output format: text, json, csv")
 		quiet     = flag.Bool("q", false, "suppress sweep progress messages")
+		ckptDir   = flag.String("checkpoint", "", "persist per-cell sweep progress (snapshots + finished reports) into this directory; a killed sweep resumes with -restore")
+		ckptEvery = flag.Int("checkpoint-every", 0, "simulation events between cell snapshots (0 = default)")
+		resumeDir = flag.String("restore", "", "resume a sweep from this checkpoint directory: finished cells are skipped, interrupted cells continue from their snapshots (implies -checkpoint into it)")
 	)
 	flag.Parse()
 
@@ -111,6 +116,18 @@ func main() {
 	if err != nil {
 		fatalUsage(err)
 	}
+	if *resumeDir != "" {
+		if *ckptDir != "" && *ckptDir != *resumeDir {
+			fatalUsage(fmt.Errorf("-checkpoint %q and -restore %q name different directories", *ckptDir, *resumeDir))
+		}
+		*ckptDir = *resumeDir
+	}
+	sweepOpt := hybridsched.SweepOptions{
+		Workers:         *workers,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		Resume:          *resumeDir != "",
+	}
 	simCfg := func(m string) hybridsched.SimulationConfig {
 		cfg := hybridsched.SimulationConfig{
 			Nodes:              *nodes,
@@ -152,7 +169,7 @@ func main() {
 			fillResilience(&sp)
 			specs = append(specs, sp)
 		}
-		runSweep(specs, *workers, *out, *pol, *quiet)
+		runSweep(specs, sweepOpt, *out, *pol, *quiet)
 		return
 	}
 
@@ -161,6 +178,9 @@ func main() {
 	if *tracePath != "" {
 		if *out != "text" {
 			fatal(fmt.Errorf("-out %s requires generated workloads (drop -trace)", *out))
+		}
+		if *ckptDir != "" {
+			fatalUsage(fmt.Errorf("-checkpoint/-restore apply to sweeps; for a fixed trace use the Session Checkpoint/Restore API"))
 		}
 		records, err := readTrace(*tracePath, *format)
 		if err != nil {
@@ -197,12 +217,11 @@ func main() {
 			specs = append(specs, sp)
 		}
 	}
-	runSweep(specs, *workers, *out, *pol, *quiet)
+	runSweep(specs, sweepOpt, *out, *pol, *quiet)
 }
 
 // runSweep executes the grid and emits it in the requested format.
-func runSweep(specs []hybridsched.SweepSpec, workers int, out, pol string, quiet bool) {
-	opt := hybridsched.SweepOptions{Workers: workers}
+func runSweep(specs []hybridsched.SweepSpec, opt hybridsched.SweepOptions, out, pol string, quiet bool) {
 	if !quiet && len(specs) > 1 {
 		opt.Progress = os.Stderr
 	}

@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"sort"
+
+	"hybridsched/internal/nodeset"
+	"hybridsched/internal/snapshot"
+)
+
+// EncodeSnapshot serializes the full node partition. Map-shaped state (the
+// allocation and reservation tables) is written in ascending key order so the
+// encoding is deterministic.
+func (c *Cluster) EncodeSnapshot(e *snapshot.Enc) {
+	e.Int(c.n)
+	c.free.EncodeSnapshot(e)
+	c.down.EncodeSnapshot(e)
+	encodeSetMap(e, c.alloc)
+	encodeSetMap(e, c.reserved)
+}
+
+func encodeSetMap(e *snapshot.Enc, m map[int]*nodeset.Set) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	e.U32(uint32(len(keys)))
+	for _, k := range keys {
+		e.Int(k)
+		m[k].EncodeSnapshot(e)
+	}
+}
+
+func decodeSetMap(d *snapshot.Dec) map[int]*nodeset.Set {
+	n := d.Count(12)
+	m := make(map[int]*nodeset.Set, n)
+	for i := 0; i < n; i++ {
+		k := d.Int()
+		s := nodeset.DecodeSnapshotSet(d)
+		if d.Err() != nil {
+			return nil
+		}
+		if _, dup := m[k]; dup {
+			d.Failf("cluster: duplicate map key %d", k)
+			return nil
+		}
+		m[k] = s
+	}
+	return m
+}
+
+// DecodeSnapshotCluster reads a cluster written by EncodeSnapshot and
+// verifies the partition invariant, so a corrupt payload can never produce a
+// cluster the scheduler would later trip over. On malformed input it sets the
+// decoder's error and returns nil.
+func DecodeSnapshotCluster(d *snapshot.Dec) *Cluster {
+	c := &Cluster{}
+	c.n = d.Int()
+	if d.Err() == nil && c.n < 1 {
+		d.Failf("cluster: invalid node count %d", c.n)
+	}
+	if d.Err() != nil {
+		return nil
+	}
+	c.free = nodeset.DecodeSnapshotSet(d)
+	c.down = nodeset.DecodeSnapshotSet(d)
+	c.alloc = decodeSetMap(d)
+	c.reserved = decodeSetMap(d)
+	if d.Err() != nil {
+		return nil
+	}
+	for _, s := range c.reserved {
+		c.totalRes += s.Len()
+	}
+	if err := c.CheckInvariant(); err != nil {
+		d.Fail(err)
+		return nil
+	}
+	return c
+}

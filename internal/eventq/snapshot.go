@@ -1,0 +1,62 @@
+package eventq
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Seq returns the event's push-order sequence number. Snapshots persist it so
+// that a restored queue breaks same-instant ties exactly as the original
+// would have.
+func (e *Event) Seq() uint64 { return e.seq }
+
+// SeqCounter returns the next sequence number the queue would assign.
+func (q *Queue) SeqCounter() uint64 { return q.seq }
+
+// Ordered returns every live event in dispatch order — the exact order Pop
+// would deliver them — without disturbing the queue. Cancelled events are
+// removed eagerly, so the result is precisely the pending event set; it is
+// the canonical iteration for serializing queue contents.
+func (q *Queue) Ordered() []*Event {
+	out := make([]*Event, len(q.h))
+	copy(out, q.h)
+	sort.Slice(out, func(i, j int) bool { return before(out[i], out[j]) })
+	return out
+}
+
+// PushRestored schedules payload with an explicit sequence number, bypassing
+// the queue's counter. It exists solely for snapshot restore: replaying the
+// serialized (time, priority, seq) triples reproduces the original dispatch
+// order bit-for-bit. It fails if seq has already reached the queue's counter
+// position — restored events must predate every future push. Callers are
+// responsible for not reusing a seq across live events (the engine's restore
+// path indexes every event by seq and rejects collisions there).
+func (q *Queue) PushRestored(t int64, p Priority, payload any, seq uint64) (*Event, error) {
+	if seq >= q.seq {
+		return nil, fmt.Errorf("eventq: restored seq %d not below counter %d", seq, q.seq)
+	}
+	e := &Event{Time: t, Prio: p, Payload: payload, seq: seq}
+	heap.Push(&q.h, e)
+	return e, nil
+}
+
+// Contains reports whether e is currently scheduled in q. Popped, cancelled,
+// and foreign events report false. Mechanisms use it to tell a live timer
+// handle from a stale one when serializing their state.
+func (q *Queue) Contains(e *Event) bool {
+	return e != nil && e.index >= 0 && e.index < len(q.h) && q.h[e.index] == e
+}
+
+// SetSeqCounter positions the sequence counter, so pushes after a restore
+// continue the original numbering. It fails if n would move the counter
+// backwards past a live event.
+func (q *Queue) SetSeqCounter(n uint64) error {
+	for _, ev := range q.h {
+		if ev.seq >= n {
+			return fmt.Errorf("eventq: counter %d not above live seq %d", n, ev.seq)
+		}
+	}
+	q.seq = n
+	return nil
+}

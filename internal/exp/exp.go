@@ -57,6 +57,15 @@ type Options struct {
 	// Drains applies these maintenance windows to every resilience cell
 	// (the expdriver -drain flag).
 	Drains []runner.DrainSpec
+
+	// CheckpointDir, when non-empty, makes every experiment grid resumable
+	// (the expdriver -resume flag): cells persist snapshots and finished
+	// reports there, completed cells are skipped on rerun, and interrupted
+	// cells continue from their snapshots — with results byte-identical to an
+	// uninterrupted run. CheckpointEvery is the snapshot interval in
+	// simulation events (<= 0 = default).
+	CheckpointDir   string
+	CheckpointEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -143,7 +152,13 @@ func (o Options) cellSpecs(group, variant, mech string, mix workload.NoticeMix, 
 // runGrid executes a grid through the parallel runner and folds the per-seed
 // results into one finished Cell per (variant, mechanism), in grid order.
 func (o Options) runGrid(specs []runner.Spec) ([]Cell, error) {
-	sweep := runner.Run(specs, runner.Options{Workers: o.Workers, Progress: o.Progress})
+	sweep := runner.Run(specs, runner.Options{
+		Workers:         o.Workers,
+		Progress:        o.Progress,
+		CheckpointDir:   o.CheckpointDir,
+		CheckpointEvery: o.CheckpointEvery,
+		Resume:          o.CheckpointDir != "",
+	})
 	if err := sweep.Err(); err != nil {
 		return nil, err
 	}

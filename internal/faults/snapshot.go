@@ -1,0 +1,120 @@
+package faults
+
+import (
+	"fmt"
+
+	"hybridsched/internal/sim"
+	"hybridsched/internal/snapshot"
+	"hybridsched/internal/stats"
+)
+
+// Timer payload tags: the injector's own failure markers, and a wrapper for
+// the inner mechanism's payloads.
+const (
+	timerTagFail  uint8 = 1
+	timerTagInner uint8 = 2
+)
+
+func (i *Injector) snapshotInner() (sim.SnapshotMechanism, error) {
+	sm, ok := i.inner.(sim.SnapshotMechanism)
+	if !ok {
+		return nil, fmt.Errorf("faults: wrapped mechanism %q does not support snapshots", i.inner.Name())
+	}
+	return sm, nil
+}
+
+// EncodeSnapshotState serializes the injector's randomness position and
+// strike counters, then chains to the wrapped mechanism. The RNG is captured
+// as its raw generator state, so repair-time draws after a restore continue
+// the exact stream of the uninterrupted run. A custom RepairTime function
+// cannot be serialized and makes the run non-checkpointable.
+func (i *Injector) EncodeSnapshotState(e *snapshot.Enc) error {
+	if i.cfg.RepairTime != nil {
+		return fmt.Errorf("faults: runs with a custom RepairTime function cannot be checkpointed")
+	}
+	sm, err := i.snapshotInner()
+	if err != nil {
+		return err
+	}
+	st := i.rng.State()
+	e.U32(uint32(st.Tap))
+	e.U32(uint32(st.Feed))
+	for _, v := range st.Vec {
+		e.I64(v)
+	}
+	e.Int(i.Failures)
+	e.Int(i.Misses)
+	return sm.EncodeSnapshotState(e)
+}
+
+// DecodeSnapshotState restores the injector and then the wrapped mechanism.
+// The injector's fields are validated first but committed only after the
+// inner mechanism restored successfully, so a failure anywhere leaves both
+// layers untouched.
+func (i *Injector) DecodeSnapshotState(d *snapshot.Dec, rc *sim.RestoreContext) error {
+	if i.cfg.RepairTime != nil {
+		return fmt.Errorf("faults: runs with a custom RepairTime function cannot be restored")
+	}
+	sm, err := i.snapshotInner()
+	if err != nil {
+		return err
+	}
+	var st stats.RNGState
+	st.Tap = int32(d.U32())
+	st.Feed = int32(d.U32())
+	for k := range st.Vec {
+		st.Vec[k] = d.I64()
+	}
+	failures := d.Int()
+	misses := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if err := stats.NewRNG(0).SetState(st); err != nil {
+		return d.Fail(err) // probe: reject invalid state before committing
+	}
+	if err := sm.DecodeSnapshotState(d, rc); err != nil {
+		return err
+	}
+	if err := i.rng.SetState(st); err != nil {
+		return err // unreachable: validated by the probe above
+	}
+	i.Failures = failures
+	i.Misses = misses
+	return nil
+}
+
+// EncodeTimerPayload serializes the injector's failure markers itself and
+// wraps everything else for the inner mechanism.
+func (i *Injector) EncodeTimerPayload(e *snapshot.Enc, payload any) error {
+	if p, ok := payload.(failTag); ok {
+		e.U8(timerTagFail)
+		e.Int(p.seq)
+		return nil
+	}
+	sm, err := i.snapshotInner()
+	if err != nil {
+		return err
+	}
+	e.U8(timerTagInner)
+	return sm.EncodeTimerPayload(e, payload)
+}
+
+// DecodeTimerPayload reads one payload written by EncodeTimerPayload.
+func (i *Injector) DecodeTimerPayload(d *snapshot.Dec) (any, error) {
+	switch tag := d.U8(); tag {
+	case timerTagFail:
+		return failTag{seq: d.Int()}, d.Err()
+	case timerTagInner:
+		sm, err := i.snapshotInner()
+		if err != nil {
+			return nil, err
+		}
+		return sm.DecodeTimerPayload(d)
+	default:
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		return nil, d.Failf("faults: unknown timer tag %d", tag)
+	}
+}

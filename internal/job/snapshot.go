@@ -1,0 +1,115 @@
+package job
+
+import (
+	"hybridsched/internal/checkpoint"
+	"hybridsched/internal/snapshot"
+)
+
+// EncodeSnapshot serializes the complete job — static description and dynamic
+// execution state — so a restored engine reproduces every future event of the
+// uninterrupted run exactly.
+func (j *Job) EncodeSnapshot(e *snapshot.Enc) {
+	// Static description.
+	e.Int(j.ID)
+	e.Int(j.Project)
+	e.U8(uint8(j.Class))
+	e.I64(j.SubmitTime)
+	e.Int(j.Size)
+	e.Int(j.MinSize)
+	e.I64(j.Work)
+	e.I64(j.Estimate)
+	e.I64(j.SetupTime)
+	e.I64(j.Ckpt.Interval)
+	e.I64(j.Ckpt.Overhead)
+	e.U8(uint8(j.Notice))
+	e.I64(j.NoticeTime)
+	e.I64(j.EstArrival)
+
+	// Dynamic state.
+	e.U8(uint8(j.State))
+	e.Int(j.CurSize)
+	e.I64(j.StartTime)
+	e.I64(j.EndTime)
+	e.Int(j.PreemptCount)
+	e.Int(j.ShrinkCount)
+	e.I64(j.Acct.Useful)
+	e.I64(j.Acct.Setup)
+	e.I64(j.Acct.Ckpt)
+	e.I64(j.Acct.Lost)
+
+	// Incarnation state (fixed-size and malleable).
+	e.I64(j.saved)
+	e.I64(j.incStart)
+	e.I64(j.incWall)
+	e.I64(j.incEstWall)
+	e.I64(j.totalWork)
+	e.I64(j.remWork)
+	e.I64(j.setupEnd)
+	e.I64(j.lastUpdate)
+	e.I64(j.incSetup)
+	e.I64(j.incUseful)
+}
+
+// DecodeSnapshotJob reads a job written by EncodeSnapshot, validating the
+// enumerations and size invariants that the execution methods would otherwise
+// panic on. On malformed input it sets the decoder's error and returns nil.
+func DecodeSnapshotJob(d *snapshot.Dec) *Job {
+	j := &Job{}
+	j.ID = d.Int()
+	j.Project = d.Int()
+	j.Class = Class(d.U8())
+	j.SubmitTime = d.I64()
+	j.Size = d.Int()
+	j.MinSize = d.Int()
+	j.Work = d.I64()
+	j.Estimate = d.I64()
+	j.SetupTime = d.I64()
+	j.Ckpt = checkpoint.Plan{Interval: d.I64(), Overhead: d.I64()}
+	j.Notice = NoticeCategory(d.U8())
+	j.NoticeTime = d.I64()
+	j.EstArrival = d.I64()
+
+	j.State = State(d.U8())
+	j.CurSize = d.Int()
+	j.StartTime = d.I64()
+	j.EndTime = d.I64()
+	j.PreemptCount = d.Int()
+	j.ShrinkCount = d.Int()
+	j.Acct = Usage{Useful: d.I64(), Setup: d.I64(), Ckpt: d.I64(), Lost: d.I64()}
+
+	j.saved = d.I64()
+	j.incStart = d.I64()
+	j.incWall = d.I64()
+	j.incEstWall = d.I64()
+	j.totalWork = d.I64()
+	j.remWork = d.I64()
+	j.setupEnd = d.I64()
+	j.lastUpdate = d.I64()
+	j.incSetup = d.I64()
+	j.incUseful = d.I64()
+
+	if d.Err() != nil {
+		return nil
+	}
+	if j.Class < Rigid || j.Class > Malleable {
+		d.Failf("job %d: invalid class %d", j.ID, int(j.Class))
+		return nil
+	}
+	if j.State < Future || j.State > Completed {
+		d.Failf("job %d: invalid state %d", j.ID, int(j.State))
+		return nil
+	}
+	if j.Notice < NoNotice || j.Notice > ArriveLate {
+		d.Failf("job %d: invalid notice category %d", j.ID, int(j.Notice))
+		return nil
+	}
+	if j.Size < 1 || j.MinSize < 1 || j.MinSize > j.Size || j.CurSize < 0 {
+		d.Failf("job %d: invalid sizes (size=%d min=%d cur=%d)", j.ID, j.Size, j.MinSize, j.CurSize)
+		return nil
+	}
+	if j.Work < 1 || j.Estimate < j.Work || j.SetupTime < 0 {
+		d.Failf("job %d: invalid work/estimate/setup (%d/%d/%d)", j.ID, j.Work, j.Estimate, j.SetupTime)
+		return nil
+	}
+	return j
+}

@@ -1,0 +1,34 @@
+package nodeset
+
+import (
+	"math/bits"
+
+	"hybridsched/internal/snapshot"
+)
+
+// EncodeSnapshot serializes the set as its raw bit words. The encoding is
+// canonical: trailing zero words are trimmed so that equal sets always
+// produce equal bytes regardless of capacity history.
+func (s *Set) EncodeSnapshot(e *snapshot.Enc) {
+	words := s.words
+	for len(words) > 0 && words[len(words)-1] == 0 {
+		words = words[:len(words)-1]
+	}
+	e.U64s(words)
+}
+
+// DecodeSnapshotSet reads a set written by EncodeSnapshot. The cardinality is
+// recomputed from the words, so a corrupt count can never disagree with the
+// members. On malformed input the decoder's error is set and an empty set is
+// returned.
+func DecodeSnapshotSet(d *snapshot.Dec) *Set {
+	words := d.U64s()
+	if d.Err() != nil {
+		return &Set{}
+	}
+	s := &Set{words: words}
+	for _, w := range words {
+		s.count += bits.OnesCount64(w)
+	}
+	return s
+}

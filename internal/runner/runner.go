@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -280,6 +281,23 @@ type Options struct {
 	// NoTraceCache disables workload memoization (each cell regenerates its
 	// trace; useful only for measuring the cache itself).
 	NoTraceCache bool
+
+	// CheckpointDir, when non-empty, persists per-cell progress into this
+	// directory: each cell writes an engine snapshot every CheckpointEvery
+	// events (cell-<hash>.snap, written atomically and retired on completion)
+	// and its final report as cell-<hash>.done.json. Checkpointing never
+	// changes results — resumed and uninterrupted sweeps emit byte-identical
+	// reports. Cells whose scheduler cannot snapshot run to completion
+	// without checkpoints.
+	CheckpointDir string
+	// CheckpointEvery is the snapshot interval in dispatched events;
+	// <= 0 takes a default suited to multi-week cells.
+	CheckpointEvery int
+	// Resume consults CheckpointDir before executing each cell: a done file
+	// short-circuits the cell with its persisted report, a valid snapshot
+	// resumes it mid-run, and anything missing or corrupt (a torn write from
+	// a killed sweep, a stale format version) falls back to a fresh run.
+	Resume bool
 }
 
 // runHook, when non-nil, runs before each cell executes. It is a test seam
@@ -300,6 +318,18 @@ func Run(specs []Spec, opt Options) Sweep {
 	}
 	start := time.Now()
 	results := make([]Result, len(specs))
+	ck := opt.ckpt()
+	if ck != nil {
+		if err := os.MkdirAll(ck.dir, 0o755); err != nil {
+			// No directory, no checkpointing: fail every cell up front rather
+			// than run the sweep while silently dropping the persistence the
+			// caller asked for.
+			for i := range specs {
+				results[i] = Result{Spec: specs[i].withDefaults(), Err: fmt.Sprintf("checkpoint dir: %v", err)}
+			}
+			return Sweep{Results: results, Workers: workers, Wall: time.Since(start)}
+		}
+	}
 	if len(specs) > 0 {
 		cache := newTraceCache(!opt.NoTraceCache)
 		var (
@@ -313,7 +343,7 @@ func Run(specs []Spec, opt Options) Sweep {
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					res := runOne(specs[i], cache)
+					res := runOne(specs[i], cache, ck)
 					results[i] = res
 					if opt.Progress != nil {
 						mu.Lock()
@@ -343,9 +373,69 @@ func Run(specs []Spec, opt Options) Sweep {
 	return sweep
 }
 
+// buildCell materializes one cell's engine from its resolved spec and shared
+// trace: jobs with their Daly checkpoint plans, the mechanism (fault-wrapped
+// when configured), the queue policy, and any scheduled drains. The returned
+// spec echoes fields derived during construction (the source-cell fault
+// horizon), which is also why checkpoint file names are computed only after
+// this step.
+func buildCell(s Spec, recs []trace.Record) (Spec, *sim.Engine, error) {
+	jobs := trace.Materialize(recs, func(size int) checkpoint.Plan {
+		return checkpoint.NewPlan(size, s.MTBF, s.CkptFreqMult)
+	})
+	mech, err := registry.NewScheduler(s.Mechanism, registry.SchedulerConfig{
+		ReleaseThreshold: s.Core.ReleaseThreshold,
+		DirectedReturn:   s.Core.DirectedReturn,
+		BackfillReserved: s.Core.BackfillReserved,
+	})
+	if err != nil {
+		return s, nil, err
+	}
+	if s.FaultMTBF > 0 {
+		if s.FaultHorizon == 0 {
+			// Source-backed cell: cover the whole replayed trace plus tail
+			// room for the queue to drain, so failures do not silently stop
+			// partway through a long import.
+			var span int64
+			for _, r := range recs {
+				if r.Submit > span {
+					span = r.Submit
+				}
+			}
+			s.FaultHorizon = span + 4*simtime.Week
+		}
+		mech = faults.Wrap(mech, faults.Config{
+			MTBF:       s.FaultMTBF,
+			Seed:       s.FaultSeed,
+			Horizon:    s.FaultHorizon,
+			MeanRepair: s.FaultMeanRepair,
+		})
+	}
+	ord := registry.PolicyByName(s.Policy)
+	if ord == nil {
+		return s, nil, fmt.Errorf("unknown policy %q (valid: %v)", s.Policy, registry.PolicyNames())
+	}
+	engine, err := sim.New(sim.Config{
+		Nodes:            s.Nodes,
+		Policy:           ord,
+		BackfillReserved: s.BackfillReserved,
+		Validate:         s.Validate,
+		MaxSimTime:       s.MaxSimTime,
+	}, jobs, mech)
+	if err != nil {
+		return s, nil, err
+	}
+	for _, d := range s.Drains {
+		if err := engine.ScheduleDrain(d.Start, d.Duration, d.Nodes); err != nil {
+			return s, nil, err
+		}
+	}
+	return s, engine, nil
+}
+
 // runOne executes a single cell, converting errors and panics into the
 // Result so one bad cell cannot kill the sweep.
-func runOne(spec Spec, cache *traceCache) (res Result) {
+func runOne(spec Spec, cache *traceCache, ck *ckptState) (res Result) {
 	start := time.Now()
 	s := spec.withDefaults()
 	res.Spec = s
@@ -363,60 +453,34 @@ func runOne(spec Spec, cache *traceCache) (res Result) {
 		res.Err = err.Error()
 		return
 	}
-	jobs := trace.Materialize(recs, func(size int) checkpoint.Plan {
-		return checkpoint.NewPlan(size, s.MTBF, s.CkptFreqMult)
-	})
-	mech, err := registry.NewScheduler(s.Mechanism, registry.SchedulerConfig{
-		ReleaseThreshold: s.Core.ReleaseThreshold,
-		DirectedReturn:   s.Core.DirectedReturn,
-		BackfillReserved: s.Core.BackfillReserved,
-	})
+	s, engine, err := buildCell(s, recs)
+	res.Spec = s
 	if err != nil {
 		res.Err = err.Error()
 		return
 	}
-	if s.FaultMTBF > 0 {
-		if s.FaultHorizon == 0 {
-			// Source-backed cell: cover the whole replayed trace plus tail
-			// room for the queue to drain, so failures do not silently stop
-			// partway through a long import.
-			var span int64
-			for _, r := range recs {
-				if r.Submit > span {
-					span = r.Submit
-				}
+	// Checkpoint files are keyed by the fully resolved spec, so the done-file
+	// check waited until the last derived field (the source-cell fault
+	// horizon) was in place.
+	if ck != nil {
+		if ck.resume {
+			if rep, ok := ck.loadDone(s); ok {
+				res.Report = rep
+				return
 			}
-			s.FaultHorizon = span + 4*simtime.Week
-			res.Spec.FaultHorizon = s.FaultHorizon
+			ck.tryRestore(s, engine)
 		}
-		mech = faults.Wrap(mech, faults.Config{
-			MTBF:       s.FaultMTBF,
-			Seed:       s.FaultSeed,
-			Horizon:    s.FaultHorizon,
-			MeanRepair: s.FaultMeanRepair,
-		})
-	}
-	ord := registry.PolicyByName(s.Policy)
-	if ord == nil {
-		res.Err = fmt.Sprintf("unknown policy %q (valid: %v)", s.Policy, registry.PolicyNames())
-		return
-	}
-	engine, err := sim.New(sim.Config{
-		Nodes:            s.Nodes,
-		Policy:           ord,
-		BackfillReserved: s.BackfillReserved,
-		Validate:         s.Validate,
-		MaxSimTime:       s.MaxSimTime,
-	}, jobs, mech)
-	if err != nil {
-		res.Err = err.Error()
-		return
-	}
-	for _, d := range s.Drains {
-		if err := engine.ScheduleDrain(d.Start, d.Duration, d.Nodes); err != nil {
+		rep, err := runCheckpointed(engine, ck, s)
+		if err != nil {
 			res.Err = err.Error()
 			return
 		}
+		if err := ck.finish(s, rep); err != nil {
+			res.Err = fmt.Sprintf("write checkpoint: %v", err)
+			return
+		}
+		res.Report = rep
+		return
 	}
 	rep, err := engine.Run()
 	if err != nil {

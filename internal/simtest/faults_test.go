@@ -104,19 +104,11 @@ func TestFaultRunInvariants(t *testing.T) {
 // only from the scenario seed.
 func TestFaultReplayDeterminism(t *testing.T) {
 	sc := faultScale("CUA&SPAA", "W3")
-	first, err := Run(sc)
+	a, err := CanonicalRun(sc)
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := Run(sc)
-	if err != nil {
-		t.Fatal(err)
-	}
-	a, err := ReportJSON(first)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := ReportJSON(second)
+	b, err := CanonicalRun(sc)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -121,28 +121,31 @@ func ReportJSON(r metrics.Report) ([]byte, error) {
 	return b, nil
 }
 
+// CanonicalRun runs the scenario to completion and returns the canonical
+// report encoding — the byte string every equivalence suite (differential,
+// replay, snapshot/restore) compares against.
+func CanonicalRun(sc Scenario) ([]byte, error) {
+	rep, err := Run(sc)
+	if err != nil {
+		return nil, fmt.Errorf("simtest: %s/%s: %w", sc.Mechanism, sc.Mix, err)
+	}
+	return ReportJSON(rep)
+}
+
 // Differential runs the scenario twice — once on the optimized engine path
 // and once on the retained naive reference path — and returns both canonical
 // report encodings. The two must be byte-identical; the differential tests
 // hold every mechanism × mix cell to that.
 func Differential(sc Scenario) (optimized, reference []byte, err error) {
 	sc.Reference = false
-	optRep, err := Run(sc)
+	optimized, err = CanonicalRun(sc)
 	if err != nil {
-		return nil, nil, fmt.Errorf("simtest: optimized %s/%s: %w", sc.Mechanism, sc.Mix, err)
+		return nil, nil, fmt.Errorf("simtest: optimized path: %w", err)
 	}
 	sc.Reference = true
-	refRep, err := Run(sc)
+	reference, err = CanonicalRun(sc)
 	if err != nil {
-		return nil, nil, fmt.Errorf("simtest: reference %s/%s: %w", sc.Mechanism, sc.Mix, err)
-	}
-	optimized, err = ReportJSON(optRep)
-	if err != nil {
-		return nil, nil, err
-	}
-	reference, err = ReportJSON(refRep)
-	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("simtest: reference path: %w", err)
 	}
 	return optimized, reference, nil
 }

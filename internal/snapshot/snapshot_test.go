@@ -1,0 +1,120 @@
+package snapshot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var e Enc
+	e.U8(7)
+	e.Bool(true)
+	e.Bool(false)
+	e.U32(0xdeadbeef)
+	e.U64(1 << 62)
+	e.I64(-42)
+	e.Int(123456789)
+	e.F64(3.5e-9)
+	e.String("hello")
+	e.Blob([]byte{1, 2, 3})
+	e.U64s([]uint64{9, 8})
+	e.I64s([]int64{-1, 0, 1})
+	e.Ints([]int{5})
+
+	frame := Frame(3, e.Bytes())
+	payload, ver, err := Unframe(frame)
+	if err != nil || ver != 3 {
+		t.Fatalf("Unframe: ver=%d err=%v", ver, err)
+	}
+	d := NewDec(payload)
+	if d.U8() != 7 || !d.Bool() || d.Bool() || d.U32() != 0xdeadbeef || d.U64() != 1<<62 ||
+		d.I64() != -42 || d.Int() != 123456789 || d.F64() != 3.5e-9 || d.String() != "hello" {
+		t.Fatalf("scalar round-trip mismatch (err=%v)", d.Err())
+	}
+	if b := d.Blob(); !bytes.Equal(b, []byte{1, 2, 3}) {
+		t.Fatalf("Blob = %v", b)
+	}
+	if v := d.U64s(); len(v) != 2 || v[0] != 9 || v[1] != 8 {
+		t.Fatalf("U64s = %v", v)
+	}
+	if v := d.I64s(); len(v) != 3 || v[0] != -1 || v[2] != 1 {
+		t.Fatalf("I64s = %v", v)
+	}
+	if v := d.Ints(); len(v) != 1 || v[0] != 5 {
+		t.Fatalf("Ints = %v", v)
+	}
+	if err := d.Done(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The io path must agree with the in-memory path.
+	got, ver, err := Read(bytes.NewReader(frame))
+	if err != nil || ver != 3 || !bytes.Equal(got, payload) {
+		t.Fatalf("Read: ver=%d err=%v", ver, err)
+	}
+}
+
+func TestUnframeRejectsCorruption(t *testing.T) {
+	var e Enc
+	e.String("payload under test")
+	frame := Frame(1, e.Bytes())
+
+	if _, _, err := Unframe(frame[:len(frame)-1]); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+	if _, _, err := Unframe(frame[:10]); err == nil {
+		t.Fatal("header-only frame accepted")
+	}
+	if _, _, err := Unframe(nil); err == nil {
+		t.Fatal("empty frame accepted")
+	}
+	bad := append([]byte(nil), frame...)
+	bad[0] = 'X'
+	if _, _, err := Unframe(bad); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic: %v", err)
+	}
+	for _, i := range []int{16, len(frame) - 5, len(frame) - 1} {
+		flip := append([]byte(nil), frame...)
+		flip[i] ^= 0x40
+		if _, _, err := Unframe(flip); err == nil {
+			t.Fatalf("bit flip at %d accepted", i)
+		}
+	}
+	long := append([]byte(nil), frame...)
+	long = append(long, 0)
+	if _, _, err := Unframe(long); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+	if _, _, err := Read(bytes.NewReader(frame[:20])); err == nil {
+		t.Fatal("Read accepted truncated stream")
+	}
+}
+
+func TestDecSticky(t *testing.T) {
+	d := NewDec([]byte{1, 2})
+	_ = d.U64() // truncated
+	if d.Err() == nil {
+		t.Fatal("want truncation error")
+	}
+	// Subsequent reads must be inert zero values, never panics.
+	if d.U8() != 0 || d.String() != "" || d.Blob() != nil || d.Ints() != nil {
+		t.Fatal("sticky decoder returned non-zero after error")
+	}
+	if d.Done() == nil {
+		t.Fatal("Done must report the sticky error")
+	}
+}
+
+func TestCountRejectsAllocationBombs(t *testing.T) {
+	var e Enc
+	e.U32(1 << 30) // count far beyond payload
+	d := NewDec(e.Bytes())
+	if n := d.Count(8); n != 0 || d.Err() == nil {
+		t.Fatalf("Count = %d, err = %v; want rejection", n, d.Err())
+	}
+	d2 := NewDec(e.Bytes())
+	if v := d2.U64s(); v != nil || d2.Err() == nil {
+		t.Fatal("U64s must reject bomb counts before allocating")
+	}
+}

@@ -1,0 +1,124 @@
+package stats
+
+import "fmt"
+
+// This file reimplements the additive lagged-Fibonacci generator behind
+// math/rand's rand.NewSource (Mitchell & Reeds; see Go's math/rand/rng.go)
+// with one addition: the register state is exported through RNGState so a
+// generator can be serialized mid-stream and restored exactly. The stream is
+// bit-identical to rand.NewSource for every seed, which
+// TestSourceMatchesMathRand pins; all existing seeded experiments therefore
+// reproduce unchanged.
+
+const (
+	rngLen   = 607
+	rngTap   = 273
+	rngMask  = 1<<63 - 1
+	int32max = 1<<31 - 1
+)
+
+// source is a drop-in replacement for math/rand's rngSource. It implements
+// rand.Source64, so rand.New drives it exactly like the stdlib source.
+type source struct {
+	tap  int
+	feed int
+	vec  [rngLen]int64
+}
+
+func newSource(seed int64) *source {
+	s := &source{}
+	s.Seed(seed)
+	return s
+}
+
+// seedrand is the Lehmer LCG x[n+1] = 48271 * x[n] mod (2^31 - 1) used only
+// to expand the integer seed into the feedback register.
+func seedrand(x int32) int32 {
+	const (
+		a = 48271
+		q = 44488
+		r = 3399
+	)
+	hi := x / q
+	lo := x % q
+	x = a*lo - r*hi
+	if x < 0 {
+		x += int32max
+	}
+	return x
+}
+
+// Seed initializes the register to the same deterministic state
+// rand.NewSource(seed) produces.
+func (s *source) Seed(seed int64) {
+	s.tap = 0
+	s.feed = rngLen - rngTap
+
+	seed %= int32max
+	if seed < 0 {
+		seed += int32max
+	}
+	if seed == 0 {
+		seed = 89482311
+	}
+
+	x := int32(seed)
+	for i := -20; i < rngLen; i++ {
+		x = seedrand(x)
+		if i >= 0 {
+			u := int64(x) << 40
+			x = seedrand(x)
+			u ^= int64(x) << 20
+			x = seedrand(x)
+			u ^= int64(x)
+			u ^= rngCooked[i]
+			s.vec[i] = u
+		}
+	}
+}
+
+// Int63 returns a non-negative 63-bit value.
+func (s *source) Int63() int64 { return int64(s.Uint64() & rngMask) }
+
+// Uint64 advances the register one step.
+func (s *source) Uint64() uint64 {
+	s.tap--
+	if s.tap < 0 {
+		s.tap += rngLen
+	}
+	s.feed--
+	if s.feed < 0 {
+		s.feed += rngLen
+	}
+	x := s.vec[s.feed] + s.vec[s.tap]
+	s.vec[s.feed] = x
+	return uint64(x)
+}
+
+// RNGState is a complete serialized generator position: restoring it and
+// drawing k values yields exactly the draws the original generator would have
+// produced next. The zero value is not a valid state; obtain one from
+// RNG.State.
+type RNGState struct {
+	Tap  int32
+	Feed int32
+	Vec  [rngLen]int64
+}
+
+// State captures the generator's current position.
+func (g *RNG) State() RNGState {
+	return RNGState{Tap: int32(g.src.tap), Feed: int32(g.src.feed), Vec: g.src.vec}
+}
+
+// SetState rewinds (or fast-forwards) the generator to a previously captured
+// position. It fails if the indices are out of range; the register values
+// themselves are unconstrained.
+func (g *RNG) SetState(st RNGState) error {
+	if st.Tap < 0 || st.Tap >= rngLen || st.Feed < 0 || st.Feed >= rngLen {
+		return fmt.Errorf("stats: RNG state indices out of range (tap=%d feed=%d)", st.Tap, st.Feed)
+	}
+	g.src.tap = int(st.Tap)
+	g.src.feed = int(st.Feed)
+	g.src.vec = st.Vec
+	return nil
+}

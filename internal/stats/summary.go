@@ -116,3 +116,10 @@ func (w *Welford) Var() float64 {
 
 // Std returns the running sample standard deviation.
 func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// State exposes the raw accumulator (count, running mean, sum of squared
+// deviations) for serialization.
+func (w *Welford) State() (n int, mean, m2 float64) { return w.n, w.mean, w.m2 }
+
+// SetState overwrites the accumulator with a previously captured state.
+func (w *Welford) SetState(n int, mean, m2 float64) { w.n, w.mean, w.m2 = n, mean, m2 }

@@ -371,6 +371,18 @@ type Session struct {
 	closed    bool
 	srcs      []sourceState
 	lookahead int64
+
+	// ckpt is the construction recipe Checkpoint persists so Restore can
+	// rebuild an identical session; nil when the session is not
+	// checkpointable by name (WithScheduler instances).
+	ckpt *sessionCheckpointInfo
+}
+
+// sessionCheckpointInfo is the resolved construction recipe of a session.
+type sessionCheckpointInfo struct {
+	cfg        SimulationConfig // after withDefaults
+	maxSimTime int64
+	faults     *FaultConfig
 }
 
 // sourceState tracks one attached Source: its buffered head record (drawn
@@ -454,6 +466,11 @@ func NewSession(opts ...Option) (*Session, error) {
 		},
 		obs:       c.observers,
 		lookahead: lookahead,
+	}
+	if c.scheduler == nil {
+		// Name-resolved schedulers can be rebuilt by Restore; a WithScheduler
+		// instance cannot, so such sessions stay non-checkpointable.
+		s.ckpt = &sessionCheckpointInfo{cfg: cfg, maxSimTime: c.maxSimTime, faults: c.faults}
 	}
 	// The sink is installed only once someone listens: an unobserved session
 	// pays nothing per event — the engine skips constructing and fanning out

@@ -101,6 +101,19 @@ type SweepOptions struct {
 	// Progress receives one line per completed cell plus a wall-clock
 	// summary (nil = quiet).
 	Progress io.Writer
+
+	// CheckpointDir, when non-empty, persists per-cell progress into this
+	// directory: an engine snapshot every CheckpointEvery events while a cell
+	// runs, and the cell's final report when it completes. A sweep killed at
+	// any instant can then be rerun with Resume set and emits byte-identical
+	// output: finished cells are skipped, interrupted cells continue from
+	// their snapshots, and anything torn or stale falls back to a fresh run.
+	CheckpointDir string
+	// CheckpointEvery is the snapshot interval in simulation events; <= 0
+	// takes a default suited to multi-week cells.
+	CheckpointEvery int
+	// Resume loads completed and in-flight cells from CheckpointDir.
+	Resume bool
 }
 
 // SweepReport is a completed sweep: one SweepResult per SweepSpec, in grid
@@ -159,7 +172,13 @@ func RunSweep(specs []SweepSpec, opt SweepOptions) (*SweepReport, error) {
 			Drains:           s.Drains,
 		}
 	}
-	sweep := runner.Run(rspecs, runner.Options{Workers: opt.Workers, Progress: opt.Progress})
+	sweep := runner.Run(rspecs, runner.Options{
+		Workers:         opt.Workers,
+		Progress:        opt.Progress,
+		CheckpointDir:   opt.CheckpointDir,
+		CheckpointEvery: opt.CheckpointEvery,
+		Resume:          opt.Resume,
+	})
 	rep := &SweepReport{sweep: sweep, Results: make([]SweepResult, len(sweep.Results))}
 	for i, res := range sweep.Results {
 		rep.Results[i] = SweepResult{Spec: specs[i], Report: res.Report, Err: res.Err}
