@@ -1,0 +1,106 @@
+// Schedd is the scheduling-as-a-service daemon: it hosts many concurrent
+// hybridsched simulation sessions (one per tenant experiment) behind an
+// HTTP/JSON API, streams scheduling events over SSE, exports Prometheus
+// metrics at /metrics, and enforces per-tenant quotas with explicit 429
+// backpressure.
+//
+//	schedd -addr :8080 -state-dir /var/lib/schedd
+//
+// With -state-dir, a SIGTERM/SIGINT drains gracefully: every hosted session
+// is checkpointed there, and the next start restores them all — a restarted
+// daemon resumes its tenants' simulations byte-identically.
+//
+// Remote scheduling policies plug in with -extender name=url: each
+// registers an HTTP-callback scheduler under name, selectable per session
+// like any built-in mechanism (see the internal/server extender protocol).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"hybridsched/internal/server"
+)
+
+// extenderFlags collects repeated -extender name=url flags.
+type extenderFlags []string
+
+func (e *extenderFlags) String() string { return strings.Join(*e, ",") }
+func (e *extenderFlags) Set(v string) error {
+	*e = append(*e, v)
+	return nil
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		stateDir   = flag.String("state-dir", "", "checkpoint sessions here on graceful shutdown and restore them at startup")
+		maxSess    = flag.Int("max-sessions", 0, "total hosted-session limit (0 = default 64, negative = unlimited)")
+		maxPerTen  = flag.Int("max-sessions-per-tenant", 0, "per-tenant session limit (0 = default 8, negative = unlimited)")
+		mailbox    = flag.Int("mailbox-depth", 0, "per-session request mailbox capacity; overflow is 429 (0 = default 64)")
+		maxQueued  = flag.Int("max-queued-submits", 0, "per-tenant accepted-but-unapplied submission limit (0 = default 1024)")
+		drainGrace = flag.Duration("drain-grace", 30*time.Second, "how long shutdown waits for in-flight HTTP requests")
+		extenders  extenderFlags
+	)
+	flag.Var(&extenders, "extender", "register a remote HTTP scheduler as name=url (repeatable)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	for _, spec := range extenders {
+		name, url, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || url == "" {
+			logger.Fatalf("schedd: bad -extender %q (want name=url)", spec)
+		}
+		if err := server.RegisterExtender(name, url, nil); err != nil {
+			logger.Fatalf("schedd: %v", err)
+		}
+		logger.Printf("schedd: extender %q -> %s", name, url)
+	}
+
+	srv, err := server.New(server.Config{
+		Quotas: server.Quotas{
+			MaxSessions:          *maxSess,
+			MaxSessionsPerTenant: *maxPerTen,
+			MailboxDepth:         *mailbox,
+			MaxQueuedSubmits:     *maxQueued,
+		},
+		StateDir: *stateDir,
+		Logger:   logger,
+	})
+	if err != nil {
+		logger.Fatalf("schedd: %v", err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	logger.Printf("schedd: listening on %s (state-dir=%q)", *addr, *stateDir)
+
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer cancel()
+	select {
+	case err := <-errc:
+		logger.Fatalf("schedd: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: checkpoint and stop every hosted session (unblocking
+	// SSE streams), then let in-flight HTTP requests finish.
+	logger.Printf("schedd: draining...")
+	srv.Drain()
+	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancelShutdown()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("schedd: shutdown: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "schedd: bye")
+}

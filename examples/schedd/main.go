@@ -1,0 +1,177 @@
+// Schedd client example: start the scheduling daemon in-process on a random
+// port, then drive it exactly as a remote tenant would — plain HTTP/JSON,
+// no imports from the simulator itself. A session is created for tenant
+// "acme", jobs are submitted online, virtual time is advanced while an SSE
+// stream reports scheduling events live, and the run ends with a snapshot
+// and a /metrics scrape.
+//
+// Everything below the "client side" marker works unchanged against a
+// separately deployed daemon (cmd/schedd); the in-process server only keeps
+// the example self-contained.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"hybridsched/internal/server"
+)
+
+func main() {
+	srv, err := server.New(server.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	base := ts.URL
+	fmt.Printf("schedd listening at %s\n\n", base)
+
+	// ---- client side: everything from here is ordinary HTTP ----
+
+	// Create a 256-node session for tenant acme under the paper's combined
+	// mechanism.
+	var sess struct {
+		ID     string `json:"id"`
+		Tenant string `json:"tenant"`
+	}
+	post(base+"/v1/sessions", map[string]any{
+		"tenant": "acme", "mechanism": "CUA&SPAA", "nodes": 256,
+	}, &sess)
+	fmt.Printf("created session %s for tenant %s\n", sess.ID, sess.Tenant)
+	sessURL := base + "/v1/sessions/" + sess.ID
+
+	// Subscribe to the live event stream before submitting anything.
+	events := make(chan string, 64)
+	resp, err := http.Get(sessURL + "/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	go readSSE(resp.Body, events)
+
+	// Submit a batch of rigid jobs and one announced on-demand job.
+	jobs := []map[string]any{}
+	for i := 1; i <= 8; i++ {
+		jobs = append(jobs, map[string]any{
+			"id": i, "class": "rigid", "submit": i * 600,
+			"size": 32, "work": 2 * 3600,
+		})
+	}
+	jobs = append(jobs, map[string]any{
+		"id": 100, "class": "on-demand", "submit": 4 * 3600,
+		"size": 128, "work": 3600,
+		"notice": "accurate", "notice_time": 3 * 3600, "est_arrival": 4 * 3600,
+	})
+	post(sessURL+"/jobs", jobs, nil)
+	fmt.Printf("submitted %d jobs\n\n", len(jobs))
+
+	// Advance a simulated day, then print the events the stream delivered.
+	var adv struct {
+		Now       int64 `json:"now"`
+		Completed int   `json:"completed"`
+	}
+	post(sessURL+"/advance", map[string]any{"hours": 24}, &adv)
+	fmt.Printf("advanced to t=%dh, %d jobs completed; events seen:\n", adv.Now/3600, adv.Completed)
+	for done := false; !done; {
+		select {
+		case line := <-events:
+			fmt.Printf("  %s\n", line)
+		default:
+			done = true
+		}
+	}
+
+	// Inspect the session state.
+	var snap struct {
+		Now        int64 `json:"Now"`
+		FreeNodes  int   `json:"FreeNodes"`
+		QueueDepth int   `json:"QueueDepth"`
+		Completed  int   `json:"Completed"`
+	}
+	get(sessURL+"/snapshot", &snap)
+	fmt.Printf("\nsnapshot: t=%dh free=%d queue=%d completed=%d\n",
+		snap.Now/3600, snap.FreeNodes, snap.QueueDepth, snap.Completed)
+
+	// Scrape the daemon's own instruments.
+	r, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Body.Close()
+	fmt.Println("\nselected /metrics:")
+	sc := bufio.NewScanner(r.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "schedd_jobs_") || strings.HasPrefix(line, "schedd_sessions_live") {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, sessURL, nil)
+	if _, err := http.DefaultClient.Do(req); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsession deleted")
+}
+
+// post sends a JSON body and decodes the JSON reply into out (if non-nil).
+func post(url string, body, out any) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		log.Fatalf("POST %s: %s", url, resp.Status)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// get decodes a JSON GET response into out.
+func get(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		log.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// readSSE forwards "event: data" pairs from an SSE body as single lines.
+func readSSE(body interface{ Read([]byte) (int, error) }, out chan<- string) {
+	sc := bufio.NewScanner(body)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: ") && event == "sched":
+			select {
+			case out <- strings.TrimPrefix(line, "data: "):
+			default: // example keeps a bounded buffer; drop extras
+			}
+		}
+	}
+}

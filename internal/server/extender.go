@@ -1,0 +1,187 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"hybridsched"
+	"hybridsched/internal/sim"
+)
+
+// This file implements the remote-scheduler extender hook, in the spirit of
+// the Kubernetes scheduler-extender pattern (and the k8s-cluster-simulator's
+// HTTP extender experiments): an external policy process plugs into a hosted
+// simulation over HTTP callbacks instead of being compiled in. The extender
+// is an ordinary Scheduler registered through hybridsched.RegisterScheduler,
+// so a remote policy is selected exactly like a built-in mechanism — by name
+// in the session-create request.
+
+// ExtenderRequest is the JSON callback POSTed to the remote policy at each
+// decision point.
+type ExtenderRequest struct {
+	// Callback names the decision point: "notice" (an on-demand job
+	// announced its future arrival) or "od_arrival" (an on-demand job is
+	// here and wants to start instantly).
+	Callback string `json:"callback"`
+	// Time is the current virtual time in seconds.
+	Time int64 `json:"time"`
+	// Job is the job the callback is about.
+	Job ExtenderJob `json:"job"`
+	// Cluster is the current occupancy.
+	Cluster ExtenderCluster `json:"cluster"`
+	// QueueDepth is the current waiting-queue length.
+	QueueDepth int `json:"queue_depth"`
+}
+
+// ExtenderJob describes the callback's job.
+type ExtenderJob struct {
+	ID         int    `json:"id"`
+	Class      string `json:"class"`
+	Size       int    `json:"size"`
+	MinSize    int    `json:"min_size"`
+	Submit     int64  `json:"submit"`
+	EstArrival int64  `json:"est_arrival,omitempty"`
+}
+
+// ExtenderCluster describes the cluster occupancy at the decision point.
+type ExtenderCluster struct {
+	Nodes    int `json:"nodes"`
+	Free     int `json:"free"`
+	Reserved int `json:"reserved"`
+	Down     int `json:"down"`
+}
+
+// ExtenderResponse is the remote policy's decision. For "od_arrival",
+// Start=true asks the engine to start the job immediately from the free
+// pool (granted only if enough free nodes exist); anything else lets the
+// engine queue the job normally. For "notice" the response is advisory.
+type ExtenderResponse struct {
+	Handled bool `json:"handled"`
+	Start   bool `json:"start,omitempty"`
+}
+
+// Extender is a Scheduler whose on-demand decisions are delegated to a
+// remote HTTP policy. It embeds the engine Baseline for no-op defaults on
+// every other callback (and for checkpoint support: the extender keeps no
+// dynamic state, so extender-driven sessions checkpoint and restore like
+// baseline ones — the restoring process must register the same name).
+//
+// Failure policy is fail-open: if the remote is unreachable, times out, or
+// answers garbage, the decision falls back to the engine's normal queueing
+// path and the error is counted (Errors). A flaky policy endpoint degrades
+// scheduling quality, never the simulation's integrity.
+type Extender struct {
+	sim.Baseline
+	name   string
+	url    string
+	client *http.Client
+	eng    *sim.Engine
+	errs   atomic.Int64
+	calls  atomic.Int64
+}
+
+// NewExtender builds an extender posting callbacks to url. A nil client
+// gets a 5-second-timeout default.
+func NewExtender(name, url string, client *http.Client) *Extender {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	return &Extender{name: name, url: url, client: client}
+}
+
+// RegisterExtender registers a remote HTTP policy as a named scheduler:
+// every session created with mechanism name gets a fresh Extender posting
+// its decision callbacks to url. Registration is append-only, like every
+// scheduler registration.
+func RegisterExtender(name, url string, client *http.Client) error {
+	return hybridsched.RegisterScheduler(name, func(hybridsched.SchedulerConfig) (hybridsched.Scheduler, error) {
+		return NewExtender(name, url, client), nil
+	})
+}
+
+// Name identifies the extender in reports.
+func (x *Extender) Name() string { return x.name }
+
+// Attach wires the extender to its session's engine.
+func (x *Extender) Attach(e *sim.Engine) { x.eng = e }
+
+// QueueOnDemandFirst prioritizes on-demand jobs the remote declined to
+// start, matching the paper's queue-based mechanisms.
+func (x *Extender) QueueOnDemandFirst() bool { return true }
+
+// Errors reports how many remote callbacks failed (fail-open fallbacks).
+func (x *Extender) Errors() int64 { return x.errs.Load() }
+
+// Calls reports how many remote callbacks were attempted.
+func (x *Extender) Calls() int64 { return x.calls.Load() }
+
+// call POSTs one callback and decodes the decision. Errors fail open.
+func (x *Extender) call(req ExtenderRequest) (ExtenderResponse, error) {
+	x.calls.Add(1)
+	body, err := json.Marshal(req)
+	if err != nil {
+		x.errs.Add(1)
+		return ExtenderResponse{}, err
+	}
+	resp, err := x.client.Post(x.url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		x.errs.Add(1)
+		return ExtenderResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		x.errs.Add(1)
+		return ExtenderResponse{}, fmt.Errorf("extender %s: status %d", x.name, resp.StatusCode)
+	}
+	var dec ExtenderResponse
+	if err := json.NewDecoder(resp.Body).Decode(&dec); err != nil {
+		x.errs.Add(1)
+		return ExtenderResponse{}, fmt.Errorf("extender %s: bad response: %w", x.name, err)
+	}
+	return dec, nil
+}
+
+// request assembles the callback payload for j.
+func (x *Extender) request(callback string, j *hybridsched.Job) ExtenderRequest {
+	cl := x.eng.Cluster()
+	return ExtenderRequest{
+		Callback: callback,
+		Time:     x.eng.Now(),
+		Job: ExtenderJob{
+			ID: j.ID, Class: j.Class.String(), Size: j.Size, MinSize: j.MinSize,
+			Submit: j.SubmitTime, EstArrival: j.EstArrival,
+		},
+		Cluster: ExtenderCluster{
+			Nodes: x.eng.Nodes(), Free: cl.FreeCount(),
+			Reserved: cl.TotalReserved(), Down: cl.DownCount(),
+		},
+		QueueDepth: x.eng.QueueDepth(),
+	}
+}
+
+// OnNotice forwards an advance notice to the remote policy (advisory: the
+// response carries no engine action yet).
+func (x *Extender) OnNotice(j *hybridsched.Job) {
+	x.call(x.request("notice", j)) //nolint:errcheck // fail-open, counted
+}
+
+// OnODArrival asks the remote policy whether to start the on-demand job
+// instantly from the free pool. A "start" decision is granted only when
+// enough free nodes exist (the engine fails the run on an impossible
+// start); otherwise — including on any remote error — the job queues
+// normally, at the front (QueueOnDemandFirst).
+func (x *Extender) OnODArrival(j *hybridsched.Job) bool {
+	dec, err := x.call(x.request("od_arrival", j))
+	if err != nil || !dec.Handled || !dec.Start {
+		return false
+	}
+	if x.eng.Cluster().FreeCount()+x.eng.Cluster().ReservedCount(j.ID) < j.Size {
+		return false // remote asked for the impossible; queue instead
+	}
+	x.eng.StartOnDemand(j)
+	return true
+}

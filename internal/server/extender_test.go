@@ -1,0 +1,179 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hybridsched"
+)
+
+// registerTestExtender registers one extender name at most once per test
+// process (the scheduler registry is append-only) and lets each test swap
+// the live policy behind it.
+var (
+	extOnce   sync.Once
+	extPolicy atomic.Pointer[http.Handler]
+)
+
+func registerTestExtender(t *testing.T) string {
+	t.Helper()
+	const name = "remote-test-policy"
+	extOnce.Do(func() {
+		// One stable reverse-proxy-ish endpoint for the process: it
+		// forwards to whatever handler the current test installed.
+		front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if h := extPolicy.Load(); h != nil {
+				(*h).ServeHTTP(w, r)
+				return
+			}
+			http.Error(w, "no policy installed", http.StatusServiceUnavailable)
+		}))
+		// Never closed: the registry entry outlives any one test.
+		if err := RegisterExtender(name, front.URL, nil); err != nil {
+			t.Fatalf("register extender: %v", err)
+		}
+	})
+	return name
+}
+
+// TestExtenderDrivesSession registers a remote HTTP policy and verifies it
+// drives a hosted session: the daemon POSTs od_arrival callbacks, the
+// remote's "start" decision starts the on-demand job instantly, and a
+// "decline" leaves it to the engine's queue path.
+func TestExtenderDrivesSession(t *testing.T) {
+	name := registerTestExtender(t)
+
+	var calls atomic.Int64
+	var lastReq atomic.Pointer[ExtenderRequest]
+	policy := http.Handler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req ExtenderRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		calls.Add(1)
+		lastReq.Store(&req)
+		// Start every on-demand arrival that fits in the free pool.
+		dec := ExtenderResponse{Handled: true}
+		if req.Callback == "od_arrival" && req.Cluster.Free >= req.Job.Size {
+			dec.Start = true
+		}
+		json.NewEncoder(w).Encode(dec)
+	}))
+	extPolicy.Store(&policy)
+
+	_, ts := testServer(t, Quotas{}, "")
+	var info sessionInfo
+	code := call(t, "POST", ts.URL+"/v1/sessions", createRequest{
+		Tenant: "alice", Mechanism: name, Nodes: 64,
+	}, &info)
+	if code != http.StatusCreated {
+		t.Fatalf("create with extender mechanism: status %d", code)
+	}
+	base := ts.URL + "/v1/sessions/" + info.ID
+
+	od := map[string]any{"id": 1, "class": "on-demand", "submit": 600, "size": 16, "work": 1800}
+	if code := call(t, "POST", base+"/jobs", od, nil); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	var adv advanceResponse
+	if code := call(t, "POST", base+"/advance", advanceRequest{Hours: 2}, &adv); code != http.StatusOK {
+		t.Fatalf("advance: status %d", code)
+	}
+	if adv.Completed != 1 {
+		t.Fatalf("on-demand job not completed: %+v", adv)
+	}
+	if calls.Load() == 0 {
+		t.Fatal("remote policy received no callbacks")
+	}
+	got := lastReq.Load()
+	if got == nil || got.Callback != "od_arrival" || got.Job.ID != 1 || got.Cluster.Nodes != 64 {
+		t.Fatalf("last callback = %+v", got)
+	}
+
+	// The remote's "start now" decision means a zero start delay.
+	var rep hybridsched.Report
+	if code := call(t, "GET", base+"/report", nil, &rep); code != http.StatusOK {
+		t.Fatalf("report: status %d", code)
+	}
+	if rep.StrictInstantStartRate != 1 {
+		t.Errorf("StrictInstantStartRate = %g, want 1 (extender started the job instantly)", rep.StrictInstantStartRate)
+	}
+}
+
+// TestExtenderFailOpen pins the failure policy: an unreachable or erroring
+// remote degrades to the engine's normal queue path — the run completes,
+// nothing panics, and the simulation's integrity is untouched.
+func TestExtenderFailOpen(t *testing.T) {
+	name := registerTestExtender(t)
+	policy := http.Handler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "policy exploded", http.StatusInternalServerError)
+	}))
+	extPolicy.Store(&policy)
+
+	_, ts := testServer(t, Quotas{}, "")
+	var info sessionInfo
+	if code := call(t, "POST", ts.URL+"/v1/sessions", createRequest{Tenant: "alice", Mechanism: name, Nodes: 64}, &info); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	base := ts.URL + "/v1/sessions/" + info.ID
+	od := map[string]any{"id": 1, "class": "on-demand", "submit": 600, "size": 16, "work": 1800}
+	if code := call(t, "POST", base+"/jobs", od, nil); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	var adv advanceResponse
+	if code := call(t, "POST", base+"/advance", advanceRequest{Hours: 2}, &adv); code != http.StatusOK {
+		t.Fatalf("advance with failing extender: status %d", code)
+	}
+	if adv.Completed != 1 {
+		t.Fatalf("job must still complete via the queue path: %+v", adv)
+	}
+}
+
+// TestExtenderUnit exercises the Extender decision logic directly against
+// a local policy, including the impossible-start guard.
+func TestExtenderUnit(t *testing.T) {
+	greedy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Always demand a start, even when it cannot fit.
+		json.NewEncoder(w).Encode(ExtenderResponse{Handled: true, Start: true})
+	}))
+	defer greedy.Close()
+
+	x := NewExtender("greedy", greedy.URL, nil)
+	sess, err := hybridsched.NewSession(hybridsched.WithNodes(32), hybridsched.WithScheduler(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	// A rigid job pins 24 of 32 nodes for two hours; the on-demand arrival
+	// needs 16. The greedy remote says start anyway; the guard sees only 8
+	// free nodes and declines, so the job queues instead of failing the run.
+	if err := sess.Submit(hybridsched.Record{ID: 1, Class: hybridsched.Rigid,
+		Submit: 0, Size: 24, MinSize: 24, Work: 7200, Estimate: 7200}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Submit(hybridsched.Record{ID: 2, Class: hybridsched.OnDemand,
+		Submit: 600, Size: 16, MinSize: 16, Work: 600, Estimate: 600}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.RunUntil(3600); err != nil {
+		t.Fatalf("impossible start must queue, not fail: %v", err)
+	}
+	if x.Calls() == 0 {
+		t.Fatal("no callbacks made")
+	}
+	if snap := sess.Snapshot(); snap.QueueDepth != 1 {
+		t.Fatalf("queue depth at t=3600: %d, want 1 (on-demand waiting behind rigid)", snap.QueueDepth)
+	}
+	// Once the rigid job frees its nodes, the queued on-demand job runs.
+	if err := sess.RunUntil(6 * hybridsched.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if snap := sess.Snapshot(); snap.Completed != 2 || snap.QueueDepth != 0 {
+		t.Fatalf("after rigid completion: %+v, want both jobs done", snap)
+	}
+}

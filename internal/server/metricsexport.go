@@ -1,0 +1,164 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is a minimal, dependency-free Prometheus text-exposition
+// registry: the handful of counter/gauge/histogram shapes schedd needs,
+// written in the 0.0.4 text format that any Prometheus scraper ingests.
+// Pulling in client_golang for six metric families would be the tail
+// wagging the dog; the format is stable and trivially emitted by hand.
+
+// counter is a monotonically increasing metric, safe for concurrent use.
+type counter struct{ v atomic.Int64 }
+
+func (c *counter) Inc()         { c.v.Add(1) }
+func (c *counter) Add(n int64)  { c.v.Add(n) }
+func (c *counter) Value() int64 { return c.v.Load() }
+
+// gauge is a settable instantaneous value, safe for concurrent use.
+type gauge struct{ v atomic.Int64 }
+
+func (g *gauge) Add(n int64)  { g.v.Add(n) }
+func (g *gauge) Value() int64 { return g.v.Load() }
+
+// labeledCounter is a counter family with one label dimension.
+type labeledCounter struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+func (c *labeledCounter) Inc(label string) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = map[string]int64{}
+	}
+	c.m[label]++
+	c.mu.Unlock()
+}
+
+// sorted returns the label/value pairs in label order (stable output).
+func (c *labeledCounter) sorted() ([]string, []int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	labels := make([]string, 0, len(c.m))
+	for l := range c.m {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	vals := make([]int64, len(labels))
+	for i, l := range labels {
+		vals[i] = c.m[l]
+	}
+	return labels, vals
+}
+
+// histogram is a fixed-bucket cumulative histogram.
+type histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf is implicit
+
+	mu     sync.Mutex
+	counts []int64
+	sum    float64
+	total  int64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]int64, len(bounds))}
+}
+
+func (h *histogram) Observe(v float64) {
+	h.mu.Lock()
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+		}
+	}
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// metrics is schedd's operational instrument panel, exported at /metrics in
+// Prometheus text format.
+type metrics struct {
+	sessionsLive     gauge
+	sessionsCreated  counter
+	sessionsRestored counter
+	sessionsDeleted  counter
+
+	jobsSubmitted counter
+	jobsCompleted counter
+	eventsEmitted counter
+	eventsDropped counter
+
+	quotaDenials    counter
+	backpressure429 counter
+
+	httpRequests   labeledCounter // by status code
+	requestSeconds *histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requestSeconds: newHistogram([]float64{.001, .005, .01, .05, .1, .5, 1, 5, 30}),
+	}
+}
+
+// writePrometheus emits every metric family, plus the per-tenant quota
+// gauges from the ledger, in the text exposition format.
+func (m *metrics) writePrometheus(w io.Writer, ledger *tenantLedger) {
+	g := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	c := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	g("schedd_sessions_live", "Simulation sessions currently hosted.", m.sessionsLive.Value())
+	c("schedd_sessions_created_total", "Sessions created over the HTTP API.", m.sessionsCreated.Value())
+	c("schedd_sessions_restored_total", "Sessions restored from the state dir at startup.", m.sessionsRestored.Value())
+	c("schedd_sessions_deleted_total", "Sessions deleted over the HTTP API.", m.sessionsDeleted.Value())
+	c("schedd_jobs_submitted_total", "Job records accepted into hosted sessions.", m.jobsSubmitted.Value())
+	c("schedd_jobs_completed_total", "Jobs completed across hosted sessions.", m.jobsCompleted.Value())
+	c("schedd_events_emitted_total", "Scheduling events emitted by hosted sessions.", m.eventsEmitted.Value())
+	c("schedd_events_dropped_total", "Events dropped by overflowing event-stream buffers.", m.eventsDropped.Value())
+	c("schedd_quota_denials_total", "Requests denied by a tenant or server quota.", m.quotaDenials.Value())
+	c("schedd_backpressure_total", "Requests rejected because a session mailbox was full.", m.backpressure429.Value())
+
+	fmt.Fprintf(w, "# HELP schedd_http_requests_total HTTP requests served, by status code.\n# TYPE schedd_http_requests_total counter\n")
+	codes, counts := m.httpRequests.sorted()
+	for i, code := range codes {
+		fmt.Fprintf(w, "schedd_http_requests_total{code=%q} %d\n", code, counts[i])
+	}
+
+	h := m.requestSeconds
+	h.mu.Lock()
+	fmt.Fprintf(w, "# HELP schedd_request_duration_seconds HTTP request latency.\n# TYPE schedd_request_duration_seconds histogram\n")
+	for i, b := range h.bounds {
+		fmt.Fprintf(w, "schedd_request_duration_seconds_bucket{le=%q} %d\n",
+			strconv.FormatFloat(b, 'g', -1, 64), h.counts[i])
+	}
+	fmt.Fprintf(w, "schedd_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", h.total)
+	fmt.Fprintf(w, "schedd_request_duration_seconds_sum %g\n", h.sum)
+	fmt.Fprintf(w, "schedd_request_duration_seconds_count %d\n", h.total)
+	h.mu.Unlock()
+
+	if ledger != nil {
+		usage := ledger.usage()
+		fmt.Fprintf(w, "# HELP schedd_tenant_sessions Live sessions per tenant.\n# TYPE schedd_tenant_sessions gauge\n")
+		for _, u := range usage {
+			fmt.Fprintf(w, "schedd_tenant_sessions{tenant=%q} %d\n", u.tenant, u.sessions)
+		}
+		fmt.Fprintf(w, "# HELP schedd_tenant_queued_submits Accepted-but-unapplied job submissions per tenant.\n# TYPE schedd_tenant_queued_submits gauge\n")
+		for _, u := range usage {
+			fmt.Fprintf(w, "schedd_tenant_queued_submits{tenant=%q} %d\n", u.tenant, u.queued)
+		}
+	}
+}

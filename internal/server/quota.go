@@ -1,0 +1,168 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Quotas bounds what one tenant — and the daemon as a whole — may consume.
+// The zero value of any field means "use the default"; explicit unlimited is
+// expressed with a negative value. Quota violations surface to HTTP clients
+// as 429 responses carrying a Retry-After hint, the explicit backpressure
+// contract: the daemon never queues unboundedly on behalf of a tenant.
+type Quotas struct {
+	// MaxSessions bounds the total number of hosted sessions across all
+	// tenants (default 64).
+	MaxSessions int
+	// MaxSessionsPerTenant bounds one tenant's live sessions (default 8).
+	MaxSessionsPerTenant int
+	// MailboxDepth is the capacity of each session actor's request mailbox.
+	// A request arriving at a full mailbox is rejected with 429 instead of
+	// blocking the HTTP handler (default 64).
+	MailboxDepth int
+	// MaxQueuedSubmits bounds one tenant's job submissions that are accepted
+	// but not yet applied by a session actor, summed across the tenant's
+	// sessions (default 1024).
+	MaxQueuedSubmits int
+}
+
+// Defaults for the zero Quotas value.
+const (
+	defaultMaxSessions          = 64
+	defaultMaxSessionsPerTenant = 8
+	defaultMailboxDepth         = 64
+	defaultMaxQueuedSubmits     = 1024
+)
+
+// withDefaults resolves zero fields to the defaults and negative fields to
+// "effectively unlimited".
+func (q Quotas) withDefaults() Quotas {
+	resolve := func(v, def int) int {
+		switch {
+		case v == 0:
+			return def
+		case v < 0:
+			return int(^uint(0) >> 1) // max int
+		}
+		return v
+	}
+	q.MaxSessions = resolve(q.MaxSessions, defaultMaxSessions)
+	q.MaxSessionsPerTenant = resolve(q.MaxSessionsPerTenant, defaultMaxSessionsPerTenant)
+	q.MailboxDepth = resolve(q.MailboxDepth, defaultMailboxDepth)
+	if q.MailboxDepth > 1<<20 {
+		q.MailboxDepth = 1 << 20 // a channel this deep is a config error, not a feature
+	}
+	q.MaxQueuedSubmits = resolve(q.MaxQueuedSubmits, defaultMaxQueuedSubmits)
+	return q
+}
+
+// quotaError is a quota violation; the API layer maps it to HTTP 429.
+type quotaError struct{ msg string }
+
+func (e quotaError) Error() string { return e.msg }
+
+// isQuotaError reports whether err is a quota violation.
+func isQuotaError(err error) bool {
+	_, ok := err.(quotaError)
+	return ok
+}
+
+// tenantLedger tracks per-tenant quota consumption: live sessions and
+// accepted-but-unapplied job submissions. It is the single point quota
+// decisions are made at, so check-and-increment is atomic under its lock.
+type tenantLedger struct {
+	quotas Quotas
+
+	mu       sync.Mutex
+	sessions map[string]int // tenant -> live sessions
+	queued   map[string]int // tenant -> queued submissions
+	total    int            // live sessions across tenants
+}
+
+func newTenantLedger(q Quotas) *tenantLedger {
+	return &tenantLedger{
+		quotas:   q,
+		sessions: map[string]int{},
+		queued:   map[string]int{},
+	}
+}
+
+// addSession claims a session slot for tenant, failing with a quotaError if
+// either the tenant or the daemon is at its limit.
+func (l *tenantLedger) addSession(tenant string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.total >= l.quotas.MaxSessions {
+		return quotaError{fmt.Sprintf("server at its session limit (%d)", l.quotas.MaxSessions)}
+	}
+	if l.sessions[tenant] >= l.quotas.MaxSessionsPerTenant {
+		return quotaError{fmt.Sprintf("tenant %q at its session limit (%d)", tenant, l.quotas.MaxSessionsPerTenant)}
+	}
+	l.sessions[tenant]++
+	l.total++
+	return nil
+}
+
+// dropSession releases a session slot.
+func (l *tenantLedger) dropSession(tenant string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.sessions[tenant] > 0 {
+		l.sessions[tenant]--
+		l.total--
+		if l.sessions[tenant] == 0 {
+			delete(l.sessions, tenant)
+		}
+	}
+}
+
+// addQueued claims one queued-submission slot for tenant.
+func (l *tenantLedger) addQueued(tenant string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.queued[tenant] >= l.quotas.MaxQueuedSubmits {
+		return quotaError{fmt.Sprintf("tenant %q at its queued-submission limit (%d)", tenant, l.quotas.MaxQueuedSubmits)}
+	}
+	l.queued[tenant]++
+	return nil
+}
+
+// dropQueued releases one queued-submission slot.
+func (l *tenantLedger) dropQueued(tenant string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.queued[tenant] > 0 {
+		l.queued[tenant]--
+		if l.queued[tenant] == 0 {
+			delete(l.queued, tenant)
+		}
+	}
+}
+
+// tenantUsage is one tenant's current quota consumption, for /metrics.
+type tenantUsage struct {
+	tenant   string
+	sessions int
+	queued   int
+}
+
+// usage returns per-tenant consumption sorted by tenant name (stable
+// /metrics output).
+func (l *tenantLedger) usage() []tenantUsage {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seen := map[string]bool{}
+	var out []tenantUsage
+	for t, n := range l.sessions {
+		out = append(out, tenantUsage{tenant: t, sessions: n, queued: l.queued[t]})
+		seen[t] = true
+	}
+	for t, n := range l.queued {
+		if !seen[t] {
+			out = append(out, tenantUsage{tenant: t, queued: n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].tenant < out[j].tenant })
+	return out
+}

@@ -1,0 +1,236 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"hybridsched"
+)
+
+// TestSessionLimits pins the quota edges on session creation: the
+// per-tenant limit, the server-wide limit, and that a delete frees the
+// slot — all surfaced as 429, the backpressure contract.
+func TestSessionLimits(t *testing.T) {
+	srv, ts := testServer(t, Quotas{MaxSessions: 3, MaxSessionsPerTenant: 2}, "")
+
+	mk := func(tenant string) (int, sessionInfo) {
+		var info sessionInfo
+		code := call(t, "POST", ts.URL+"/v1/sessions", createRequest{Tenant: tenant, Nodes: 64}, &info)
+		return code, info
+	}
+	if code, _ := mk("alice"); code != http.StatusCreated {
+		t.Fatalf("alice #1: status %d", code)
+	}
+	code, second := mk("alice")
+	if code != http.StatusCreated {
+		t.Fatalf("alice #2: status %d", code)
+	}
+	// Tenant limit: alice's third session is refused.
+	if code, _ := mk("alice"); code != http.StatusTooManyRequests {
+		t.Fatalf("alice #3: status %d, want 429", code)
+	}
+	// Another tenant still fits under the server-wide limit...
+	if code, _ := mk("bob"); code != http.StatusCreated {
+		t.Fatalf("bob #1: status %d", code)
+	}
+	// ...but the server-wide limit now holds even for a fresh tenant.
+	if code, _ := mk("carol"); code != http.StatusTooManyRequests {
+		t.Fatalf("carol #1: status %d, want 429", code)
+	}
+	if srv.met.quotaDenials.Value() != 2 {
+		t.Errorf("quotaDenials = %d, want 2", srv.met.quotaDenials.Value())
+	}
+	// Deleting frees the slot for the tenant that was at its limit.
+	if code := call(t, "DELETE", ts.URL+"/v1/sessions/"+second.ID, nil, nil); code != http.StatusOK {
+		t.Fatalf("delete: status %d", code)
+	}
+	if code, _ := mk("alice"); code != http.StatusCreated {
+		t.Fatalf("alice after delete: status %d, want 201", code)
+	}
+}
+
+// TestMailboxFullBackpressure pins the mailbox-full edge: with the actor
+// wedged on a slow request and the mailbox filled, the next HTTP request is
+// rejected 429 immediately instead of queueing, and service resumes once
+// the actor drains.
+func TestMailboxFullBackpressure(t *testing.T) {
+	const depth = 4
+	srv, ts := testServer(t, Quotas{MailboxDepth: depth}, "")
+	var info sessionInfo
+	if code := call(t, "POST", ts.URL+"/v1/sessions", createRequest{Tenant: "alice", Nodes: 64}, &info); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	a, ok := srv.lookup(info.ID)
+	if !ok {
+		t.Fatal("actor not found")
+	}
+
+	// Wedge the actor: a request that blocks until we release the gate.
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		a.do(func(*hybridsched.Session) error { close(started); <-gate; return nil })
+	}()
+	<-started
+
+	// Fill the mailbox to capacity behind the wedged request. Direct sends
+	// are deterministic: the actor is blocked, so nothing drains.
+	var fillWG sync.WaitGroup
+	for i := 0; i < depth; i++ {
+		req := request{fn: func(*hybridsched.Session) error { return nil }, errc: make(chan error, 1)}
+		a.mailbox <- req
+		fillWG.Add(1)
+		go func() { defer fillWG.Done(); <-req.errc }()
+	}
+
+	// The next HTTP submission finds the mailbox full: immediate 429.
+	code := call(t, "POST", ts.URL+"/v1/sessions/"+info.ID+"/jobs", rigidJob(1, 0, 8, 60), nil)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("mailbox-full submit: status %d, want 429", code)
+	}
+	if srv.met.backpressure429.Value() != 1 {
+		t.Errorf("backpressure429 = %d, want 1", srv.met.backpressure429.Value())
+	}
+	// Advances hit the same wall.
+	if code := call(t, "POST", ts.URL+"/v1/sessions/"+info.ID+"/advance", advanceRequest{Hours: 1}, nil); code != http.StatusTooManyRequests {
+		t.Fatalf("mailbox-full advance: status %d, want 429", code)
+	}
+
+	// Release the actor; the backlog drains and service resumes.
+	close(gate)
+	wg.Wait()
+	fillWG.Wait()
+	if code := call(t, "POST", ts.URL+"/v1/sessions/"+info.ID+"/jobs", rigidJob(1, 0, 8, 60), nil); code != http.StatusAccepted {
+		t.Fatalf("submit after drain: status %d, want 202", code)
+	}
+}
+
+// TestQueuedSubmitQuota pins the per-tenant accepted-but-unapplied
+// submission cap across the tenant's sessions.
+func TestQueuedSubmitQuota(t *testing.T) {
+	srv, ts := testServer(t, Quotas{MaxQueuedSubmits: 1, MailboxDepth: 16}, "")
+	var info sessionInfo
+	if code := call(t, "POST", ts.URL+"/v1/sessions", createRequest{Tenant: "alice", Nodes: 64}, &info); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	a, _ := srv.lookup(info.ID)
+
+	// Wedge the actor so the first submission stays "accepted, unapplied".
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		a.do(func(*hybridsched.Session) error { close(started); <-gate; return nil })
+	}()
+	<-started
+
+	sub1 := make(chan int, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sub1 <- call(t, "POST", ts.URL+"/v1/sessions/"+info.ID+"/jobs", rigidJob(1, 0, 8, 60), nil)
+	}()
+	// Wait until the first submission holds its quota slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if u := srv.ledger.usage(); len(u) == 1 && u[0].queued == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first submission never claimed its queued slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The tenant's second submission exceeds the cap: 429.
+	if code := call(t, "POST", ts.URL+"/v1/sessions/"+info.ID+"/jobs", rigidJob(2, 0, 8, 60), nil); code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit: status %d, want 429", code)
+	}
+
+	close(gate)
+	wg.Wait()
+	if code := <-sub1; code != http.StatusAccepted {
+		t.Fatalf("first submit: status %d", code)
+	}
+	// Applied means released: the slot is free again.
+	if code := call(t, "POST", ts.URL+"/v1/sessions/"+info.ID+"/jobs", rigidJob(2, 0, 8, 60), nil); code != http.StatusAccepted {
+		t.Fatalf("submit after release: status %d", code)
+	}
+}
+
+// TestDeleteWhileRunning pins the teardown edge the actor model exists
+// for: deleting a session whose actor is mid-advance interrupts the
+// advance within one chunk, the DELETE succeeds, the in-flight advance
+// reports a conflict, and a second DELETE 404s.
+func TestDeleteWhileRunning(t *testing.T) {
+	srv, ts := testServer(t, Quotas{}, "")
+	var info sessionInfo
+	if code := call(t, "POST", ts.URL+"/v1/sessions", createRequest{Tenant: "alice", Nodes: 64}, &info); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	a, ok := srv.lookup(info.ID)
+	if !ok {
+		t.Fatal("actor not found")
+	}
+	base := ts.URL + "/v1/sessions/" + info.ID
+	// A trickle of jobs over ten years keeps the advance genuinely busy
+	// across many chunks.
+	for j := 1; j <= 200; j++ {
+		if code := call(t, "POST", base+"/jobs", rigidJob(j, int64(j)*15*hybridsched.Hour, 8, 3600), nil); code != http.StatusAccepted {
+			t.Fatalf("submit: status %d", code)
+		}
+	}
+	advDone := make(chan int, 1)
+	go func() {
+		advDone <- call(t, "POST", base+"/advance", advanceRequest{Hours: 24 * 365 * 10}, nil)
+	}()
+	// Delete as soon as the advance is observably in flight: the actor
+	// publishes its virtual clock between chunks (an info request would
+	// serialize behind the advance and block, which is the point of the
+	// chunked interruptible design).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if a.vnow.Load() > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("advance never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if code := call(t, "DELETE", base, nil, nil); code != http.StatusOK {
+		t.Fatalf("delete while running: status %d", code)
+	}
+	// The in-flight advance was interrupted, not completed: it reports
+	// the conflict (or, if it won the race to the last chunk, success).
+	if code := <-advDone; code != http.StatusConflict && code != http.StatusOK {
+		t.Fatalf("interrupted advance: status %d, want 409 (or 200 on race)", code)
+	}
+	// Double delete: the id is gone.
+	if code := call(t, "DELETE", base, nil, nil); code != http.StatusNotFound {
+		t.Fatalf("second delete: status %d, want 404", code)
+	}
+	// And every follow-up on the id 404s too.
+	if code := call(t, "GET", base+"/snapshot", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("snapshot after delete: status %d, want 404", code)
+	}
+}
+
+// TestQuotaDefaults pins the zero-value resolution.
+func TestQuotaDefaults(t *testing.T) {
+	q := Quotas{}.withDefaults()
+	if q.MaxSessions != defaultMaxSessions || q.MaxSessionsPerTenant != defaultMaxSessionsPerTenant ||
+		q.MailboxDepth != defaultMailboxDepth || q.MaxQueuedSubmits != defaultMaxQueuedSubmits {
+		t.Fatalf("defaults: %+v", q)
+	}
+	unlimited := Quotas{MaxSessions: -1}.withDefaults()
+	if unlimited.MaxSessions <= 1<<30 {
+		t.Fatalf("negative MaxSessions should mean unlimited, got %d", unlimited.MaxSessions)
+	}
+}

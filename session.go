@@ -2,6 +2,7 @@ package hybridsched
 
 import (
 	"fmt"
+	"sync"
 
 	"hybridsched/internal/checkpoint"
 	"hybridsched/internal/faults"
@@ -358,17 +359,26 @@ const eventChanBuffer = 4096
 //	}
 //	report := s.Report()
 //
-// A Session is not safe for concurrent use: Submit, Step, RunUntil, Run, and
-// Snapshot must be called from one goroutine (the Events channels may be
-// drained from others).
+// A Session is not safe for concurrent use: Submit, Step, RunUntil, Run,
+// Snapshot, and Events must be called from one goroutine. The exceptions are
+// the event-consumption surface: the channels Events returns may be drained
+// from any goroutine, and Close and DroppedEvents may be called from any
+// goroutine — including concurrently with a run in progress and with readers
+// blocked on an Events channel (they observe the close and drain out).
 type Session struct {
-	eng       *sim.Engine
-	plan      func(size int) checkpoint.Plan
-	obs       []Observer
-	chans     []chan Event
-	sinkOn    bool // engine sink installed (lazily, on first observer)
-	drops     int
-	closed    bool
+	eng    *sim.Engine
+	plan   func(size int) checkpoint.Plan
+	obs    []Observer
+	sinkOn bool // engine sink installed (lazily, on first observer)
+
+	// evMu guards the event fan-out surface (chans, drops, closed), the only
+	// session state shared across goroutines: emit runs on the driving
+	// goroutine while Close/DroppedEvents may be called from any other.
+	evMu   sync.Mutex
+	chans  []chan Event
+	drops  int
+	closed bool
+
 	srcs      []sourceState
 	lookahead int64
 
@@ -497,11 +507,10 @@ func (s *Session) installSink() {
 // emit fans one engine event out to the observers and event channels.
 // After Close the session emits nothing, matching the Close contract.
 func (s *Session) emit(ev Event) {
+	s.evMu.Lock()
 	if s.closed {
+		s.evMu.Unlock()
 		return
-	}
-	for _, o := range s.obs {
-		o.HandleEvent(ev)
 	}
 	for _, ch := range s.chans {
 		select {
@@ -509,6 +518,12 @@ func (s *Session) emit(ev Event) {
 		default:
 			s.drops++
 		}
+	}
+	s.evMu.Unlock()
+	// Observers run outside the lock: they execute on the driving goroutine
+	// by contract and may take as long as they like without holding Close up.
+	for _, o := range s.obs {
+		o.HandleEvent(ev)
 	}
 }
 
@@ -743,28 +758,53 @@ func jobStatus(j *Job) JobStatus {
 }
 
 // Events returns a channel streaming every scheduling event the session
-// processes from now on. The channel is buffered; if a consumer falls more
-// than eventChanBuffer events behind, excess events are dropped (counted by
-// DroppedEvents) rather than blocking the simulation. The channel is closed
-// by Run or Close.
+// processes from now on. The channel is closed by Run or Close; calling
+// Events on a closed session returns an already-closed channel.
+//
+// Overflow contract: the channel is buffered to eventChanBuffer (4096)
+// events. Delivery never blocks the simulation — an event that finds the
+// buffer full is dropped from that channel, not delayed, so a consumer that
+// falls more than eventChanBuffer events behind sees a gap in the stream.
+// Every such discard is counted by DroppedEvents (summed across all Events
+// channels). Consumers that need a loss signal — live dashboards, the schedd
+// SSE bridge — should poll DroppedEvents and surface the count; consumers
+// that need every event must either drain promptly or attach a synchronous
+// Observer instead, which receives the complete stream by construction.
+//
+// Events must be called from the goroutine driving the session (it installs
+// the engine sink); the returned channel may be drained from any goroutine.
 func (s *Session) Events() <-chan Event {
 	ch := make(chan Event, eventChanBuffer)
+	s.evMu.Lock()
 	if s.closed {
+		s.evMu.Unlock()
 		close(ch)
 		return ch
 	}
-	s.installSink()
 	s.chans = append(s.chans, ch)
+	s.evMu.Unlock()
+	s.installSink()
 	return ch
 }
 
 // DroppedEvents reports how many events were discarded because an Events
-// channel was full.
-func (s *Session) DroppedEvents() int { return s.drops }
+// channel was full, summed over all channels for the session's lifetime.
+// It never resets, so a delta between two reads bounds the loss in between.
+// Safe to call from any goroutine.
+func (s *Session) DroppedEvents() int {
+	s.evMu.Lock()
+	defer s.evMu.Unlock()
+	return s.drops
+}
 
 // Close closes all Events channels. The session remains queryable (Report,
-// Snapshot) but emits no further events. Close is idempotent.
+// Snapshot) but emits no further events. Close is idempotent and safe to
+// call from any goroutine — including concurrently with a second Close,
+// with readers blocked on an Events channel (they are woken by the close),
+// and with a run in progress on the driving goroutine.
 func (s *Session) Close() {
+	s.evMu.Lock()
+	defer s.evMu.Unlock()
 	if s.closed {
 		return
 	}
