@@ -38,7 +38,7 @@ import (
 func main() {
 	var (
 		which = flag.String("exp", "all",
-			"comma-separated experiments: all, tablei, tableii, tableiii, fig3, fig4, fig5, fig6, fig7, latency, ablations, resilience")
+			"comma-separated experiments: all, tablei, tableii, tableiii, fig3, fig4, fig5, fig6, fig7, latency, ablations, resilience, realtrace (needs -source; not part of all)")
 		seeds    = flag.Int("seeds", 10, "traces averaged per data point")
 		weeks    = flag.Int("weeks", 4, "trace length in weeks")
 		nodes    = flag.Int("nodes", 4392, "system size in nodes")
@@ -50,6 +50,7 @@ func main() {
 		out      = flag.String("o", "", "output file (default stdout)")
 		quiet    = flag.Bool("q", false, "suppress progress messages")
 		resume   = flag.String("resume", "", "persist per-cell progress into this directory and resume from whatever it already holds: finished cells are skipped, interrupted cells continue from their snapshots")
+		shards   = flag.Int("shards", 0, "realtrace: hash-shard count for the shard axis (0 = default 4, 1 = whole trace only)")
 		mtbfs    = flag.String("mtbf", "", "resilience failure-MTBF axis: comma-separated durations, e.g. '6h,24h' (default 6h,24h)")
 		repairs  = flag.String("repair", "", "resilience mean-repair axis: comma-separated durations, '0' = instant (default 0,1h)")
 		drains   = flag.String("drain", "", "maintenance windows applied to every resilience cell: 'start+duration:nodes', e.g. '24h+4h:512,96h+2h:256'")
@@ -119,6 +120,7 @@ func main() {
 		FaultMTBFs:    faultMTBFs,
 		FaultRepairs:  faultRepairs,
 		Drains:        drainSpecs,
+		Shards:        *shards,
 		CheckpointDir: *resume,
 	}
 	if !*quiet {
@@ -131,7 +133,7 @@ func main() {
 		fatal(fmt.Errorf("unknown format %q (want text, json, or csv)", *format))
 	}
 	known := []string{"all", "tablei", "fig3", "fig4", "fig5",
-		"tableii", "tableiii", "fig6", "fig7", "latency", "ablations", "resilience"}
+		"tableii", "tableiii", "fig6", "fig7", "latency", "ablations", "resilience", "realtrace"}
 	selected := map[string]bool{}
 	for _, name := range strings.Split(*which, ",") {
 		name = strings.TrimSpace(name)
@@ -183,6 +185,13 @@ func main() {
 		r, err := exp.Resilience(opt)
 		return r, []exp.CellGroup{{Experiment: "resilience", Cells: r.Flatten()}}, err
 	})
+	// realtrace needs -source, so it never rides along with "all".
+	if d.selected["realtrace"] {
+		d.run("realtrace", func() (renderer, []exp.CellGroup, error) {
+			r, err := exp.RealTrace(opt)
+			return r, []exp.CellGroup{{Experiment: "realtrace", Cells: r.Flatten()}}, err
+		})
+	}
 	d.run("ablations", func() (renderer, []exp.CellGroup, error) {
 		ablations := []struct {
 			name string

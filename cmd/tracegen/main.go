@@ -2,8 +2,9 @@
 // Theta model and writes them in the native CSV schema (or SWF with the
 // hybrid extensions dropped). It doubles as the trace toolbox: -source
 // materializes any source-spec pipeline (transforming existing traces
-// instead of generating), and -validate checks a trace file record by
-// record.
+// instead of generating), -summarize characterizes a pipeline in constant
+// memory (distributions of inter-arrival, width, runtime, plus class mix),
+// and -validate checks a trace file record by record.
 //
 // Usage:
 //
@@ -11,7 +12,9 @@
 //	tracegen -seed 2 -format swf -o trace.swf
 //	tracegen -summary                                # Table I style characterization
 //	tracegen -source 'swf:theta.swf|relabel:paper' -o hybrid.csv
+//	tracegen -source 'borg:events.csv.gz|relabel:paper' -summarize
 //	tracegen -validate trace.csv                     # exit 1 on first bad record
+//	tracegen -validate events.csv.gz -in borg        # corpus dialects need -in
 package main
 
 import (
@@ -23,25 +26,59 @@ import (
 
 	"hybridsched"
 	"hybridsched/internal/trace"
+	"hybridsched/internal/tracecorpus"
 )
 
 func main() {
 	var (
-		seed     = flag.Int64("seed", 1, "random seed (same seed, same trace)")
-		weeks    = flag.Int("weeks", 4, "trace length in weeks")
-		nodes    = flag.Int("nodes", 4392, "system size in nodes")
-		mixName  = flag.String("mix", "W5", "advance-notice mix, W1..W5 (Table III)")
-		load     = flag.Float64("load", 0, "target offered load (0 = calibrated default)")
-		format   = flag.String("format", "csv", "output format: csv or swf")
-		out      = flag.String("o", "", "output file (default stdout)")
-		summary  = flag.Bool("summary", false, "print the workload summary instead of the trace")
-		srcSpec  = flag.String("source", "", "materialize this source spec instead of generating, e.g. 'swf:theta.swf|relabel:paper|scale:1.2'")
-		validate = flag.String("validate", "", "validate this trace file (.swf = SWF, else CSV) and exit; non-zero status with the first offending record")
+		seed      = flag.Int64("seed", 1, "random seed (same seed, same trace)")
+		weeks     = flag.Int("weeks", 4, "trace length in weeks")
+		nodes     = flag.Int("nodes", 4392, "system size in nodes")
+		mixName   = flag.String("mix", "W5", "advance-notice mix, W1..W5 (Table III)")
+		load      = flag.Float64("load", 0, "target offered load (0 = calibrated default)")
+		format    = flag.String("format", "csv", "output format: csv or swf")
+		out       = flag.String("o", "", "output file (default stdout)")
+		summary   = flag.Bool("summary", false, "print the workload summary instead of the trace")
+		summarize = flag.Bool("summarize", false, "characterize the trace in constant memory instead of writing it: class mix plus inter-arrival, width, and runtime distributions")
+		srcSpec   = flag.String("source", "", "materialize this source spec instead of generating, e.g. 'swf:theta.swf|relabel:paper|scale:1.2'")
+		validate  = flag.String("validate", "", "validate this trace file and exit; non-zero status with the position of the first offending record")
+		dialect   = flag.String("in", "auto", "trace dialect for -validate: auto (.swf/.swf.gz = SWF, else CSV), csv, swf, borg, alibaba")
 	)
 	flag.Parse()
 
 	if *validate != "" {
-		os.Exit(runValidate(*validate))
+		os.Exit(runValidate(*validate, *dialect))
+	}
+
+	if *summarize {
+		// Characterization is streaming: the pipeline is drained record by
+		// record, so a multi-month corpus profiles in constant memory.
+		var stream tracecorpus.Stream
+		if *srcSpec != "" {
+			src, err := hybridsched.ParseSource(*srcSpec)
+			if err != nil {
+				fatal(err)
+			}
+			stream = src
+		} else {
+			mix, merr := hybridsched.MixByName(*mixName)
+			if merr != nil {
+				fatal(fmt.Errorf("%v (want W1..W5)", merr))
+			}
+			stream = hybridsched.Synthetic(hybridsched.WorkloadConfig{
+				Seed:       *seed,
+				Weeks:      *weeks,
+				Nodes:      *nodes,
+				Mix:        mix,
+				TargetLoad: *load,
+			})
+		}
+		p, err := tracecorpus.Characterize(stream)
+		if err != nil {
+			fatal(err)
+		}
+		p.Render(outWriter(*out))
+		return
 	}
 
 	var records []hybridsched.Record
@@ -69,15 +106,7 @@ func main() {
 		fatal(err)
 	}
 
-	var w io.Writer = os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		w = f
-	}
+	w := outWriter(*out)
 
 	if *summary {
 		counts := map[hybridsched.JobClass]int{}
@@ -108,11 +137,14 @@ func main() {
 }
 
 // runValidate streams a trace file through the validating readers and
-// reports the first offending record. Records are never held in memory —
-// only the duplicate-ID set grows with the job count. SWF files
-// additionally get their import summary (jobs skipped, fields defaulted)
-// printed. Exit status: 0 clean, 1 invalid (or unreadable).
-func runValidate(path string) int {
+// reports the first offending record with its position in the input file —
+// parse and validation failures carry the reader's own row/line number, and
+// caller-side checks (duplicate IDs) report the reader's position too.
+// Records are never held in memory — only the duplicate-ID set grows with
+// the job count. SWF, Borg, and Alibaba inputs additionally get their import
+// summary (jobs skipped, fields defaulted) printed. Exit status: 0 clean,
+// 1 invalid (or unreadable).
+func runValidate(path, dialect string) int {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen: validate:", err)
@@ -120,19 +152,44 @@ func runValidate(path string) int {
 	}
 	defer f.Close()
 
-	// The streaming readers validate every record and position their
-	// errors, so the first offending record surfaces as next's error.
+	if dialect == "" || dialect == "auto" {
+		// Like source.Open: the extension (with a trailing .gz stripped)
+		// picks SWF vs native CSV. The corpus dialects are never guessed.
+		dialect = "csv"
+		if strings.HasSuffix(strings.TrimSuffix(strings.ToLower(path), ".gz"), ".swf") {
+			dialect = "swf"
+		}
+	}
+
+	// The streaming readers validate every record and position their errors,
+	// so the first offending record surfaces as next's error; pos reports the
+	// reader's current position for checks made out here.
 	var next func() (hybridsched.Record, error)
+	var pos func() string
 	var summary func() string
-	kind := "csv"
-	if strings.HasSuffix(strings.ToLower(path), ".swf") {
-		kind = "swf"
+	switch dialect {
+	case "swf":
 		sr := trace.NewSWFReader(f)
 		next = sr.Next
+		pos = func() string { return fmt.Sprintf("line %d", sr.Line()) }
 		summary = func() string { return sr.Summary().String() }
-	} else {
+	case "csv":
 		cr := trace.NewCSVReader(f)
 		next = cr.Next
+		pos = func() string { return fmt.Sprintf("row %d", cr.Row()) }
+	case "borg":
+		br := tracecorpus.NewBorgReader(f)
+		next = br.Next
+		pos = func() string { return fmt.Sprintf("row %d", br.Row()) }
+		summary = func() string { return br.Summary().String() }
+	case "alibaba":
+		ar := tracecorpus.NewAlibabaReader(f)
+		next = ar.Next
+		pos = func() string { return fmt.Sprintf("row %d", ar.Row()) }
+		summary = func() string { return ar.Summary().String() }
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: validate: unknown dialect %q (want auto, csv, swf, borg, alibaba)\n", dialect)
+		return 1
 	}
 
 	n := 0
@@ -147,18 +204,32 @@ func runValidate(path string) int {
 			return 1
 		}
 		if seen[rec.ID] {
-			fmt.Fprintf(os.Stderr, "tracegen: validate: %s: duplicate job ID %d (record %d)\n",
-				path, rec.ID, n+1)
+			fmt.Fprintf(os.Stderr, "tracegen: validate: %s: duplicate job ID %d (record %d, at input %s)\n",
+				path, rec.ID, n+1, pos())
 			return 1
 		}
 		seen[rec.ID] = true
 		n++
 	}
-	fmt.Printf("%s: ok (%d %s records)\n", path, n, kind)
+	fmt.Printf("%s: ok (%d %s records)\n", path, n, dialect)
 	if summary != nil {
-		fmt.Printf("swf import: %s\n", summary())
+		fmt.Printf("%s import: %s\n", dialect, summary())
 	}
 	return 0
+}
+
+// outWriter opens the -o target, defaulting to stdout. The file is not
+// explicitly closed: os.File writes are unbuffered and the process exits
+// right after the write completes.
+func outWriter(path string) io.Writer {
+	if path == "" {
+		return os.Stdout
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	return f
 }
 
 func fatal(err error) {

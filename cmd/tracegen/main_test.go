@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// captureValidate runs runValidate with stderr and stdout captured.
+func captureValidate(t *testing.T, path, dialect string) (int, string) {
+	t.Helper()
+	oldErr, oldOut := os.Stderr, os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr, os.Stdout = w, w
+	code := runValidate(path, dialect)
+	w.Close()
+	os.Stderr, os.Stdout = oldErr, oldOut
+	var buf bytes.Buffer
+	io.Copy(&buf, r)
+	return code, buf.String()
+}
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const csvHeader = "id,project,class,submit,size,min_size,work,estimate,setup,notice,notice_time,est_arrival\n"
+
+// TestValidatePositionsBadRecord: -validate must report the file position of
+// the first bad record, for every dialect (satellite regression test).
+func TestValidatePositionsBadRecord(t *testing.T) {
+	cases := []struct {
+		name, file, dialect, content, wantPos string
+	}{
+		{"csv bad row", "t.csv", "",
+			csvHeader +
+				"1,0,rigid,0,8,8,60,120,0,no-notice,0,0\n" +
+				"2,0,rigid,5,0,0,60,120,0,no-notice,0,0\n", // size 0: invalid
+			"row 3"},
+		{"swf bad line", "t.swf", "",
+			"; comment\n" +
+				"1 0 -1 600 64 -1 -1 64 1200 -1 1\n" +
+				"x 0 -1 600 64 -1 -1 64 1200 -1 1\n", // bad job id
+			"line 3"},
+		{"borg bad row", "events.csv", "borg",
+			"1000000,,10,0,a,1,jn,ln\n" +
+				"oops,,10,1,a,1,jn,ln\n", // bad timestamp
+			"borg row 2"},
+		{"alibaba bad row", "batch.csv", "alibaba",
+			"t1,4,j,1,Terminated,100,200,1,1\n" +
+				"t2,x,j,1,Terminated,100,200,1,1\n", // bad instance_num
+			"alibaba row 2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := writeTemp(t, tc.file, tc.content)
+			code, out := captureValidate(t, path, tc.dialect)
+			if code != 1 {
+				t.Fatalf("exit %d, want 1; output: %s", code, out)
+			}
+			if !strings.Contains(out, tc.wantPos) {
+				t.Fatalf("output %q does not position the bad record at %q", out, tc.wantPos)
+			}
+		})
+	}
+}
+
+func TestValidateDuplicateIDPositioned(t *testing.T) {
+	path := writeTemp(t, "dup.csv", csvHeader+
+		"1,0,rigid,0,8,8,60,120,0,no-notice,0,0\n"+
+		"2,0,rigid,5,8,8,60,120,0,no-notice,0,0\n"+
+		"1,0,rigid,9,8,8,60,120,0,no-notice,0,0\n")
+	code, out := captureValidate(t, path, "")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output: %s", code, out)
+	}
+	if !strings.Contains(out, "duplicate job ID 1") || !strings.Contains(out, "row 4") {
+		t.Fatalf("output %q must name the duplicate and its input row", out)
+	}
+}
+
+func TestValidateCleanDialects(t *testing.T) {
+	cases := []struct {
+		name, file, dialect, content, want string
+	}{
+		{"csv", "t.csv", "", csvHeader + "1,0,rigid,0,8,8,60,120,0,no-notice,0,0\n", "ok (1 csv records)"},
+		{"swf auto", "t.swf", "", "1 0 -1 600 64 -1 -1 64 1200 -1 1\n", "ok (1 swf records)"},
+		{"borg", "e.csv", "borg",
+			"1000000,,10,0,a,1,jn,ln\n2000000,,10,1,a,1,jn,ln\n9000000,,10,4,a,1,jn,ln\n",
+			"ok (1 borg records)"},
+		{"alibaba", "b.csv", "alibaba", "t1,4,j,1,Terminated,100,200,1,1\n", "ok (1 alibaba records)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := writeTemp(t, tc.file, tc.content)
+			code, out := captureValidate(t, path, tc.dialect)
+			if code != 0 {
+				t.Fatalf("exit %d, want 0; output: %s", code, out)
+			}
+			if !strings.Contains(out, tc.want) {
+				t.Fatalf("output %q missing %q", out, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateUnknownDialect(t *testing.T) {
+	path := writeTemp(t, "t.csv", csvHeader)
+	code, out := captureValidate(t, path, "parquet")
+	if code != 1 || !strings.Contains(out, "unknown dialect") {
+		t.Fatalf("exit %d output %q", code, out)
+	}
+}

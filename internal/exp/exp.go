@@ -49,6 +49,12 @@ type Options struct {
 	// mechanism comparisons over the given trace.
 	Source string
 
+	// Shards is the real-trace grid's shard axis (the expdriver -shards
+	// flag): RealTrace runs every mechanism over the whole Source and over
+	// each of its Shards deterministic hash-shards. <1 takes the default (4);
+	// 1 runs the whole trace only.
+	Shards int
+
 	// Resilience-grid axes (the expdriver -mtbf/-repair flags). Empty slices
 	// take the defaults: MTBFs {6 h, 24 h}, repairs {instant, 1 h}.
 	FaultMTBFs   []float64 // failure MTBFs swept, seconds

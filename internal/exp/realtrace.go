@@ -1,0 +1,106 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"hybridsched/internal/runner"
+	"hybridsched/internal/workload"
+)
+
+// --- RealTrace: mechanism comparison over a production trace ----------------
+
+// defaultRealTraceShards is the shard axis when Options.Shards is unset: the
+// whole trace plus four quarter-shards.
+const defaultRealTraceShards = 4
+
+// RealTraceResult holds one Cell per (variant, mechanism), where a variant
+// is the whole trace or one of its hash-shards.
+type RealTraceResult struct {
+	Variants []string
+	Cells    map[string]map[string]Cell // variant -> mechanism -> cell
+}
+
+// RealTrace runs every mechanism over a real-trace source pipeline
+// (Options.Source, typically a borg: or alibaba: head with a relabel
+// transform) and over each of its Options.Shards deterministic hash-shards —
+// the grid that takes the paper's mechanism comparison off the synthetic
+// model and onto production corpora. Sharding is by stable job-ID hash (see
+// the source package's Shard), so the variant set is reproducible across
+// runs and worker counts, and the shard cells show how each mechanism
+// behaves as the same workload thins out.
+func RealTrace(o Options) (RealTraceResult, error) {
+	o = o.withDefaults()
+	if o.Source == "" {
+		return RealTraceResult{}, fmt.Errorf(
+			"exp: realtrace needs a source spec, e.g. -source 'borg:trace.csv.gz|relabel:paper'")
+	}
+	if strings.Contains(o.Source, "+") {
+		return RealTraceResult{}, fmt.Errorf(
+			"exp: realtrace cannot shard a merged source spec %q (a shard transform attaches only to the last pipeline of a merge); shard the pipelines individually instead", o.Source)
+	}
+	shards := o.Shards
+	if shards < 1 {
+		shards = defaultRealTraceShards
+	}
+	variants := []string{"whole"}
+	specFor := map[string]string{"whole": o.Source}
+	for i := 0; shards > 1 && i < shards; i++ {
+		v := fmt.Sprintf("shard%d/%d", i, shards)
+		variants = append(variants, v)
+		specFor[v] = fmt.Sprintf("%s|shard:%d/%d", o.Source, i, shards)
+	}
+	var specs []runner.Spec
+	for _, v := range variants {
+		src := specFor[v]
+		for _, mech := range Mechanisms() {
+			specs = append(specs, o.cellSpecs("realtrace", v, mech, workload.W5,
+				func(sp *runner.Spec) { sp.Source = src })...)
+		}
+	}
+	o.logf("realtrace: %d cells (%d mechanisms x %d variants) over %q",
+		len(specs), len(Mechanisms()), len(variants), o.Source)
+	cells, err := o.runGrid(specs)
+	if err != nil {
+		return RealTraceResult{Variants: variants}, err
+	}
+	return RealTraceResult{Variants: variants, Cells: cellMap(cells)}, nil
+}
+
+// Flatten returns the grid-ordered cells for serialization.
+func (r RealTraceResult) Flatten() []Cell {
+	var out []Cell
+	for _, v := range r.Variants {
+		for _, mech := range Mechanisms() {
+			if c, ok := r.Cells[v][mech]; ok {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// Render writes the real-trace comparison, one row per (variant, mechanism).
+func (r RealTraceResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Real-trace replay: mechanisms over a production trace and its shards\n")
+	fmt.Fprintf(w, "(shardI/N keeps the jobs whose ID hashes into shard I of N; the\n")
+	fmt.Fprintf(w, "union of all N shards is exactly the whole trace)\n")
+	tw := newTable(w, "variant", "mechanism", "turn (h)", "util (%)", "instant (%)",
+		"preempt r/m (%)", "lost (%)")
+	for _, v := range r.Variants {
+		for _, mech := range Mechanisms() {
+			c, ok := r.Cells[v][mech]
+			if !ok {
+				continue
+			}
+			tw.row(v, mech,
+				fmt.Sprintf("%.1f", c.TurnAllH),
+				fmt.Sprintf("%.1f", 100*c.Util),
+				fmt.Sprintf("%.1f", 100*c.Instant),
+				fmt.Sprintf("%.1f/%.1f", 100*c.PreemptRigid, 100*c.PreemptMall),
+				fmt.Sprintf("%.2f", 100*c.LostFrac))
+		}
+	}
+	tw.flush()
+}

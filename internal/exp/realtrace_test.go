@@ -1,0 +1,112 @@
+package exp
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// realTraceOpts runs the grid over the vendored Borg job-events fixture at a
+// size small enough for unit tests.
+func realTraceOpts() Options {
+	return Options{
+		Nodes:  16,
+		Source: "borg:../tracecorpus/testdata/job_events.csv.gz|relabel:paper",
+		Shards: 2,
+	}
+}
+
+func TestRealTrace(t *testing.T) {
+	r, err := RealTrace(realTraceOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"whole", "shard0/2", "shard1/2"}
+	if strings.Join(r.Variants, " ") != strings.Join(want, " ") {
+		t.Fatalf("variants %v, want %v", r.Variants, want)
+	}
+	for _, v := range r.Variants {
+		for _, mech := range Mechanisms() {
+			c, ok := r.Cells[v][mech]
+			if !ok {
+				t.Fatalf("missing cell %s/%s", v, mech)
+			}
+			if c.Seeds != 1 {
+				t.Fatalf("%s/%s averaged %d seeds; a fixed source must collapse to 1", v, mech, c.Seeds)
+			}
+			if c.Util <= 0 || c.Util > 1 {
+				t.Fatalf("%s/%s util %g", v, mech, c.Util)
+			}
+		}
+	}
+	if len(r.Flatten()) != len(r.Variants)*len(Mechanisms()) {
+		t.Fatalf("flatten %d cells", len(r.Flatten()))
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "shard0/2") || !strings.Contains(buf.String(), "Real-trace replay") {
+		t.Fatalf("render output:\n%s", buf.String())
+	}
+}
+
+func TestRealTraceErrors(t *testing.T) {
+	if _, err := RealTrace(Options{Nodes: 16}); err == nil || !strings.Contains(err.Error(), "needs a source") {
+		t.Fatalf("empty source: %v", err)
+	}
+	o := realTraceOpts()
+	o.Source = o.Source + " + synthetic:seed=1,weeks=1"
+	if _, err := RealTrace(o); err == nil || !strings.Contains(err.Error(), "merged") {
+		t.Fatalf("merged source: %v", err)
+	}
+}
+
+// realTraceCSV renders the grid's deterministic cell CSV for the given
+// worker count.
+func realTraceCSV(t *testing.T, workers int) string {
+	t.Helper()
+	o := realTraceOpts()
+	o.Workers = workers
+	r, err := RealTrace(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCellsCSV(&buf, CellGroup{Experiment: "realtrace", Cells: r.Flatten()}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestRealTraceGolden pins the sharded sweep's CSV byte-for-byte: the same
+// grid must produce identical output no matter how many workers run it, and
+// must match the committed golden (regenerate with go test -run
+// TestRealTraceGolden -update). CI re-runs the same comparison from the
+// expdriver binary.
+func TestRealTraceGolden(t *testing.T) {
+	serial := realTraceCSV(t, 1)
+	parallel := realTraceCSV(t, 8)
+	if serial != parallel {
+		t.Fatalf("workers=8 CSV differs from workers=1:\n%s\nvs\n%s", parallel, serial)
+	}
+	const golden = "testdata/realtrace_golden.csv"
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(serial), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != string(want) {
+		t.Fatalf("realtrace CSV deviates from %s (regenerate with -update if the change is intended):\ngot:\n%s\nwant:\n%s",
+			golden, serial, want)
+	}
+}

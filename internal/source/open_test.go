@@ -1,0 +1,65 @@
+package source
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hybridsched/internal/trace"
+)
+
+// TestOpenGzipDispatch: Open picks the dialect from the extension with a
+// trailing ".gz" stripped, so a gzipped SWF named theta.swf.gz parses as
+// SWF — while the compression itself is detected from the content.
+func TestOpenGzipDispatch(t *testing.T) {
+	dir := t.TempDir()
+
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	zw.Write([]byte("; gzipped swf\n1 5 -1 600 64 -1 -1 64 1200 -1 1\n"))
+	zw.Close()
+	swfGz := filepath.Join(dir, "theta.SWF.gz") // case-insensitive, like .swf
+	if err := os.WriteFile(swfGz, gz.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := Open(swfGz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Size != 64 || recs[0].Work != 600 {
+		t.Fatalf("gzipped .swf.gz read as %+v, want one 64-node SWF job", recs)
+	}
+
+	// A gzipped native CSV with no telltale extension still decompresses.
+	var csvPlain bytes.Buffer
+	if err := trace.WriteCSV(&csvPlain, []trace.Record{
+		{ID: 1, Submit: 0, Size: 2, MinSize: 2, Work: 10, Estimate: 20},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var csvGz bytes.Buffer
+	zw = gzip.NewWriter(&csvGz)
+	zw.Write(csvPlain.Bytes())
+	zw.Close()
+	csvPath := filepath.Join(dir, "trace.csv.gz")
+	if err := os.WriteFile(csvPath, csvGz.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err = Open(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err = ReadAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Size != 2 {
+		t.Fatalf("gzipped .csv.gz read as %+v", recs)
+	}
+}

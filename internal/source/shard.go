@@ -1,0 +1,35 @@
+package source
+
+import (
+	"fmt"
+
+	"hybridsched/internal/trace"
+)
+
+// Shard deterministically selects the i-th of n hash-shards of a stream
+// (0-based): a record is kept iff the splitmix64 hash of its job ID lands in
+// shard i. The selection depends only on the ID — never on record order,
+// shard count of a previous run, or which worker evaluates the pipeline —
+// so a huge trace splits across sweep cells reproducibly, and the disjoint
+// union of Shard(src, n, 0) .. Shard(src, n, n-1) is exactly the unsharded
+// stream: every record appears in precisely one shard, with relative order
+// preserved (each shard is a subsequence of the input). Shard(src, 1, 0) is
+// the identity.
+//
+// Shard is a pure filter: IDs, times, and all other fields pass through
+// untouched, so shards of one trace remain mergeable back into the whole by
+// a submit-then-ID-stable merge. In the spec grammar it is the "shard:I/N"
+// transform.
+func Shard(src Source, n, i int) Source {
+	if n < 1 || i < 0 || i >= n {
+		err := fmt.Errorf("source: shard %d/%d invalid (want 0 <= i < n)", i, n)
+		return Func(func() (trace.Record, bool, error) { return trace.Record{}, false, err })
+	}
+	if n == 1 {
+		return src
+	}
+	un := uint64(n)
+	return Filter(src, func(r trace.Record) bool {
+		return mix64(uint64(int64(r.ID)))%un == uint64(i)
+	})
+}

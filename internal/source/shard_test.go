@@ -1,0 +1,138 @@
+package source
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"hybridsched/internal/trace"
+)
+
+// fixtureSpecs names one pipeline per corpus adapter over the vendored
+// samples, so the shard laws are checked on both real-trace formats.
+func fixtureSpecs() []string {
+	return []string{
+		"borg:../tracecorpus/testdata/sample.csv.gz",
+		"borg:../tracecorpus/testdata/job_events.csv.gz",
+		"alibaba:../tracecorpus/testdata/batch_task.csv.gz",
+	}
+}
+
+func mustReadAll(t *testing.T, spec string) []trace.Record {
+	t.Helper()
+	src, err := Parse(spec)
+	if err != nil {
+		t.Fatalf("parse %q: %v", spec, err)
+	}
+	recs, err := ReadAll(src)
+	if err != nil {
+		t.Fatalf("read %q: %v", spec, err)
+	}
+	return recs
+}
+
+// TestShardUnionIsWholeTrace: for several shard counts, the disjoint union
+// of Shard(n, 0..n-1), merged back into ID order, is byte-identical to the
+// unsharded stream — every record in exactly one shard, nothing lost,
+// nothing duplicated, nothing rewritten. Checked across both corpus
+// adapters (satellite #3).
+func TestShardUnionIsWholeTrace(t *testing.T) {
+	for _, spec := range fixtureSpecs() {
+		t.Run(spec, func(t *testing.T) {
+			whole := mustReadAll(t, spec)
+			for _, n := range []int{2, 3, 7} {
+				var union []trace.Record
+				for i := 0; i < n; i++ {
+					shard := mustReadAll(t, fmt.Sprintf("%s|shard:%d/%d", spec, i, n))
+					// Each shard must be a subsequence of the whole stream:
+					// a pure filter rewrites nothing.
+					j := 0
+					for _, r := range shard {
+						for j < len(whole) && whole[j] != r {
+							j++
+						}
+						if j == len(whole) {
+							t.Fatalf("n=%d shard %d: record %+v not a subsequence of the unsharded stream", n, i, r)
+						}
+						j++
+					}
+					union = append(union, shard...)
+				}
+				// Records keep their original IDs (assigned in submit order),
+				// so an ID-stable merge is a sort by ID.
+				sort.Slice(union, func(a, b int) bool { return union[a].ID < union[b].ID })
+				if !reflect.DeepEqual(union, whole) {
+					t.Fatalf("n=%d: union of shards has %d records vs %d unsharded, or differs in content",
+						n, len(union), len(whole))
+				}
+			}
+		})
+	}
+}
+
+// TestShardDeterministic: the same (n, i) always selects the same records —
+// shard membership depends only on the job ID, never on evaluation order or
+// which worker runs the pipeline.
+func TestShardDeterministic(t *testing.T) {
+	spec := fixtureSpecs()[0] + "|shard:2/5"
+	a := mustReadAll(t, spec)
+	b := mustReadAll(t, spec)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same shard spec read twice diverges")
+	}
+	if len(a) == 0 {
+		t.Fatal("shard 2/5 of the sample fixture is empty; pick a different fixture or count")
+	}
+}
+
+func TestShardIdentityAndErrors(t *testing.T) {
+	recs := []trace.Record{
+		{ID: 1, Submit: 0, Size: 1, MinSize: 1, Work: 1, Estimate: 1},
+		{ID: 2, Submit: 5, Size: 1, MinSize: 1, Work: 1, Estimate: 1},
+	}
+	got, err := ReadAll(Shard(FromRecords(recs), 1, 0))
+	if err != nil || !reflect.DeepEqual(got, recs) {
+		t.Fatalf("Shard(1,0) is not the identity: %v %+v", err, got)
+	}
+	for _, bad := range [][2]int{{0, 0}, {3, 3}, {3, -1}} {
+		if _, err := ReadAll(Shard(FromRecords(recs), bad[0], bad[1])); err == nil {
+			t.Fatalf("Shard(n=%d,i=%d) did not error", bad[0], bad[1])
+		}
+	}
+}
+
+func TestShardSpecParsing(t *testing.T) {
+	for _, bad := range []string{"shard:1", "shard:x/4", "shard:1/x", "shard:4/4", "shard:-1/4", "shard:"} {
+		if _, err := Parse("synthetic:seed=1,weeks=1|" + bad); err == nil {
+			t.Fatalf("spec %q did not error", bad)
+		} else if !strings.Contains(err.Error(), "shard") {
+			t.Fatalf("spec %q error %q does not mention shard", bad, err)
+		}
+	}
+	src, err := Parse("synthetic:seed=1,weeks=1|shard:0/2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSpec, err := ReadAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := ReadAll(Shard(mustSynthetic(t), 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(viaSpec, direct) {
+		t.Fatal("shard:0/2 spec transform diverges from Shard(src, 2, 0)")
+	}
+}
+
+func mustSynthetic(t *testing.T) Source {
+	t.Helper()
+	src, err := Parse("synthetic:seed=1,weeks=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}

@@ -31,6 +31,7 @@ import (
 	"sort"
 
 	"hybridsched/internal/trace"
+	"hybridsched/internal/tracecorpus"
 	"hybridsched/internal/workload"
 )
 
@@ -89,6 +90,45 @@ func FromSWF(r io.Reader) Source {
 	sr := trace.NewSWFReader(r)
 	return Func(func() (trace.Record, bool, error) {
 		rec, err := sr.Next()
+		if err == io.EOF {
+			return trace.Record{}, false, nil
+		}
+		if err != nil {
+			return trace.Record{}, false, err
+		}
+		return rec, true, nil
+	})
+}
+
+// FromBorg returns a streaming Source over a Google/Borg ClusterData events
+// table (job_events or task_events, plain or gzipped): completed jobs emerge
+// in submit order through the adapter's watermark join, every one rigid (see
+// tracecorpus.BorgReader); compose with Relabel to impose the hybrid class
+// structure. The reader is not closed; the "borg:" spec head handles files.
+func FromBorg(r io.Reader) Source {
+	br := tracecorpus.NewBorgReader(r)
+	return Func(func() (trace.Record, bool, error) {
+		rec, err := br.Next()
+		if err == io.EOF {
+			return trace.Record{}, false, nil
+		}
+		if err != nil {
+			return trace.Record{}, false, err
+		}
+		return rec, true, nil
+	})
+}
+
+// FromAlibaba returns a streaming Source over the Alibaba cluster-trace
+// batch format (batch_task.csv, plain or gzipped): one record per Terminated
+// task, instance count as width, every one rigid (see
+// tracecorpus.AlibabaReader); compose with Relabel to impose the hybrid
+// class structure. The reader is not closed; the "alibaba:" spec head
+// handles files.
+func FromAlibaba(r io.Reader) Source {
+	ar := tracecorpus.NewAlibabaReader(r)
+	return Func(func() (trace.Record, bool, error) {
+		rec, err := ar.Next()
 		if err == io.EOF {
 			return trace.Record{}, false, nil
 		}

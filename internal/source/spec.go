@@ -45,10 +45,12 @@ var (
 )
 
 // builtinHeads lists the always-available spec heads in canonical order.
-func builtinHeads() []string { return []string{"csv", "swf", "synthetic"} }
+func builtinHeads() []string { return []string{"csv", "swf", "borg", "alibaba", "synthetic"} }
 
 // transformNames lists the pipeline transforms (reserved words).
-func transformNames() []string { return []string{"relabel", "scale", "shift", "limit", "filter"} }
+func transformNames() []string {
+	return []string{"relabel", "scale", "shift", "limit", "filter", "shard"}
+}
 
 // Register makes factory resolvable as a spec head everywhere specs are
 // accepted (sessions, sweeps, the CLI tools), mirroring the scheduler and
@@ -101,14 +103,18 @@ func lookup(name string) Factory {
 }
 
 // Open returns a streaming Source over a trace file, dispatching on the
-// extension (".swf" → SWF, anything else → native CSV). The file is closed
-// once the stream is drained or fails.
+// extension after stripping a trailing ".gz" (".swf"/".swf.gz" → SWF,
+// anything else → native CSV; gzip itself is detected by content, so the
+// suffix only picks the dialect). The Borg and Alibaba corpus formats are
+// not sniffed — name them explicitly with the "borg:"/"alibaba:" spec heads.
+// The file is closed once the stream is drained or fails.
 func Open(path string) (Source, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("source: %w", err)
 	}
-	if strings.HasSuffix(strings.ToLower(path), ".swf") {
+	name := strings.TrimSuffix(strings.ToLower(path), ".gz")
+	if strings.HasSuffix(name, ".swf") {
 		return WithCloser(FromSWF(f), f), nil
 	}
 	return WithCloser(FromCSV(f), f), nil
@@ -171,7 +177,7 @@ func splitOp(s string) (op, arg string) {
 func parseHead(head string, opened *[]io.Closer) (Source, error) {
 	op, arg := splitOp(head)
 	switch op {
-	case "csv", "swf":
+	case "csv", "swf", "borg", "alibaba":
 		if arg == "" {
 			return nil, fmt.Errorf("source: %s head needs a path (%s:PATH)", op, op)
 		}
@@ -180,8 +186,13 @@ func parseHead(head string, opened *[]io.Closer) (Source, error) {
 			return nil, fmt.Errorf("source: %w", err)
 		}
 		*opened = append(*opened, f)
-		if op == "swf" {
+		switch op {
+		case "swf":
 			return WithCloser(FromSWF(f), f), nil
+		case "borg":
+			return WithCloser(FromBorg(f), f), nil
+		case "alibaba":
+			return WithCloser(FromAlibaba(f), f), nil
 		}
 		return WithCloser(FromCSV(f), f), nil
 	case "synthetic":
@@ -230,6 +241,12 @@ func parseTransform(src Source, st string) (Source, error) {
 			return nil, err
 		}
 		return Filter(src, keep), nil
+	case "shard":
+		i, n, err := parseShardArg(arg)
+		if err != nil {
+			return nil, err
+		}
+		return Shard(src, n, i), nil
 	}
 	return nil, fmt.Errorf("source: unknown transform %q (valid: %s)",
 		op, strings.Join(transformNames(), ", "))
@@ -402,4 +419,23 @@ func parseFilterArgs(arg string) (func(trace.Record) bool, error) {
 		}
 		return true
 	}, nil
+}
+
+// parseShardArg parses the "I/N" argument of the shard transform (0-based
+// shard index I of N total shards, e.g. shard:0/4).
+func parseShardArg(arg string) (i, n int, err error) {
+	is, ns, ok := strings.Cut(arg, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("source: shard needs I/N (e.g. shard:0/4), got %q", arg)
+	}
+	if i, err = strconv.Atoi(is); err != nil {
+		return 0, 0, fmt.Errorf("source: shard index %q: %w", is, err)
+	}
+	if n, err = strconv.Atoi(ns); err != nil {
+		return 0, 0, fmt.Errorf("source: shard count %q: %w", ns, err)
+	}
+	if n < 1 || i < 0 || i >= n {
+		return 0, 0, fmt.Errorf("source: shard %d/%d invalid (want 0 <= i < n)", i, n)
+	}
+	return i, n, nil
 }

@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"io"
+)
+
+// gzipMagic is the two-byte gzip file signature (RFC 1952).
+var gzipMagic = [2]byte{0x1f, 0x8b}
+
+// MaybeGzip wraps r so that gzip-compressed input is transparently
+// decompressed. Detection is by content, not file name: the first two bytes
+// are sniffed for the gzip magic, so a compressed trace is recognized no
+// matter what it is called, and a plain-text trace that merely ends in ".gz"
+// is read as-is. The decision is made lazily on the first Read, so
+// constructing the wrapper never fails; a corrupt gzip stream surfaces as a
+// read error. The returned reader does not own r and closes nothing.
+func MaybeGzip(r io.Reader) io.Reader { return &gzipSniffer{src: r} }
+
+// gzipSniffer defers the magic-byte peek to the first Read.
+type gzipSniffer struct {
+	src io.Reader
+	r   io.Reader // resolved on first Read
+	err error
+}
+
+func (g *gzipSniffer) Read(p []byte) (int, error) {
+	if g.err != nil {
+		return 0, g.err
+	}
+	if g.r == nil {
+		br := bufio.NewReader(g.src)
+		// A peek error (e.g. a file shorter than two bytes) is not a sniff
+		// failure: the buffered reader replays whatever is there.
+		if magic, err := br.Peek(2); err == nil && magic[0] == gzipMagic[0] && magic[1] == gzipMagic[1] {
+			zr, zerr := gzip.NewReader(br)
+			if zerr != nil {
+				g.err = zerr
+				return 0, zerr
+			}
+			g.r = zr
+		} else {
+			g.r = br
+		}
+	}
+	return g.r.Read(p)
+}

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func gzipBytes(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestMaybeGzipDetection covers both detection paths (satellite #1): gzip
+// input is recognized by its magic bytes and decompressed; plain input —
+// including input that merely starts with one of the two magic bytes, or is
+// shorter than the sniff window — passes through untouched.
+func TestMaybeGzipDetection(t *testing.T) {
+	plain := []byte("hello trace\nline two\n")
+	cases := []struct {
+		name string
+		in   []byte
+		want []byte
+	}{
+		{"gzip", gzipBytes(t, plain), plain},
+		{"plain", plain, plain},
+		{"half magic", []byte{0x1f, 0x00, 0x41}, []byte{0x1f, 0x00, 0x41}},
+		{"one byte", []byte{0x1f}, []byte{0x1f}},
+		{"empty", nil, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := io.ReadAll(MaybeGzip(bytes.NewReader(tc.in)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, tc.want) {
+				t.Fatalf("got %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestMaybeGzipCorrupt(t *testing.T) {
+	// Valid magic, garbage after: the error surfaces on Read and is sticky.
+	r := MaybeGzip(bytes.NewReader([]byte{0x1f, 0x8b, 0xff, 0xff, 0xff}))
+	if _, err := io.ReadAll(r); err == nil {
+		t.Fatal("corrupt gzip stream read without error")
+	}
+	if _, err := r.Read(make([]byte, 1)); err == nil {
+		t.Fatal("corrupt gzip error not sticky")
+	}
+}
+
+// traceCSV renders a small valid native trace.
+func traceCSV(t *testing.T) ([]byte, []Record) {
+	t.Helper()
+	recs := []Record{
+		{ID: 1, Class: 0, Submit: 0, Size: 8, MinSize: 8, Work: 600, Estimate: 900},
+		{ID: 2, Class: 0, Submit: 30, Size: 4, MinSize: 4, Work: 60, Estimate: 120},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), recs
+}
+
+// TestReadersGzipAware: the CSV and SWF readers decode gzipped input
+// transparently, by content — the same bytes compressed and plain parse to
+// identical records.
+func TestReadersGzipAware(t *testing.T) {
+	csvBytes, want := traceCSV(t)
+	got, err := ReadCSV(bytes.NewReader(gzipBytes(t, csvBytes)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("gzipped CSV parsed as %+v, want %+v", got, want)
+	}
+
+	swf := "; gzipped swf\n1 0 -1 3600 128 -1 -1 128 7200 -1 1 10 20 -1 -1 -1 -1 -1\n"
+	plainRecs, err := ReadSWF(strings.NewReader(swf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gzRecs, err := ReadSWF(bytes.NewReader(gzipBytes(t, []byte(swf))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plainRecs, gzRecs) {
+		t.Fatalf("gzipped SWF parsed as %+v, want %+v", gzRecs, plainRecs)
+	}
+}
+
+// TestGzipNameIsNotContent: a plain-text file whose name lies (ends in .gz)
+// reads fine — detection is by content, not extension.
+func TestGzipNameIsNotContent(t *testing.T) {
+	dir := t.TempDir()
+	csvBytes, want := traceCSV(t)
+	plainGzName := filepath.Join(dir, "plain.csv.gz") // lies: not compressed
+	if err := os.WriteFile(plainGzName, csvBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(plainGzName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("plain file named .gz parsed as %+v", got)
+	}
+}

@@ -126,11 +126,18 @@ type CSVReader struct {
 }
 
 // NewCSVReader returns a streaming reader over the native CSV dialect.
+// Gzip-compressed input is decompressed transparently (see MaybeGzip).
 func NewCSVReader(r io.Reader) *CSVReader {
-	cr := csv.NewReader(r)
+	cr := csv.NewReader(MaybeGzip(r))
 	cr.FieldsPerRecord = len(csvHeader)
 	return &CSVReader{cr: cr}
 }
+
+// Row returns the number of CSV rows consumed so far, counting the header as
+// row 1 — i.e. the row the most recent record (or error) came from. Callers
+// layering their own checks on top of the reader (duplicate IDs, cross-record
+// invariants) use it to position their diagnostics.
+func (r *CSVReader) Row() int { return r.row }
 
 // Next returns the next record of the trace. It returns io.EOF after the
 // last record and any other error exactly once (then sticks to it).
@@ -171,7 +178,11 @@ func (r *CSVReader) Next() (Record, error) {
 		return fail(fmt.Errorf("trace: row %d: %w", r.row, err))
 	}
 	if err := rec.Validate(); err != nil {
-		return fail(err)
+		// Validate speaks in job IDs; the reader adds where in the file the
+		// offending record sits (its own "trace: " prefix is dropped so the
+		// message carries one prefix, not two).
+		return fail(fmt.Errorf("trace: row %d: %s", r.row,
+			strings.TrimPrefix(err.Error(), "trace: ")))
 	}
 	return rec, nil
 }
@@ -287,11 +298,17 @@ type SWFReader struct {
 }
 
 // NewSWFReader returns a streaming reader over an SWF trace.
+// Gzip-compressed input is decompressed transparently (see MaybeGzip).
 func NewSWFReader(r io.Reader) *SWFReader {
-	sc := bufio.NewScanner(r)
+	sc := bufio.NewScanner(MaybeGzip(r))
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	return &SWFReader{sc: sc}
 }
+
+// Line returns the number of input lines consumed so far — the line the most
+// recent record (or error) came from, for callers positioning diagnostics of
+// their own (see CSVReader.Row).
+func (r *SWFReader) Line() int { return r.line }
 
 // Summary returns the import counters accumulated so far.
 func (r *SWFReader) Summary() SWFSummary { return r.sum }

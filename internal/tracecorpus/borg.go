@@ -1,0 +1,404 @@
+package tracecorpus
+
+import (
+	"encoding/csv"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"hybridsched/internal/job"
+	"hybridsched/internal/trace"
+)
+
+// Google/Borg ClusterData event types (job_events and task_events tables
+// share the encoding).
+const (
+	borgSubmit        = 0
+	borgSchedule      = 1
+	borgEvict         = 2
+	borgFail          = 3
+	borgFinish        = 4
+	borgKill          = 5
+	borgLost          = 6
+	borgUpdatePending = 7
+	borgUpdateRunning = 8
+)
+
+// Column counts of the two supported ClusterData events tables. The dialect
+// is fixed by the first data row and every later row must match it.
+const (
+	borgJobCols  = 8  // timestamp,missing,jobID,event,user,class,jobname,logicalname
+	borgTaskCols = 13 // timestamp,missing,jobID,taskIndex,machine,event,user,class,priority,cpu,mem,disk,constraint
+)
+
+// microsPerSec converts ClusterData microsecond timestamps to simulator
+// seconds.
+const microsPerSec = 1_000_000
+
+// BorgSummary reports what a Borg import did, making the adapter's silent
+// decisions auditable (the SWFSummary idea applied to the events join).
+type BorgSummary struct {
+	// JobsRead is the number of records emitted.
+	JobsRead int
+	// JobsSkipped counts jobs that reached a terminal state but produced no
+	// record: never scheduled, terminated without a FINISH (failed, killed,
+	// lost), zero or absurd runtime, or a terminal event for a job the trace
+	// never submitted.
+	JobsSkipped int
+	// Incomplete counts jobs still pending when the trace ended; they are
+	// dropped (their runtime is unknowable).
+	Incomplete int
+	// Retries counts task re-submissions after a terminal task event
+	// (task-granularity input only).
+	Retries int
+	// SubmitsDefaulted counts jobs whose first observed event was not
+	// SUBMIT (they entered the trace window mid-flight); their submit
+	// instant is taken from that first event.
+	SubmitsDefaulted int
+	// WidthDefaulted counts records imported from job-granularity input,
+	// which carries no per-task information: their size defaults to 1.
+	WidthDefaulted int
+}
+
+// String renders the summary as one human-readable line.
+func (s BorgSummary) String() string {
+	return "borg: " + strconv.Itoa(s.JobsRead) + " jobs read (all rigid), " +
+		strconv.Itoa(s.JobsSkipped) + " skipped, " +
+		strconv.Itoa(s.Incomplete) + " incomplete at EOF; " +
+		strconv.Itoa(s.Retries) + " task retries, defaults: " +
+		strconv.Itoa(s.SubmitsDefaulted) + " submits, " +
+		strconv.Itoa(s.WidthDefaulted) + " widths"
+}
+
+// borgJob is the join state of one pending job.
+type borgJob struct {
+	submit   int64 // µs, first SUBMIT (or first event seen)
+	schedule int64 // µs, first SCHEDULE; -1 while unscheduled
+	end      int64 // µs, latest terminal event (task granularity)
+	user     string
+	// Task-granularity state; nil for job-granularity input.
+	tasks       map[int64]bool // task index -> live (true) / terminated (false)
+	outstanding int            // live tasks
+	sawFinish   bool           // at least one task (or the job) FINISHed
+}
+
+// BorgReader streams a Google/Borg ClusterData events table — job_events
+// (8 columns) or task_events (13 columns), plain or gzipped — as native
+// trace records, one per completed job, in non-decreasing Submit order.
+//
+// The trace serializes events, not jobs, so the reader runs a streaming
+// watermark join: SUBMIT opens a pending entry, SCHEDULE stamps the start,
+// and the terminal event completes the job (task-granularity input
+// additionally counts distinct task indices as the job's width and waits for
+// every live task to terminate). Completed jobs buffer in a min-heap keyed
+// by submit instant and are released only when no pending or future job can
+// precede them — memory is bounded by the number of concurrently pending
+// jobs, never by trace length. Record IDs are assigned sequentially in
+// emission order (the trace's own job IDs key the join but can repeat across
+// resubmits); the submitting user interns to a dense Project ID in order of
+// first appearance so project-based Relabel heuristics apply downstream.
+// Every imported job is rigid with Estimate = Work; scheduling class,
+// priority, resource requests, and machine fields are not consumed.
+//
+// Errors are sticky and positioned (row numbers), matching the CSV and SWF
+// readers. Summary may be consulted at any point and is complete once Next
+// has returned io.EOF.
+type BorgReader struct {
+	cr   *csv.Reader
+	row  int
+	cols int // fixed by the first data row
+
+	pending     map[int64]*borgJob
+	minSubmit   int64Heap     // pending submit instants, lazily deleted
+	submitCount map[int64]int // live pending entries per submit instant
+	projects    projectTable
+
+	out         recHeap
+	seq         int   // completion counter, tie-break for equal submits
+	lastEventUS int64 // most recent event timestamp
+	lastEmitUS  int64 // submit instant of the last emitted record
+	nextID      int
+
+	eof bool
+	err error
+	sum BorgSummary
+}
+
+// NewBorgReader returns a streaming reader over a ClusterData events table.
+func NewBorgReader(r io.Reader) *BorgReader {
+	cr := csv.NewReader(trace.MaybeGzip(r))
+	cr.FieldsPerRecord = -1 // dialect checked per row against the first
+	cr.ReuseRecord = true
+	return &BorgReader{
+		cr:          cr,
+		pending:     map[int64]*borgJob{},
+		submitCount: map[int64]int{},
+		projects:    projectTable{},
+	}
+}
+
+// Summary returns the import counters accumulated so far.
+func (r *BorgReader) Summary() BorgSummary { return r.sum }
+
+// Row returns the number of input rows consumed so far, for positioning
+// caller-side diagnostics.
+func (r *BorgReader) Row() int { return r.row }
+
+// Next returns the next imported job, io.EOF at the end of the trace, or a
+// positioned parse error (all sticky).
+func (r *BorgReader) Next() (trace.Record, error) {
+	if r.err != nil {
+		return trace.Record{}, r.err
+	}
+	for {
+		if rec, ok := r.tryEmit(); ok {
+			return rec, nil
+		}
+		if r.eof {
+			r.err = io.EOF
+			return trace.Record{}, io.EOF
+		}
+		row, err := r.cr.Read()
+		if err == io.EOF {
+			r.eof = true
+			r.sum.Incomplete += len(r.pending)
+			r.pending = map[int64]*borgJob{} // unblock the watermark: drain the heap
+			r.submitCount = map[int64]int{}
+			r.minSubmit = nil
+			continue
+		}
+		if err != nil {
+			r.err = err
+			return trace.Record{}, err
+		}
+		r.row++
+		if err := r.process(row); err != nil {
+			r.err = err
+			return trace.Record{}, err
+		}
+	}
+}
+
+// tryEmit pops the completed-jobs heap while its head is safe: no pending
+// job submitted earlier, and (events being time-ordered) no future job can
+// have either. At EOF everything left is safe.
+func (r *BorgReader) tryEmit() (trace.Record, bool) {
+	if r.out.Len() == 0 {
+		return trace.Record{}, false
+	}
+	if !r.eof {
+		safe := r.lastEventUS
+		for r.minSubmit.Len() > 0 && r.submitCount[r.minSubmit.peek()] == 0 {
+			delete(r.submitCount, r.minSubmit.peek())
+			r.minSubmit.pop()
+		}
+		if r.minSubmit.Len() > 0 && r.minSubmit.peek() < safe {
+			safe = r.minSubmit.peek()
+		}
+		if r.out.peek().key > safe {
+			return trace.Record{}, false
+		}
+	}
+	p := r.out.pop()
+	r.nextID++
+	rec := p.rec
+	rec.ID = r.nextID
+	r.lastEmitUS = p.key
+	r.sum.JobsRead++
+	return rec, true
+}
+
+// process applies one event row to the join state.
+func (r *BorgReader) process(row []string) error {
+	if r.cols == 0 {
+		switch len(row) {
+		case borgJobCols, borgTaskCols:
+			r.cols = len(row)
+		default:
+			return posErr("%d columns, want %d (job events) or %d (task events)",
+				"borg", r.row, len(row), borgJobCols, borgTaskCols)
+		}
+	}
+	if len(row) != r.cols {
+		return posErr("%d columns, want %d", "borg", r.row, len(row), r.cols)
+	}
+	ts, err := strconv.ParseInt(row[0], 10, 64)
+	if err != nil || ts < 0 {
+		return posErr("bad timestamp %q", "borg", r.row, row[0])
+	}
+	id, err := strconv.ParseInt(row[2], 10, 64)
+	if err != nil {
+		return posErr("bad job ID %q", "borg", r.row, row[2])
+	}
+	evField, userField := 3, 4
+	var taskIndex int64
+	if r.cols == borgTaskCols {
+		evField, userField = 5, 6
+		taskIndex, err = strconv.ParseInt(row[3], 10, 64)
+		if err != nil || taskIndex < 0 {
+			return posErr("bad task index %q", "borg", r.row, row[3])
+		}
+	}
+	ev, err := strconv.Atoi(row[evField])
+	if err != nil || ev < borgSubmit || ev > borgUpdateRunning {
+		return posErr("bad event type %q", "borg", r.row, row[evField])
+	}
+	r.lastEventUS = ts
+	if r.cols == borgTaskCols {
+		return r.taskEvent(ts, id, taskIndex, ev, row[userField])
+	}
+	return r.jobEvent(ts, id, ev, row[userField])
+}
+
+// open creates a pending entry for a job first observed at ts. It enforces
+// the time-order invariant the watermark emission relies on: a new job may
+// not submit before a record that was already released.
+func (r *BorgReader) open(ts, id int64, user string, defaulted bool) (*borgJob, error) {
+	if ts < r.lastEmitUS {
+		return nil, posErr("job %d submits at %dµs, before already-emitted records (trace not time-ordered)",
+			"borg", r.row, id, ts)
+	}
+	j := &borgJob{submit: ts, schedule: -1, user: strings.Clone(user)}
+	r.pending[id] = j
+	r.minSubmit.push(ts)
+	r.submitCount[ts]++
+	if defaulted {
+		r.sum.SubmitsDefaulted++
+	}
+	return j, nil
+}
+
+// drop removes a pending entry without emitting.
+func (r *BorgReader) drop(id int64, j *borgJob) {
+	delete(r.pending, id)
+	r.submitCount[j.submit]--
+}
+
+// finish completes a job: the record enters the emission heap if the join
+// produced a usable (scheduled, positive-runtime) job, else it is counted.
+// It reports whether a record was produced.
+func (r *BorgReader) finish(id int64, j *borgJob, endUS int64, width int) bool {
+	r.drop(id, j)
+	runUS := endUS - j.schedule
+	if j.schedule < 0 || runUS <= 0 || runUS > math.MaxInt64/2 {
+		r.sum.JobsSkipped++
+		return false
+	}
+	work := (runUS + microsPerSec - 1) / microsPerSec // ceil: sub-second jobs round up to 1s
+	submit := j.submit / microsPerSec
+	r.seq++
+	r.out.push(pendingRec{key: j.submit, seq: r.seq, rec: trace.Record{
+		Project:    r.projects.idFor(j.user),
+		Class:      job.Rigid,
+		Submit:     submit,
+		Size:       width,
+		MinSize:    width,
+		Work:       work,
+		Estimate:   work,
+		NoticeTime: submit,
+		EstArrival: submit,
+	}})
+	return true
+}
+
+// jobEvent processes one job-granularity event.
+func (r *BorgReader) jobEvent(ts, id int64, ev int, user string) error {
+	j := r.pending[id]
+	switch ev {
+	case borgSubmit:
+		if j == nil {
+			_, err := r.open(ts, id, user, false)
+			return err
+		}
+	case borgSchedule:
+		if j == nil {
+			var err error
+			if j, err = r.open(ts, id, user, true); err != nil {
+				return err
+			}
+		}
+		if j.schedule < 0 {
+			j.schedule = ts
+		}
+	case borgFinish:
+		if j == nil {
+			r.sum.JobsSkipped++ // terminal for a job the window never opened
+			return nil
+		}
+		if r.finish(id, j, ts, 1) {
+			r.sum.WidthDefaulted++ // job events carry no task info: size 1
+		}
+	case borgFail, borgKill, borgLost:
+		if j != nil {
+			r.drop(id, j)
+			r.sum.JobsSkipped++
+		}
+	}
+	// EVICT and the UPDATE events change nothing the join consumes.
+	return nil
+}
+
+// taskEvent processes one task-granularity event, aggregating tasks into
+// their job: width = distinct task indices, start = first task SCHEDULE,
+// end = last terminal, complete when no live task remains.
+func (r *BorgReader) taskEvent(ts, id, task int64, ev int, user string) error {
+	j := r.pending[id]
+	if j == nil {
+		switch ev {
+		case borgFail, borgKill, borgLost, borgFinish, borgEvict,
+			borgUpdatePending, borgUpdateRunning:
+			return nil // stragglers of a job already finalized or never opened
+		}
+		var err error
+		if j, err = r.open(ts, id, user, ev != borgSubmit); err != nil {
+			return err
+		}
+		j.tasks = map[int64]bool{}
+	}
+	if j.tasks == nil {
+		j.tasks = map[int64]bool{}
+	}
+	switch ev {
+	case borgSubmit:
+		live, seen := j.tasks[task]
+		if !seen {
+			j.tasks[task] = true
+			j.outstanding++
+		} else if !live {
+			j.tasks[task] = true
+			j.outstanding++
+			r.sum.Retries++
+		}
+	case borgSchedule:
+		if _, seen := j.tasks[task]; !seen { // scheduled mid-window: count it
+			j.tasks[task] = true
+			j.outstanding++
+		}
+		if j.schedule < 0 {
+			j.schedule = ts
+		}
+	case borgFinish, borgFail, borgKill, borgLost:
+		if live, seen := j.tasks[task]; seen && live {
+			j.tasks[task] = false
+			j.outstanding--
+			if ts > j.end {
+				j.end = ts
+			}
+			if ev == borgFinish {
+				j.sawFinish = true
+			}
+			if j.outstanding == 0 {
+				if j.sawFinish {
+					r.finish(id, j, j.end, len(j.tasks))
+				} else {
+					r.drop(id, j)
+					r.sum.JobsSkipped++
+				}
+			}
+		}
+	}
+	// EVICTed tasks stay live (the cluster resubmits them); UPDATEs are not
+	// consumed.
+	return nil
+}

@@ -1,0 +1,367 @@
+package tracecorpus
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"hybridsched/internal/job"
+	"hybridsched/internal/trace"
+)
+
+// drainBorg reads a Borg trace to EOF, failing the test on any error.
+func drainBorg(t *testing.T, r io.Reader) ([]trace.Record, BorgSummary) {
+	t.Helper()
+	br := NewBorgReader(r)
+	var recs []trace.Record
+	for {
+		rec, err := br.Next()
+		if err == io.EOF {
+			return recs, br.Summary()
+		}
+		if err != nil {
+			t.Fatalf("borg read: %v", err)
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// drainAlibaba reads an Alibaba trace to EOF, failing the test on any error.
+func drainAlibaba(t *testing.T, r io.Reader) ([]trace.Record, AlibabaSummary) {
+	t.Helper()
+	ar := NewAlibabaReader(r)
+	var recs []trace.Record
+	for {
+		rec, err := ar.Next()
+		if err == io.EOF {
+			return recs, ar.Summary()
+		}
+		if err != nil {
+			t.Fatalf("alibaba read: %v", err)
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// checkStream asserts the Source contract plus the faithful-reader
+// guarantees every adapter promises: submit-ordered, sequential IDs,
+// Validate-clean, all rigid.
+func checkStream(t *testing.T, recs []trace.Record) {
+	t.Helper()
+	last := int64(0)
+	for i, r := range recs {
+		if r.ID != i+1 {
+			t.Fatalf("record %d has ID %d, want sequential emission IDs", i, r.ID)
+		}
+		if r.Submit < last {
+			t.Fatalf("job %d submits at %ds after a job at %ds", r.ID, r.Submit, last)
+		}
+		last = r.Submit
+		if r.Class != job.Rigid {
+			t.Fatalf("job %d imported as %v, want rigid (faithful-reader principle)", r.ID, r.Class)
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("job %d invalid: %v", r.ID, err)
+		}
+	}
+}
+
+// taskRow renders one task_events row (13 columns, µs timestamps).
+func taskRow(tsSec float64, jobID, task int64, ev int, user string) string {
+	return fmt.Sprintf("%d,,%d,%d,4001,%d,%s,2,0,0.5,0.25,0.0,0",
+		int64(tsSec*1e6), jobID, task, ev, user)
+}
+
+// jobRow renders one job_events row (8 columns, µs timestamps).
+func jobRow(tsSec float64, jobID int64, ev int, user string) string {
+	return fmt.Sprintf("%d,,%d,%d,%s,1,jn,ln", int64(tsSec*1e6), jobID, ev, user)
+}
+
+func lines(ls ...string) string { return strings.Join(ls, "\n") + "\n" }
+
+func TestBorgJobEvents(t *testing.T) {
+	in := lines(
+		jobRow(1, 10, 0, "alice"), // clean job: submit 1s, schedule 3s, finish 10s
+		jobRow(2, 20, 0, "bob"),   // killed job: no record
+		jobRow(3, 10, 1, "alice"),
+		jobRow(4, 20, 1, "bob"),
+		jobRow(5, 30, 1, "alice"), // mid-window: first event is SCHEDULE
+		jobRow(6, 20, 5, "bob"),
+		jobRow(7, 40, 4, "carol"), // terminal for a never-opened job: skipped
+		jobRow(10, 10, 4, "alice"),
+		jobRow(12, 30, 4, "alice"),
+	)
+	recs, sum := drainBorg(t, strings.NewReader(in))
+	checkStream(t, recs)
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2: %+v", len(recs), recs)
+	}
+	// Job 10: submit 1s, schedule 3s, finish 10s => work 7s, width 1.
+	if r := recs[0]; r.Submit != 1 || r.Work != 7 || r.Size != 1 || r.Project != 1 {
+		t.Fatalf("job 10 imported as %+v", r)
+	}
+	// Job 30: defaulted submit at its 5s SCHEDULE, finish 12s => work 7s.
+	if r := recs[1]; r.Submit != 5 || r.Work != 7 || r.Project != 1 {
+		t.Fatalf("job 30 imported as %+v", r)
+	}
+	want := BorgSummary{JobsRead: 2, JobsSkipped: 2, SubmitsDefaulted: 1, WidthDefaulted: 2}
+	if sum != want {
+		t.Fatalf("summary %+v, want %+v", sum, want)
+	}
+}
+
+func TestBorgTaskEvents(t *testing.T) {
+	in := lines(
+		taskRow(1, 10, 0, 0, "alice"), // job 10: two clean tasks
+		taskRow(1, 10, 1, 0, "alice"),
+		taskRow(2, 20, 0, 0, "bob"), // job 20: two tasks, task 0 fails and retries
+		taskRow(2, 20, 1, 0, "bob"),
+		taskRow(3, 10, 0, 1, "alice"),
+		taskRow(3, 10, 1, 1, "alice"),
+		taskRow(4, 20, 0, 1, "bob"),
+		taskRow(4, 20, 1, 1, "bob"),
+		taskRow(5, 20, 0, 3, "bob"), // task 0 fails while task 1 runs...
+		taskRow(6, 20, 0, 0, "bob"), // ...and resubmits (Retries++)
+		taskRow(7, 20, 0, 1, "bob"),
+		taskRow(10, 10, 0, 4, "alice"),
+		taskRow(11, 10, 1, 4, "alice"), // job 10 complete: width 2, end 11s
+		taskRow(19, 20, 1, 4, "bob"),
+		taskRow(20, 20, 0, 4, "bob"), // job 20 complete: width 2, end 20s
+	)
+	recs, sum := drainBorg(t, strings.NewReader(in))
+	checkStream(t, recs)
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2: %+v", len(recs), recs)
+	}
+	// Job 10: submit 1s, first schedule 3s, last finish 11s => work 8s, width 2.
+	if r := recs[0]; r.Submit != 1 || r.Size != 2 || r.MinSize != 2 || r.Work != 8 || r.Project != 1 {
+		t.Fatalf("job 10 imported as %+v", r)
+	}
+	// Job 20: submit 2s, first schedule 4s, last finish 20s => work 16s; the
+	// retried task keeps the width at 2 distinct indices.
+	if r := recs[1]; r.Submit != 2 || r.Size != 2 || r.Work != 16 || r.Project != 2 {
+		t.Fatalf("job 20 imported as %+v", r)
+	}
+	want := BorgSummary{JobsRead: 2, Retries: 1}
+	if sum != want {
+		t.Fatalf("summary %+v, want %+v", sum, want)
+	}
+}
+
+// TestBorgWatermark checks the streaming join releases a completed job only
+// once no pending or future job can precede it — and that a short job
+// submitted after but finishing before a long one still emerges in submit
+// order.
+func TestBorgWatermark(t *testing.T) {
+	in := lines(
+		jobRow(1, 10, 0, "a"), // long job, submits first
+		jobRow(2, 10, 1, "a"),
+		jobRow(3, 20, 0, "a"), // short job, submits second, finishes first
+		jobRow(4, 20, 1, "a"),
+		jobRow(5, 20, 4, "a"),
+		jobRow(100, 10, 4, "a"),
+	)
+	br := NewBorgReader(strings.NewReader(in))
+	first, err := br.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Submit != 1 || first.Work != 98 {
+		t.Fatalf("first emitted record %+v, want the 1s-submit long job", first)
+	}
+	second, err := br.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Submit != 3 || second.Work != 1 {
+		t.Fatalf("second emitted record %+v, want the 3s-submit short job", second)
+	}
+	if _, err := br.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+// TestBorgIncompleteAtEOF: jobs still pending when the trace ends are
+// dropped and counted, and everything buffered drains.
+func TestBorgIncompleteAtEOF(t *testing.T) {
+	in := lines(
+		jobRow(1, 10, 0, "a"),
+		jobRow(2, 10, 1, "a"),
+		jobRow(3, 20, 0, "a"), // never terminates
+		jobRow(4, 20, 1, "a"),
+		jobRow(9, 10, 4, "a"),
+	)
+	recs, sum := drainBorg(t, strings.NewReader(in))
+	if len(recs) != 1 || sum.Incomplete != 1 {
+		t.Fatalf("got %d records, summary %+v; want 1 record, 1 incomplete", len(recs), sum)
+	}
+}
+
+func TestBorgGzipInput(t *testing.T) {
+	in := lines(
+		jobRow(1, 10, 0, "a"),
+		jobRow(2, 10, 1, "a"),
+		jobRow(9, 10, 4, "a"),
+	)
+	plain, _ := drainBorg(t, strings.NewReader(in))
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write([]byte(in))
+	zw.Close()
+	zipped, _ := drainBorg(t, &buf)
+	if len(plain) != 1 || len(zipped) != 1 || plain[0] != zipped[0] {
+		t.Fatalf("gzip input diverges: plain %+v vs zipped %+v", plain, zipped)
+	}
+}
+
+func TestBorgPositionedErrors(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"bad timestamp", lines(jobRow(1, 10, 0, "a"), jobRow(2, 10, 1, "a"), "oops,,10,4,a,1,jn,ln"),
+			"borg row 3: bad timestamp"},
+		{"bad job id", lines(jobRow(1, 10, 0, "a"), "2000000,,xyz,1,a,1,jn,ln"),
+			"borg row 2: bad job ID"},
+		{"bad event", lines("1000000,,10,9,a,1,jn,ln"), "borg row 1: bad event type"},
+		{"bad column count", lines("1000000,,10,0,a"), "borg row 1: 5 columns"},
+		{"dialect mismatch", lines(jobRow(1, 10, 0, "a"), taskRow(2, 10, 0, 1, "a")),
+			"borg row 2: 13 columns, want 8"},
+		{"bad task index", lines(taskRow(1, 10, 0, 0, "a"), "2000000,,10,-1,4001,1,a,2,0,0.5,0.25,0.0,0"),
+			"borg row 2: bad task index"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			br := NewBorgReader(strings.NewReader(tc.in))
+			var err error
+			for err == nil {
+				_, err = br.Next()
+			}
+			if err == io.EOF || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q, want it to contain %q", err, tc.want)
+			}
+			// The error is sticky.
+			if _, again := br.Next(); again == nil || again.Error() != err.Error() {
+				t.Fatalf("error not sticky: first %q then %q", err, again)
+			}
+		})
+	}
+}
+
+func TestAlibaba(t *testing.T) {
+	in := lines(
+		// Grouped by job, not globally time-sorted: j_b's rows precede the
+		// earlier-starting second task of j_a.
+		"task_1,4,j_a,1,Terminated,100,250,100,0.5",
+		"task_2,1,j_a,1,Running,300,0,100,0.5",    // non-terminated: skipped
+		"task_3,2,j_a,1,Terminated,0,0,100,0.5",   // zero timestamps: unrunnable
+		"task_1,8,j_b,1,Terminated,120,4000",      // short row: plan columns dropped
+		"task_2,0,j_b,1,Terminated,130,200,1,0.1", // zero instances: unrunnable
+		"task_4,2,j_a,1,Terminated,110,170,1,0.1",
+	)
+	recs, sum := drainAlibaba(t, strings.NewReader(in))
+	checkStream(t, recs)
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3: %+v", len(recs), recs)
+	}
+	if r := recs[0]; r.Submit != 100 || r.Size != 4 || r.Work != 150 || r.Project != 1 {
+		t.Fatalf("first record %+v", r)
+	}
+	if r := recs[1]; r.Submit != 110 || r.Size != 2 || r.Work != 60 || r.Project != 1 {
+		t.Fatalf("second record %+v (reorder buffer should sort it before j_b)", r)
+	}
+	if r := recs[2]; r.Submit != 120 || r.Size != 8 || r.Work != 3880 || r.Project != 2 {
+		t.Fatalf("third record %+v", r)
+	}
+	want := AlibabaSummary{TasksRead: 3, NonTerminated: 1, Unrunnable: 2}
+	if sum != want {
+		t.Fatalf("summary %+v, want %+v", sum, want)
+	}
+}
+
+func TestAlibabaPositionedErrors(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"bad instance_num", lines("t,x,j,1,Terminated,1,2,1,1"), "alibaba row 1: bad instance_num"},
+		{"bad start_time", lines("t,1,j,1,Terminated,x,2,1,1"), "alibaba row 1: bad start_time"},
+		{"bad end_time", lines("t,1,j,1,Terminated,1,x,1,1"), "alibaba row 1: bad end_time"},
+		{"short row", lines("t,1,j,1,Terminated"), "alibaba row 1: 5 columns"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ar := NewAlibabaReader(strings.NewReader(tc.in))
+			_, err := ar.Next()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v, want it to contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestAlibabaGzipInput(t *testing.T) {
+	in := lines("t,2,j,1,Terminated,5,65,1,1")
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write([]byte(in))
+	zw.Close()
+	recs, _ := drainAlibaba(t, &buf)
+	if len(recs) != 1 || recs[0].Size != 2 || recs[0].Work != 60 {
+		t.Fatalf("gzipped alibaba input read as %+v", recs)
+	}
+}
+
+// TestVendoredFixtures drains the committed corpus samples end to end and
+// pins their record counts, so a fixture or adapter regression is loud.
+func TestVendoredFixtures(t *testing.T) {
+	cases := []struct {
+		file string
+		borg bool
+		want int
+	}{
+		{"testdata/sample.csv.gz", true, 284},
+		{"testdata/job_events.csv.gz", true, 261},
+		{"testdata/batch_task.csv.gz", false, 416},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			f, err := os.Open(tc.file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			var recs []trace.Record
+			if tc.borg {
+				var sum BorgSummary
+				recs, sum = drainBorg(t, f)
+				if sum.JobsRead != len(recs) {
+					t.Fatalf("summary says %d jobs read, got %d", sum.JobsRead, len(recs))
+				}
+			} else {
+				var sum AlibabaSummary
+				recs, sum = drainAlibaba(t, f)
+				if sum.TasksRead != len(recs) {
+					t.Fatalf("summary says %d tasks read, got %d", sum.TasksRead, len(recs))
+				}
+			}
+			checkStream(t, recs)
+			if len(recs) != tc.want {
+				t.Fatalf("fixture yields %d records, want %d", len(recs), tc.want)
+			}
+		})
+	}
+}
+
+func TestSummaryStrings(t *testing.T) {
+	b := BorgSummary{JobsRead: 3, JobsSkipped: 1}.String()
+	if !strings.Contains(b, "3 jobs read") || !strings.Contains(b, "1 skipped") {
+		t.Fatalf("borg summary renders %q", b)
+	}
+	a := AlibabaSummary{TasksRead: 2, NonTerminated: 5}.String()
+	if !strings.Contains(a, "2 tasks read") || !strings.Contains(a, "5 non-terminated") {
+		t.Fatalf("alibaba summary renders %q", a)
+	}
+}

@@ -1,0 +1,83 @@
+package tracecorpus
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"hybridsched/internal/job"
+	"hybridsched/internal/trace"
+)
+
+// fuzzDrain pulls a reader dry, checking the invariants every adapter must
+// hold on arbitrary input: no panic, sticky errors, and on the success path
+// submit-ordered, sequential-ID, Validate-clean, all-rigid records.
+func fuzzDrain(t *testing.T, next func() (trace.Record, error)) ([]trace.Record, error) {
+	t.Helper()
+	var recs []trace.Record
+	last := int64(0)
+	for {
+		rec, err := next()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			if _, again := next(); again == nil {
+				t.Fatal("error not sticky")
+			}
+			return recs, err
+		}
+		if rec.ID != len(recs)+1 {
+			t.Fatalf("record %d has ID %d, want sequential IDs", len(recs), rec.ID)
+		}
+		if rec.Submit < last {
+			t.Fatalf("job %d submits at %ds after %ds", rec.ID, rec.Submit, last)
+		}
+		last = rec.Submit
+		if rec.Class != job.Rigid {
+			t.Fatalf("adapter emitted non-rigid record %+v", rec)
+		}
+		if verr := rec.Validate(); verr != nil {
+			t.Fatalf("adapter emitted invalid record %+v: %v", rec, verr)
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// FuzzBorg: the ClusterData adapter must never panic and must only emit
+// records satisfying the Source contract, whatever bytes arrive.
+func FuzzBorg(f *testing.F) {
+	f.Add([]byte("1000000,,10,0,alice,1,jn,ln\n2000000,,10,1,alice,1,jn,ln\n9000000,,10,4,alice,1,jn,ln\n"))
+	f.Add([]byte("1000000,,10,0,4001,0,bob,2,0,0.5,0.25,0.0,0\n" +
+		"2000000,,10,0,4001,1,bob,2,0,0.5,0.25,0.0,0\n" +
+		"9000000,,10,0,4001,4,bob,2,0,0.5,0.25,0.0,0\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("oops,,10,0,a,1,jn,ln\n"))
+	f.Add([]byte("1000000,,10,9,a,1,jn,ln\n"))
+	f.Add([]byte("1,2,3\n"))
+	f.Add([]byte("\x1f\x8b"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := NewBorgReader(bytes.NewReader(data))
+		recs, err := fuzzDrain(t, br.Next)
+		if err == nil && br.Summary().JobsRead != len(recs) {
+			t.Fatalf("summary says %d jobs read, got %d", br.Summary().JobsRead, len(recs))
+		}
+	})
+}
+
+// FuzzAlibaba: same contract for the batch_task adapter.
+func FuzzAlibaba(f *testing.F) {
+	f.Add([]byte("t1,4,j_a,1,Terminated,100,250,100,0.5\nt2,1,j_a,1,Running,300,0,100,0.5\n"))
+	f.Add([]byte("t1,8,j_b,1,Terminated,120,4000\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("t,x,j,1,Terminated,1,2,1,1\n"))
+	f.Add([]byte("t,1,j,1,Terminated,0,0,1,1\n"))
+	f.Add([]byte("\x1f\x8b\x08"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ar := NewAlibabaReader(bytes.NewReader(data))
+		recs, err := fuzzDrain(t, ar.Next)
+		if err == nil && ar.Summary().TasksRead != len(recs) {
+			t.Fatalf("summary says %d tasks read, got %d", ar.Summary().TasksRead, len(recs))
+		}
+	})
+}

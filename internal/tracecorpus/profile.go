@@ -1,0 +1,164 @@
+package tracecorpus
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+
+	"hybridsched/internal/job"
+	"hybridsched/internal/simtime"
+	"hybridsched/internal/trace"
+)
+
+// Stream is the minimal record stream Characterize consumes. It is
+// structurally identical to the source layer's Source interface, so any
+// compiled source pipeline satisfies it without an import cycle.
+type Stream interface {
+	Next() (trace.Record, bool, error)
+}
+
+// Dist is a streaming distribution summary: exact count, mean, and maximum,
+// plus quantiles approximated from power-of-two buckets (each reported value
+// is the inclusive upper bound of the bucket the quantile falls in, so p50
+// reads "half the values are <= this"). The bucketing keeps characterization
+// constant-memory no matter how many jobs stream through.
+type Dist struct {
+	Count int
+	Mean  float64
+	Max   int64
+	P50   int64
+	P90   int64
+	P99   int64
+
+	sum     float64
+	buckets [65]int // index = bit length of the value; 0 holds zeros
+}
+
+func (d *Dist) add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	d.Count++
+	d.sum += float64(v)
+	if v > d.Max {
+		d.Max = v
+	}
+	d.buckets[bits.Len64(uint64(v))]++
+}
+
+// quantile returns the upper bound of the bucket holding the q-quantile.
+func (d *Dist) quantile(q float64) int64 {
+	if d.Count == 0 {
+		return 0
+	}
+	need := int(q*float64(d.Count-1)) + 1
+	cum := 0
+	for k, n := range d.buckets {
+		cum += n
+		if cum >= need {
+			if k == 0 {
+				return 0
+			}
+			ub := int64(1)<<k - 1
+			if ub > d.Max {
+				ub = d.Max // the top bucket's true bound is the observed max
+			}
+			return ub
+		}
+	}
+	return d.Max
+}
+
+func (d *Dist) finish() {
+	if d.Count > 0 {
+		d.Mean = d.sum / float64(d.Count)
+	}
+	d.P50 = d.quantile(0.50)
+	d.P90 = d.quantile(0.90)
+	d.P99 = d.quantile(0.99)
+}
+
+// Profile is the characterization of one trace stream: what tracegen
+// -summarize prints. It answers the questions the paper's Table I answers
+// for the Theta log — how many jobs, what class mix, how wide, how long,
+// how bursty — for any source pipeline, including the Borg and Alibaba
+// adapters with Relabel heuristics applied.
+type Profile struct {
+	Jobs        int
+	Classes     [3]int // indexed by job.Class
+	NodeHours   float64
+	FirstSubmit int64
+	LastSubmit  int64
+
+	InterArrival Dist // seconds between consecutive submits
+	Width        Dist // requested nodes
+	Runtime      Dist // actual runtime, seconds
+}
+
+// Characterize drains a record stream into a Profile. It enforces the
+// Source contract (non-decreasing Submit order) as it goes, so it doubles
+// as a cheap sanity pass over a new adapter or pipeline; memory is constant
+// in stream length.
+func Characterize(s Stream) (Profile, error) {
+	var p Profile
+	prev := int64(-1)
+	for {
+		rec, ok, err := s.Next()
+		if err != nil {
+			return p, err
+		}
+		if !ok {
+			break
+		}
+		if prev >= 0 && rec.Submit < prev {
+			return p, fmt.Errorf("tracecorpus: job %d submits at %ds after a job at %ds (stream not time-ordered)",
+				rec.ID, rec.Submit, prev)
+		}
+		if p.Jobs == 0 {
+			p.FirstSubmit = rec.Submit
+		} else {
+			p.InterArrival.add(rec.Submit - prev)
+		}
+		prev = rec.Submit
+		p.LastSubmit = rec.Submit
+		p.Jobs++
+		if c := int(rec.Class); c >= 0 && c < len(p.Classes) {
+			p.Classes[c]++
+		}
+		p.Width.add(int64(rec.Size))
+		p.Runtime.add(rec.Work)
+		p.NodeHours += float64(rec.Size) * float64(rec.Work) / float64(simtime.Hour)
+	}
+	p.InterArrival.finish()
+	p.Width.finish()
+	p.Runtime.finish()
+	return p, nil
+}
+
+// pct renders a class share of the job count.
+func (p Profile) pct(c job.Class) string {
+	if p.Jobs == 0 {
+		return "0.0%"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(p.Classes[c])/float64(p.Jobs))
+}
+
+// Render writes the characterization as a compact text report.
+func (p Profile) Render(w io.Writer) {
+	fmt.Fprintf(w, "trace characterization\n")
+	fmt.Fprintf(w, "  jobs:          %d (rigid %s, on-demand %s, malleable %s)\n",
+		p.Jobs, p.pct(job.Rigid), p.pct(job.OnDemand), p.pct(job.Malleable))
+	fmt.Fprintf(w, "  span:          %s (submit %ds .. %ds)\n",
+		simtime.Format(p.LastSubmit-p.FirstSubmit), p.FirstSubmit, p.LastSubmit)
+	fmt.Fprintf(w, "  node-hours:    %.0f\n", p.NodeHours)
+	fmt.Fprintf(w, "  inter-arrival: mean %s, p50 <=%s, p90 <=%s, p99 <=%s, max %s\n",
+		simtime.Format(int64(p.InterArrival.Mean)), simtime.Format(p.InterArrival.P50),
+		simtime.Format(p.InterArrival.P90), simtime.Format(p.InterArrival.P99),
+		simtime.Format(p.InterArrival.Max))
+	fmt.Fprintf(w, "  width (nodes): mean %.1f, p50 <=%d, p90 <=%d, p99 <=%d, max %d\n",
+		p.Width.Mean, p.Width.P50, p.Width.P90, p.Width.P99, p.Width.Max)
+	fmt.Fprintf(w, "  runtime:       mean %s, p50 <=%s, p90 <=%s, p99 <=%s, max %s\n",
+		simtime.Format(int64(p.Runtime.Mean)), simtime.Format(p.Runtime.P50),
+		simtime.Format(p.Runtime.P90), simtime.Format(p.Runtime.P99),
+		simtime.Format(p.Runtime.Max))
+}

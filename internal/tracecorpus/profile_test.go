@@ -1,0 +1,111 @@
+package tracecorpus
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hybridsched/internal/job"
+	"hybridsched/internal/trace"
+)
+
+// sliceStream adapts a record slice to the Stream interface.
+type sliceStream struct {
+	recs []trace.Record
+	i    int
+}
+
+func (s *sliceStream) Next() (trace.Record, bool, error) {
+	if s.i >= len(s.recs) {
+		return trace.Record{}, false, nil
+	}
+	r := s.recs[s.i]
+	s.i++
+	return r, true, nil
+}
+
+func TestCharacterize(t *testing.T) {
+	recs := []trace.Record{
+		{ID: 1, Class: job.Rigid, Submit: 0, Size: 4, Work: 3600},
+		{ID: 2, Class: job.OnDemand, Submit: 100, Size: 1, Work: 1800},
+		{ID: 3, Class: job.Rigid, Submit: 400, Size: 8, Work: 900},
+	}
+	p, err := Characterize(&sliceStream{recs: recs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Jobs != 3 || p.Classes[job.Rigid] != 2 || p.Classes[job.OnDemand] != 1 {
+		t.Fatalf("profile %+v", p)
+	}
+	if p.FirstSubmit != 0 || p.LastSubmit != 400 {
+		t.Fatalf("span %d..%d, want 0..400", p.FirstSubmit, p.LastSubmit)
+	}
+	// 4*3600 + 1*1800 + 8*900 = 23400 node-seconds = 6.5 node-hours.
+	if p.NodeHours != 6.5 {
+		t.Fatalf("node-hours %g, want 6.5", p.NodeHours)
+	}
+	if p.InterArrival.Count != 2 || p.InterArrival.Mean != 200 || p.InterArrival.Max != 300 {
+		t.Fatalf("inter-arrival %+v", p.InterArrival)
+	}
+	if p.Width.Mean < 4.3 || p.Width.Mean > 4.4 || p.Width.Max != 8 {
+		t.Fatalf("width %+v", p.Width)
+	}
+	if p.Runtime.P50 < 1800 || p.Runtime.P50 > 2047 {
+		t.Fatalf("runtime p50 %d, want the 1024..2047 bucket bound", p.Runtime.P50)
+	}
+}
+
+func TestCharacterizeRejectsUnordered(t *testing.T) {
+	recs := []trace.Record{
+		{ID: 1, Submit: 100, Size: 1, Work: 1},
+		{ID: 2, Submit: 50, Size: 1, Work: 1},
+	}
+	_, err := Characterize(&sliceStream{recs: recs})
+	if err == nil || !strings.Contains(err.Error(), "not time-ordered") {
+		t.Fatalf("want time-order error, got %v", err)
+	}
+}
+
+func TestDistQuantiles(t *testing.T) {
+	var d Dist
+	for v := int64(1); v <= 100; v++ {
+		d.add(v)
+	}
+	d.finish()
+	if d.Count != 100 || d.Mean != 50.5 || d.Max != 100 {
+		t.Fatalf("dist %+v", d)
+	}
+	// The p50 of 1..100 lands in the 32..63 bucket, p99 in the top one —
+	// whose reported bound clamps to the observed max.
+	if d.P50 != 63 {
+		t.Fatalf("p50 %d, want 63", d.P50)
+	}
+	if d.P99 != 100 {
+		t.Fatalf("p99 %d, want clamped to max 100", d.P99)
+	}
+	var zeros Dist
+	zeros.add(0)
+	zeros.finish()
+	if zeros.P50 != 0 || zeros.P99 != 0 {
+		t.Fatalf("all-zero dist %+v", zeros)
+	}
+}
+
+func TestProfileRender(t *testing.T) {
+	recs := []trace.Record{
+		{ID: 1, Class: job.Rigid, Submit: 0, Size: 4, Work: 3600},
+		{ID: 2, Class: job.Malleable, Submit: 60, Size: 2, Work: 600},
+	}
+	p, err := Characterize(&sliceStream{recs: recs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	p.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"jobs:          2", "rigid 50.0%", "malleable 50.0%", "node-hours", "width (nodes)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+//go:build ignore
+
+// gen.go regenerates the vendored trace fixtures in this directory. The
+// samples are synthetic but structurally faithful miniatures of the real
+// corpora (same columns, same event discipline, same quirks: mid-window
+// jobs, failed/killed jobs, task retries, non-terminated and zero-timestamp
+// Alibaba rows, job-grouped row order), generated from a fixed seed so the
+// files — and every golden derived from them — are reproducible:
+//
+//	cd internal/tracecorpus/testdata && go run gen.go
+//
+// Outputs (all gzipped, each well under 100KB):
+//
+//	sample.csv.gz     Borg ClusterData task_events dialect (13 columns)
+//	job_events.csv.gz Borg ClusterData job_events dialect (8 columns)
+//	batch_task.csv.gz Alibaba cluster-trace batch_task dialect
+package main
+
+import (
+	"compress/gzip"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+)
+
+// rng is a splitmix64 generator: tiny, seedable, and stable across Go
+// versions (unlike math/rand's unspecified algorithm).
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int        { return int(r.next() % uint64(n)) }
+func (r *rng) rangeI(lo, hi int) int { return lo + r.intn(hi-lo+1) }
+
+type event struct {
+	ts   int64
+	seq  int // generation order, stable tie-break
+	line string
+}
+
+func writeGz(path string, lines []string) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	zw := gzip.NewWriter(f)
+	if _, err := zw.Write([]byte(strings.Join(lines, "\n") + "\n")); err != nil {
+		log.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	st, _ := os.Stat(path)
+	fmt.Printf("%s: %d lines, %d bytes gzipped\n", path, len(lines), st.Size())
+}
+
+func sortEvents(evs []event) []string {
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].ts != evs[j].ts {
+			return evs[i].ts < evs[j].ts
+		}
+		return evs[i].seq < evs[j].seq
+	})
+	lines := make([]string, len(evs))
+	for i, e := range evs {
+		lines[i] = e.line
+	}
+	return lines
+}
+
+const us = 1_000_000 // µs per second
+
+// genBorgTasks emits the task_events dialect: 300 jobs over ~4 simulated
+// hours, 1..32 tasks each, with killed jobs, mid-window jobs (first event is
+// SCHEDULE), and task retries (FAIL then re-SUBMIT while siblings run).
+func genBorgTasks() {
+	r := &rng{s: 0x5eed0001}
+	users := []string{"u_mapred", "u_search", "u_ads", "u_ml", "u_batch", "u_web"}
+	var evs []event
+	seq := 0
+	add := func(ts int64, jobID int64, task int, ev int, user string) {
+		// timestamp,missing,jobID,taskIndex,machine,event,user,class,priority,cpu,mem,disk,constraint
+		evs = append(evs, event{ts: ts, seq: seq, line: fmt.Sprintf(
+			"%d,,%d,%d,%d,%d,%s,2,%d,0.0625,0.03,0.001,0",
+			ts, jobID, task, 4000000+r.intn(2000), ev, user, r.intn(10))})
+		seq++
+	}
+	submit := int64(600) * us
+	for job := 0; job < 300; job++ {
+		jobID := int64(6250000000 + job*37)
+		user := users[r.intn(len(users))]
+		width := 1 << r.intn(6) // 1..32 tasks
+		submit += int64(r.intn(90)) * us
+		queue := int64(r.rangeI(1, 600)) * us
+		run := int64(r.rangeI(30, 14400)) * us
+		sched := submit + queue
+		kind := r.intn(20)
+		switch {
+		case kind == 0: // killed mid-run
+			for t := 0; t < width; t++ {
+				add(submit, jobID, t, 0, user)
+				add(sched, jobID, t, 1, user)
+				add(sched+run/2, jobID, t, 5, user)
+			}
+		case kind == 1: // entered the window mid-flight: no SUBMIT rows
+			for t := 0; t < width; t++ {
+				add(sched, jobID, t, 1, user)
+				add(sched+run+int64(t)*us, jobID, t, 4, user)
+			}
+		case kind == 2 && width > 1: // one task fails and retries
+			for t := 0; t < width; t++ {
+				add(submit, jobID, t, 0, user)
+				add(sched, jobID, t, 1, user)
+			}
+			add(sched+run/4, jobID, 0, 3, user) // task 0 fails...
+			add(sched+run/4+us, jobID, 0, 0, user)
+			add(sched+run/4+2*us, jobID, 0, 1, user) // ...and is rescheduled
+			for t := 0; t < width; t++ {
+				add(sched+run+int64(t)*us, jobID, t, 4, user)
+			}
+		default: // clean submit/schedule/finish
+			for t := 0; t < width; t++ {
+				add(submit, jobID, t, 0, user)
+				add(sched, jobID, t, 1, user)
+				add(sched+run+int64(t)*us, jobID, t, 4, user)
+			}
+		}
+	}
+	writeGz("sample.csv.gz", sortEvents(evs))
+}
+
+// genBorgJobs emits the job_events dialect: 300 jobs, some killed, some
+// lost, some mid-window.
+func genBorgJobs() {
+	r := &rng{s: 0x5eed0002}
+	users := []string{"u_cron", "u_etl", "u_ml", "u_web"}
+	var evs []event
+	seq := 0
+	add := func(ts int64, jobID int64, ev int, user string) {
+		// timestamp,missing,jobID,event,user,class,jobname,logicalname
+		evs = append(evs, event{ts: ts, seq: seq, line: fmt.Sprintf(
+			"%d,,%d,%d,%s,1,job_%x,logical_%x", ts, jobID, ev, user, jobID, jobID%97)})
+		seq++
+	}
+	submit := int64(300) * us
+	for job := 0; job < 300; job++ {
+		jobID := int64(5180000000 + job*53)
+		user := users[r.intn(len(users))]
+		submit += int64(r.intn(120)) * us
+		sched := submit + int64(r.rangeI(1, 900))*us
+		end := sched + int64(r.rangeI(10, 7200))*us
+		switch r.intn(15) {
+		case 0: // killed
+			add(submit, jobID, 0, user)
+			add(sched, jobID, 1, user)
+			add(end, jobID, 5, user)
+		case 1: // lost
+			add(submit, jobID, 0, user)
+			add(sched, jobID, 1, user)
+			add(end, jobID, 6, user)
+		case 2: // mid-window: first event is SCHEDULE
+			add(sched, jobID, 1, user)
+			add(end, jobID, 4, user)
+		default:
+			add(submit, jobID, 0, user)
+			add(sched, jobID, 1, user)
+			add(end, jobID, 4, user)
+		}
+	}
+	writeGz("job_events.csv.gz", sortEvents(evs))
+}
+
+// genAlibaba emits batch_task rows grouped by job (the real dump's order),
+// with ~10% non-Terminated rows and a few zero-timestamp rows.
+func genAlibaba() {
+	r := &rng{s: 0x5eed0003}
+	var lines []string
+	start := int64(86400)
+	for job := 1; job <= 120; job++ {
+		jobName := fmt.Sprintf("j_%d", 4100000+job*11)
+		tasks := r.rangeI(1, 8)
+		start += int64(r.intn(300))
+		for t := 1; t <= tasks; t++ {
+			instances := 1 << r.intn(7) // 1..64
+			s := start + int64(r.intn(600))
+			e := s + int64(r.rangeI(20, 3600))
+			status := "Terminated"
+			switch r.intn(12) {
+			case 0:
+				status = "Failed"
+			case 1:
+				status = "Running"
+			case 2:
+				s, e = 0, 0 // outside the trace window
+			}
+			lines = append(lines, fmt.Sprintf("task_%s%d,%d,%s,1,%s,%d,%d,100,0.39",
+				map[bool]string{true: "M", false: "R"}[t%2 == 0], t, instances, jobName, status, s, e))
+		}
+	}
+	writeGz("batch_task.csv.gz", lines)
+}
+
+func main() {
+	genBorgTasks()
+	genBorgJobs()
+	genAlibaba()
+}

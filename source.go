@@ -29,20 +29,39 @@ type SourceFunc = source.Func
 // SortSource first if the slice is not in Submit order.
 func FromRecords(records []Record) Source { return source.FromRecords(records) }
 
-// FromCSV returns a streaming Source over the native CSV trace dialect:
-// records are parsed one at a time, so a multi-week trace feeds a session
-// without ever being resident in memory as a whole. The reader is not
-// closed; use OpenSource for files.
+// FromCSV returns a streaming Source over the native CSV trace dialect
+// (plain or gzipped — compression is detected from the content, not the
+// name): records are parsed one at a time, so a multi-week trace feeds a
+// session without ever being resident in memory as a whole. The reader is
+// not closed; use OpenSource for files.
 func FromCSV(r io.Reader) Source { return source.FromCSV(r) }
 
-// FromSWF returns a streaming Source over a Standard Workload Format trace.
-// Every SWF job imports as rigid (see ReadSWF); compose with Relabel to
-// promote imports to the on-demand or malleable classes.
+// FromSWF returns a streaming Source over a Standard Workload Format trace
+// (plain or gzipped, detected from the content). Every SWF job imports as
+// rigid (see ReadSWF); compose with Relabel to promote imports to the
+// on-demand or malleable classes.
 func FromSWF(r io.Reader) Source { return source.FromSWF(r) }
 
+// FromBorg returns a streaming Source over a Google/Borg ClusterData events
+// table (job_events or task_events CSV, plain or gzipped). Completed jobs
+// emerge in submit order through a constant-memory watermark join; every
+// import is rigid — compose with Relabel to impose the hybrid class
+// structure. See the internal tracecorpus package and DESIGN.md for exactly
+// which trace fields are consumed.
+func FromBorg(r io.Reader) Source { return source.FromBorg(r) }
+
+// FromAlibaba returns a streaming Source over the Alibaba cluster-trace
+// batch format (batch_task.csv, plain or gzipped): one rigid record per
+// Terminated task, with the instance count as the width. Compose with
+// Relabel to impose the hybrid class structure.
+func FromAlibaba(r io.Reader) Source { return source.FromAlibaba(r) }
+
 // OpenSource returns a streaming Source over a trace file, dispatching on
-// the extension (".swf" → SWF, anything else → native CSV). The file is
-// closed once the stream is drained or fails.
+// the extension after stripping a trailing ".gz" (".swf"/".swf.gz" → SWF,
+// anything else → native CSV; gzip is detected by content, so the suffix
+// only selects the dialect). The file is closed once the stream is drained
+// or fails. Borg and Alibaba corpora are not auto-detected — use FromBorg/
+// FromAlibaba or the "borg:"/"alibaba:" spec heads.
 func OpenSource(path string) (Source, error) { return source.Open(path) }
 
 // Synthetic returns a Source over the calibrated Theta-model generator: the
@@ -89,6 +108,13 @@ func Shift(src Source, dt int64) Source { return source.Shift(src, dt) }
 // Limit yields at most n records.
 func Limit(src Source, n int) Source { return source.Limit(src, n) }
 
+// Shard deterministically selects the i-th of n hash-shards of a stream
+// (0-based): a record is kept iff the splitmix64 hash of its job ID lands
+// in shard i. Selection depends only on the ID, so the split is stable
+// across runs and workers, and the disjoint union of all n shards is
+// exactly the unsharded stream. In the spec grammar it is "shard:I/N".
+func Shard(src Source, n, i int) Source { return source.Shard(src, n, i) }
+
 // SortSource buffers the whole input and re-yields it in stable Submit
 // order. Use it for inputs that cannot guarantee time order; it necessarily
 // forfeits streaming.
@@ -104,11 +130,12 @@ func ReadAllSource(src Source) ([]Record, error) { return source.ReadAll(src) }
 //
 //	spec      = pipeline { "+" pipeline }          merge, time-ordered
 //	pipeline  = head { "|" transform }
-//	head      = "csv:PATH" | "swf:PATH"
+//	head      = "csv:PATH" | "swf:PATH" | "borg:PATH" | "alibaba:PATH"
 //	          | "synthetic[:k=v,...]"              keys: seed weeks nodes mix load
 //	          | NAME[":ARG"]                       registered with RegisterSource
 //	transform = "relabel:paper" | "relabel:k=v,..."
 //	          | "scale:F" | "shift:SECS" | "limit:N" | "filter:k=v,..."
+//	          | "shard:I/N"                        deterministic hash-shard i of n
 //
 // Example: "swf:theta.swf|relabel:paper|scale:1.2" replays the Theta log
 // with the paper's class mix at 1.2× load. File-backed pipelines open their
@@ -129,7 +156,7 @@ func RegisterSource(name string, factory SourceFactory) error {
 }
 
 // SourceNames returns every resolvable source-spec head: the built-ins
-// (csv, swf, synthetic), then registered extensions.
+// (csv, swf, borg, alibaba, synthetic), then registered extensions.
 func SourceNames() []string { return source.Names() }
 
 // SWFSummary reports what an SWF import did: jobs read (all rigid), jobs
