@@ -1,0 +1,10 @@
+//go:build !eventqdebug
+
+package eventq
+
+// Without the eventqdebug build tag the lifetime assertions compile away:
+// Recycle and Cancel keep their documented defensive no-op semantics.
+
+func debugRecycle(*Queue, *Event) {}
+
+func debugCancel(*Event) {}

@@ -1,0 +1,33 @@
+//go:build eventqdebug
+
+package eventq
+
+import "fmt"
+
+// With the eventqdebug build tag the queue turns event-lifetime misuse —
+// easy to hit when handle handling changes, and silently absorbed by the
+// defensive no-ops in a normal build — into panics:
+//
+//   - recycling an event that is still scheduled (the handle is still
+//     referenced by the queue itself; a reuse would corrupt dispatch order),
+//   - recycling an event twice (two owners both believed they held the last
+//     reference),
+//   - cancelling an event after it was recycled (a stale handle outlived the
+//     Recycle contract; with pooling the cancel could hit an unrelated reuse).
+//
+// Run the suites with `go test -tags eventqdebug ./...` to arm them.
+
+func debugRecycle(q *Queue, e *Event) {
+	if e.pooled {
+		panic(fmt.Sprintf("eventq: double recycle of event t=%d prio=%d seq=%d", e.Time, e.Prio, e.seq))
+	}
+	if q.scheduled(e) {
+		panic(fmt.Sprintf("eventq: recycle of still-scheduled event t=%d prio=%d seq=%d", e.Time, e.Prio, e.seq))
+	}
+}
+
+func debugCancel(e *Event) {
+	if e.pooled {
+		panic(fmt.Sprintf("eventq: cancel after recycle (stale handle) t=%d prio=%d seq=%d", e.Time, e.Prio, e.seq))
+	}
+}

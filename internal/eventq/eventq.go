@@ -4,11 +4,24 @@
 // Events are ordered by (Time, Priority, sequence number). The sequence
 // number — assigned at push time — breaks ties deterministically, so two runs
 // of the same simulation always dispatch events in the same order. Entries
-// can be cancelled in O(log n), which the mechanisms use to withdraw planned
+// can be cancelled cheaply, which the mechanisms use to withdraw planned
 // preemptions and reservation timeouts when an on-demand job arrives early.
+//
+// Two backends implement the same total order. The default is a calendar
+// queue (Brown, CACM'88): a power-of-two ring of sorted buckets indexed by
+// floor(Time/width), which makes Push/Pop amortized O(1) for the
+// near-monotone event populations a simulation produces — the binary heap's
+// O(log n) per operation is one of the superlinear walls between the engine
+// and multi-million-event traces. UseHeap switches an empty queue to the
+// retained binary-heap backend; the naive reference engine path runs on it,
+// and the calendar queue is differentially tested against it (dispatch-order
+// equivalence under fuzzed Push/Pop/Cancel/Recycle interleavings).
 package eventq
 
-import "container/heap"
+import (
+	"container/heap"
+	"sort"
+)
 
 // Priority orders events that fire at the same instant. Lower values
 // dispatch first. The ordering encodes the scheduling semantics of the
@@ -30,11 +43,13 @@ const (
 
 // Event is an entry in the queue. Payload is opaque to the queue.
 type Event struct {
-	Time     int64
-	Prio     Priority
-	Payload  any
-	seq      uint64
-	index    int // heap index, -1 once removed
+	Time    int64
+	Prio    Priority
+	Payload any
+	seq     uint64
+	// index locates the event inside its backend — the heap position, or the
+	// calendar bucket it was placed in. -1 once removed.
+	index    int
 	canceled bool
 	pooled   bool // on the free list, awaiting reuse
 }
@@ -42,9 +57,27 @@ type Event struct {
 // Canceled reports whether Cancel was called on the event.
 func (e *Event) Canceled() bool { return e.canceled }
 
-// Queue is a min-heap of events. The zero value is ready to use.
+// minBuckets is the initial (and minimum) calendar ring size.
+const minBuckets = 4
+
+// Queue is a deterministic priority queue of events. The zero value is ready
+// to use and runs on the calendar backend; see UseHeap.
 type Queue struct {
-	h    eventHeap
+	// heapMode selects the retained binary-heap backend (see UseHeap).
+	heapMode bool
+	h        eventHeap
+
+	// Calendar backend: a power-of-two ring of buckets, each sorted by the
+	// dispatch order. An event at time t lives in bucket
+	// floorDiv(t, width) & (len(buckets)-1). lastT is a lower bound on the
+	// minimum live event time: Pop raises it to the dispatched time, Push
+	// lowers it when an event lands in the past (mechanisms schedule at the
+	// current instant), so the bucket scan always starts at the right window.
+	buckets [][]*Event
+	width   int64
+	lastT   int64
+	n       int
+
 	seq  uint64
 	pool []*Event
 	// pooling enables the internal free list (see EnablePooling).
@@ -59,9 +92,24 @@ type Queue struct {
 // its mechanism-held timer handles are never recycled).
 func (q *Queue) EnablePooling() { q.pooling = true }
 
+// UseHeap switches an empty queue to the binary-heap backend — the naive
+// reference implementation the calendar queue is pinned byte-identical to.
+// It must be called before the first Push.
+func (q *Queue) UseHeap() {
+	if q.Len() != 0 {
+		panic("eventq: UseHeap on a non-empty queue")
+	}
+	q.heapMode = true
+}
+
 // Len returns the number of live (non-cancelled) events.
 // Cancelled events are removed eagerly, so this is exact.
-func (q *Queue) Len() int { return len(q.h) }
+func (q *Queue) Len() int {
+	if q.heapMode {
+		return len(q.h)
+	}
+	return q.n
+}
 
 // Push schedules payload at time t with priority p and returns a handle that
 // can be used to cancel it.
@@ -76,43 +124,162 @@ func (q *Queue) Push(t int64, p Priority, payload any) *Event {
 		e = &Event{Time: t, Prio: p, Payload: payload, seq: q.seq}
 	}
 	q.seq++
-	heap.Push(&q.h, e)
+	q.insert(e)
 	return e
 }
 
-// Recycle parks e for reuse by a future Push. The caller asserts that no
-// other reference to e survives: e must already be popped or cancelled, and
-// every handle to it dropped — recycling a still-referenced event would let
-// a later Cancel through the stale handle hit an unrelated reuse. Recycle is
-// a no-op when pooling is disabled, for nil events, for events still in the
-// queue, and for events already parked, so callers may recycle defensively.
-func (q *Queue) Recycle(e *Event) {
-	if !q.pooling || e == nil || e.pooled {
+// insert places e into the active backend.
+func (q *Queue) insert(e *Event) {
+	if q.heapMode {
+		heap.Push(&q.h, e)
 		return
 	}
-	if e.index >= 0 && e.index < len(q.h) && q.h[e.index] == e {
-		return // still scheduled
+	if q.buckets == nil {
+		q.buckets = make([][]*Event, minBuckets)
+		q.width = 1
+		q.lastT = e.Time
 	}
-	e.pooled = true
-	e.Payload = nil
-	q.pool = append(q.pool, e)
+	if q.n+1 > 2*len(q.buckets) {
+		q.rebuild(2 * len(q.buckets))
+	}
+	q.place(e)
+	q.n++
+	if e.Time < q.lastT {
+		q.lastT = e.Time
+	}
+}
+
+// place inserts e into its calendar bucket at its sorted position.
+func (q *Queue) place(e *Event) {
+	b := int(floorDiv(e.Time, q.width)) & (len(q.buckets) - 1)
+	bk := q.buckets[b]
+	i := sort.Search(len(bk), func(k int) bool { return before(e, bk[k]) })
+	bk = append(bk, nil)
+	copy(bk[i+1:], bk[i:])
+	bk[i] = e
+	q.buckets[b] = bk
+	e.index = b
+}
+
+// rebuild resizes the ring to nb buckets and re-derives the bucket width from
+// the live population (the average inter-event gap, clamped to one tick).
+// Events are redistributed in global dispatch order, which keeps every bucket
+// sorted, and lastT snaps to the true minimum.
+func (q *Queue) rebuild(nb int) {
+	all := make([]*Event, 0, q.n)
+	for _, bk := range q.buckets {
+		all = append(all, bk...)
+	}
+	sort.Slice(all, func(i, j int) bool { return before(all[i], all[j]) })
+	var width int64 = 1
+	if n := len(all); n > 1 {
+		width = (all[n-1].Time - all[0].Time) / int64(n-1)
+		if width < 1 {
+			width = 1
+		}
+	}
+	q.width = width
+	q.buckets = make([][]*Event, nb)
+	for _, e := range all {
+		q.place(e)
+	}
+	if len(all) > 0 {
+		q.lastT = all[0].Time
+	}
+}
+
+// findMin locates the earliest live event and its bucket, advancing lastT to
+// its time. The scan visits at most one full rotation of the ring starting at
+// lastT's window; the window bound (head.Time < top) is exact because events
+// one ring-period apart never share a window within a single rotation. When
+// the next event is further than one rotation away (a sparse tail), a direct
+// search over the bucket heads finds it and lastT jumps forward, so repeated
+// operations on a sparse queue do not rescan.
+func (q *Queue) findMin() (int, *Event) {
+	if q.n == 0 {
+		return -1, nil
+	}
+	nb := len(q.buckets)
+	vb := floorDiv(q.lastT, q.width)
+	b := int(vb) & (nb - 1)
+	top := (vb + 1) * q.width
+	for i := 0; i < nb; i++ {
+		if bk := q.buckets[b]; len(bk) > 0 && bk[0].Time < top {
+			q.lastT = bk[0].Time
+			return b, bk[0]
+		}
+		b = (b + 1) & (nb - 1)
+		top += q.width
+	}
+	best := -1
+	for i, bk := range q.buckets {
+		if len(bk) > 0 && (best < 0 || before(bk[0], q.buckets[best][0])) {
+			best = i
+		}
+	}
+	q.lastT = q.buckets[best][0].Time
+	return best, q.buckets[best][0]
+}
+
+// removeAt deletes position i from bucket b.
+func (q *Queue) removeAt(b, i int) {
+	bk := q.buckets[b]
+	copy(bk[i:], bk[i+1:])
+	bk[len(bk)-1] = nil
+	q.buckets[b] = bk[:len(bk)-1]
+	q.n--
+	if nb := len(q.buckets); nb > minBuckets && q.n < nb/2 {
+		q.rebuild(nb / 2)
+	}
 }
 
 // Pop removes and returns the earliest event. It returns nil when the queue
 // is empty.
 func (q *Queue) Pop() *Event {
-	if len(q.h) == 0 {
+	if q.heapMode {
+		if len(q.h) == 0 {
+			return nil
+		}
+		return heap.Pop(&q.h).(*Event)
+	}
+	b, e := q.findMin()
+	if e == nil {
 		return nil
 	}
-	return heap.Pop(&q.h).(*Event)
+	e.index = -1
+	q.removeAt(b, 0)
+	return e
 }
 
 // Peek returns the earliest event without removing it, or nil when empty.
 func (q *Queue) Peek() *Event {
-	if len(q.h) == 0 {
-		return nil
+	if q.heapMode {
+		if len(q.h) == 0 {
+			return nil
+		}
+		return q.h[0]
 	}
-	return q.h[0]
+	_, e := q.findMin()
+	return e
+}
+
+// scheduled reports whether e is currently stored in q.
+func (q *Queue) scheduled(e *Event) bool {
+	if e.index < 0 {
+		return false
+	}
+	if q.heapMode {
+		return e.index < len(q.h) && q.h[e.index] == e
+	}
+	if e.index >= len(q.buckets) {
+		return false
+	}
+	for _, x := range q.buckets[e.index] {
+		if x == e {
+			return true
+		}
+	}
+	return false
 }
 
 // Cancel removes e from the queue. Cancelling an event that was already
@@ -121,10 +288,46 @@ func (q *Queue) Cancel(e *Event) {
 	if e == nil || e.canceled {
 		return
 	}
+	debugCancel(e)
 	e.canceled = true
-	if e.index >= 0 && e.index < len(q.h) && q.h[e.index] == e {
-		heap.Remove(&q.h, e.index)
+	if q.heapMode {
+		if e.index >= 0 && e.index < len(q.h) && q.h[e.index] == e {
+			heap.Remove(&q.h, e.index)
+		}
+		return
 	}
+	if b := e.index; b >= 0 && b < len(q.buckets) {
+		for i, x := range q.buckets[b] {
+			if x == e {
+				e.index = -1
+				q.removeAt(b, i)
+				return
+			}
+		}
+	}
+}
+
+// Recycle parks e for reuse by a future Push. The caller asserts that no
+// other reference to e survives: e must already be popped or cancelled, and
+// every handle to it dropped — recycling a still-referenced event would let
+// a later Cancel through the stale handle hit an unrelated reuse. Recycle is
+// a no-op when pooling is disabled, for nil events, for events still in the
+// queue, and for events already parked, so callers may recycle defensively.
+// The eventqdebug build tag turns the defensive no-ops into panics.
+func (q *Queue) Recycle(e *Event) {
+	if e == nil {
+		return
+	}
+	debugRecycle(q, e)
+	if !q.pooling || e.pooled {
+		return
+	}
+	if q.scheduled(e) {
+		return // still scheduled
+	}
+	e.pooled = true
+	e.Payload = nil
+	q.pool = append(q.pool, e)
 }
 
 // before reports whether a should dispatch before b.
@@ -136,6 +339,16 @@ func before(a, b *Event) bool {
 		return a.Prio < b.Prio
 	}
 	return a.seq < b.seq
+}
+
+// floorDiv is floor(a/w) for positive w, exact for negative a (Go's integer
+// division truncates toward zero).
+func floorDiv(a, w int64) int64 {
+	d := a / w
+	if a%w != 0 && a < 0 {
+		d--
+	}
+	return d
 }
 
 type eventHeap []*Event

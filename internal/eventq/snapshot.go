@@ -1,7 +1,6 @@
 package eventq
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
@@ -14,13 +13,24 @@ func (e *Event) Seq() uint64 { return e.seq }
 // SeqCounter returns the next sequence number the queue would assign.
 func (q *Queue) SeqCounter() uint64 { return q.seq }
 
+// live appends every live event to out, in no particular order.
+func (q *Queue) live(out []*Event) []*Event {
+	if q.heapMode {
+		return append(out, q.h...)
+	}
+	for _, bk := range q.buckets {
+		out = append(out, bk...)
+	}
+	return out
+}
+
 // Ordered returns every live event in dispatch order — the exact order Pop
 // would deliver them — without disturbing the queue. Cancelled events are
 // removed eagerly, so the result is precisely the pending event set; it is
-// the canonical iteration for serializing queue contents.
+// the canonical iteration for serializing queue contents, identical for both
+// backends.
 func (q *Queue) Ordered() []*Event {
-	out := make([]*Event, len(q.h))
-	copy(out, q.h)
+	out := q.live(make([]*Event, 0, q.Len()))
 	sort.Slice(out, func(i, j int) bool { return before(out[i], out[j]) })
 	return out
 }
@@ -37,7 +47,7 @@ func (q *Queue) PushRestored(t int64, p Priority, payload any, seq uint64) (*Eve
 		return nil, fmt.Errorf("eventq: restored seq %d not below counter %d", seq, q.seq)
 	}
 	e := &Event{Time: t, Prio: p, Payload: payload, seq: seq}
-	heap.Push(&q.h, e)
+	q.insert(e)
 	return e, nil
 }
 
@@ -45,14 +55,14 @@ func (q *Queue) PushRestored(t int64, p Priority, payload any, seq uint64) (*Eve
 // and foreign events report false. Mechanisms use it to tell a live timer
 // handle from a stale one when serializing their state.
 func (q *Queue) Contains(e *Event) bool {
-	return e != nil && e.index >= 0 && e.index < len(q.h) && q.h[e.index] == e
+	return e != nil && q.scheduled(e)
 }
 
 // SetSeqCounter positions the sequence counter, so pushes after a restore
 // continue the original numbering. It fails if n would move the counter
 // backwards past a live event.
 func (q *Queue) SetSeqCounter(n uint64) error {
-	for _, ev := range q.h {
+	for _, ev := range q.live(nil) {
 		if ev.seq >= n {
 			return fmt.Errorf("eventq: counter %d not above live seq %d", n, ev.seq)
 		}

@@ -313,6 +313,21 @@ func (j *Job) MalleableEstimatedEnd(now int64) int64 {
 	return start + ceilDiv(j.estRemainingWork(), n)
 }
 
+// MalleableEstimatedEndAsOf returns MalleableEstimatedEnd evaluated at the
+// last progress update, without advancing the accounting. While the job runs
+// at a fixed size the estimate-based end is invariant in the evaluation time
+// (remaining estimated work shrinks at exactly the compute rate), so this
+// equals MalleableEstimatedEnd(now) for any now at or after the last update —
+// letting callers read the end time without mutating the job.
+func (j *Job) MalleableEstimatedEndAsOf() int64 {
+	n := int64(j.CurSize)
+	start := j.lastUpdate
+	if j.setupEnd > start {
+		start = j.setupEnd
+	}
+	return start + ceilDiv(j.estRemainingWork(), n)
+}
+
 // estRemainingWork is the estimate-based outstanding node-seconds.
 func (j *Job) estRemainingWork() int64 {
 	done := j.totalWork - j.remWork

@@ -75,6 +75,58 @@ type Collector struct {
 	results  []JobResult
 	decision stats.Welford
 	maxDecNS int64
+
+	// Streaming mode: per-job results are folded into constant-memory
+	// accumulators instead of the results slice, so collector memory stays
+	// flat across multi-million-job runs. See EnableStreaming.
+	streaming  bool
+	aggAll     classAgg
+	aggRigid   classAgg
+	aggOD      classAgg
+	aggMall    classAgg
+	odInstant  int
+	odStrict   int
+	odStreamed int
+	delaySum   float64
+}
+
+// classAgg is streaming mode's constant-memory substitute for a per-class
+// result slice: single-pass moments plus extrema.
+type classAgg struct {
+	w         stats.Welford
+	min, max  float64
+	sum       float64
+	preempted int
+}
+
+func (a *classAgg) add(t float64, preempted bool) {
+	if a.w.N() == 0 || t < a.min {
+		a.min = t
+	}
+	if a.w.N() == 0 || t > a.max {
+		a.max = t
+	}
+	a.w.Add(t)
+	a.sum += t
+	if preempted {
+		a.preempted++
+	}
+}
+
+// stats renders the accumulator as ClassStats. Rank statistics (median, P90,
+// P99) need the full sample and are reported as zero in streaming mode.
+func (a *classAgg) stats() ClassStats {
+	cs := ClassStats{Count: a.w.N(), PreemptedJobs: a.preempted}
+	if cs.Count == 0 {
+		return cs
+	}
+	cs.Turnaround = stats.Summary{
+		N: a.w.N(), Mean: a.w.Mean(), Std: a.w.Std(),
+		Min: a.min, Max: a.max, Sum: a.sum,
+	}
+	cs.PreemptRatio = float64(a.preempted) / float64(cs.Count)
+	cs.MeanTurnaroundH = cs.Turnaround.Mean / float64(simtime.Hour)
+	return cs
 }
 
 // NewCollector returns a collector for a system of the given node count.
@@ -162,8 +214,44 @@ func addUsage(a, b job.Usage) job.Usage {
 	return a
 }
 
+// EnableStreaming switches the collector to constant-memory aggregation:
+// completions fold into running per-class moments instead of the retained
+// results slice. Reports from a streaming collector carry no PerJob list and
+// no rank statistics (median/P90/P99 read as zero); means, extrema, counts,
+// rates, and the node-second ledger are exact. Enable before the first
+// completion; results recorded earlier stay in the retained slice and are
+// not merged.
+func (c *Collector) EnableStreaming() { c.streaming = true }
+
 // NoteComplete records a completed job and extends the observation window.
 func (c *Collector) NoteComplete(j *job.Job) {
+	if c.streaming {
+		t := float64(j.Turnaround())
+		pre := j.PreemptCount > 0
+		c.aggAll.add(t, pre)
+		switch j.Class {
+		case job.Rigid:
+			c.aggRigid.add(t, pre)
+		case job.OnDemand:
+			c.aggOD.add(t, pre)
+			c.odStreamed++
+			c.delaySum += float64(j.StartDelay())
+			if j.StartDelay() <= InstantStartTolerance {
+				c.odInstant++
+			}
+			if j.StartDelay() == 0 {
+				c.odStrict++
+			}
+		case job.Malleable:
+			c.aggMall.add(t, pre)
+		}
+		if j.EndTime > c.winEnd {
+			c.winEnd = j.EndTime
+		}
+		c.downNSAtEnd = c.downThrough(c.winEnd)
+		c.failsAtEnd, c.missesAtEnd = c.failures, c.failMisses
+		return
+	}
 	r := JobResult{
 		ID:           j.ID,
 		Class:        j.Class,
@@ -318,6 +406,10 @@ type Report struct {
 // the window end.
 func (c *Collector) Report() Report {
 	r := Report{Nodes: c.nodes, Jobs: len(c.results), PerJob: c.results}
+	if c.streaming {
+		r.Jobs = c.aggAll.w.N()
+		r.PerJob = nil
+	}
 	if !c.haveWindow {
 		return r
 	}
@@ -326,6 +418,19 @@ func (c *Collector) Report() Report {
 	r.FailuresInjected = c.failsAtEnd
 	r.FailureMisses = c.missesAtEnd
 	r.DownNodeSeconds = c.downNSAtEnd
+	if c.streaming {
+		r.All = c.aggAll.stats()
+		r.Rigid = c.aggRigid.stats()
+		r.OnDemand = c.aggOD.stats()
+		r.Malleable = c.aggMall.stats()
+		if c.odStreamed > 0 {
+			r.InstantStartRate = float64(c.odInstant) / float64(c.odStreamed)
+			r.StrictInstantStartRate = float64(c.odStrict) / float64(c.odStreamed)
+			r.MeanStartDelay = c.delaySum / float64(c.odStreamed)
+		}
+		c.finishReport(&r)
+		return r
+	}
 
 	turn := make([]float64, 0, len(c.results))
 	var turnR, turnO, turnM []float64
@@ -374,7 +479,13 @@ func (c *Collector) Report() Report {
 		r.StrictInstantStartRate = float64(odStrict) / float64(odCount)
 		r.MeanStartDelay = delaySum / float64(odCount)
 	}
+	c.finishReport(&r)
+	return r
+}
 
+// finishReport fills the sample-independent tail of a report: the node-second
+// utilization breakdown and decision-latency stats.
+func (c *Collector) finishReport(r *Report) {
 	total := float64(c.nodes) * float64(r.Makespan)
 	if total > 0 {
 		u := c.usage
@@ -395,7 +506,6 @@ func (c *Collector) Report() Report {
 	r.DecisionCount = c.decision.N()
 	r.MeanDecisionMs = c.decision.Mean() / 1e6
 	r.MaxDecisionMs = float64(c.maxDecNS) / 1e6
-	return r
 }
 
 func classStats(turn []float64, preempted int) ClassStats {

@@ -1,0 +1,112 @@
+package nodeset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naivePick is the pre-bulk per-bit reference semantics of Pick.
+func naivePick(s *Set, k int) *Set {
+	taken := &Set{}
+	for k > 0 && !s.Empty() {
+		id, _ := s.NextSet(0)
+		s.Remove(id)
+		taken.Add(id)
+		k--
+	}
+	return taken
+}
+
+// TestPickMatchesNaive pins the word-level Pick to the per-bit reference over
+// randomized populations, including whole-word and boundary-word cases.
+func TestPickMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(3000)
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) != 0 {
+				a.Add(i)
+				b.Add(i)
+			}
+		}
+		k := rng.Intn(n + 10)
+		got := a.Pick(k)
+		want := naivePick(b, k)
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: Pick(%d) = %s, want %s", trial, k, got, want)
+		}
+		if !a.Equal(b) {
+			t.Fatalf("trial %d: remainder diverges: %s vs %s", trial, a, b)
+		}
+		if got.Len()+a.Len() != b.Len()+want.Len() {
+			t.Fatalf("trial %d: cardinality leak", trial)
+		}
+	}
+}
+
+// TestPickWholeUniverse picks everything from a large contiguous set — the
+// allocation pattern of cluster construction at 100k nodes.
+func TestPickWholeUniverse(t *testing.T) {
+	s := Range(0, 131072)
+	taken := s.Pick(131072)
+	if taken.Len() != 131072 || !s.Empty() {
+		t.Fatalf("Pick(all): took %d, left %d", taken.Len(), s.Len())
+	}
+	if id, ok := taken.NextSet(0); !ok || id != 0 {
+		t.Fatalf("NextSet(0) = %d,%v", id, ok)
+	}
+	if id, ok := taken.NextSet(131071); !ok || id != 131071 {
+		t.Fatalf("NextSet(last) = %d,%v", id, ok)
+	}
+	if _, ok := taken.NextSet(131072); ok {
+		t.Fatal("NextSet past the end should report false")
+	}
+}
+
+// TestAddRangeMatchesAdds pins AddRange to per-bit insertion across word
+// boundaries and overlaps.
+func TestAddRangeMatchesAdds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		a, b := &Set{}, &Set{}
+		for r := 0; r < 3; r++ {
+			lo := rng.Intn(500)
+			hi := lo + rng.Intn(300)
+			a.AddRange(lo, hi)
+			for i := lo; i < hi; i++ {
+				b.Add(i)
+			}
+		}
+		if !a.Equal(b) || a.Len() != b.Len() {
+			t.Fatalf("trial %d: AddRange diverges: %s vs %s", trial, a, b)
+		}
+	}
+	empty := &Set{}
+	empty.AddRange(5, 5)
+	empty.AddRange(9, 3)
+	if !empty.Empty() {
+		t.Fatal("empty ranges must add nothing")
+	}
+}
+
+// TestNextSet exercises the word-skipping iteration.
+func TestNextSet(t *testing.T) {
+	s := FromIDs(3, 64, 65, 200, 4095)
+	var got []int
+	for id, ok := s.NextSet(0); ok; id, ok = s.NextSet(id + 1) {
+		got = append(got, id)
+	}
+	want := []int{3, 64, 65, 200, 4095}
+	if len(got) != len(want) {
+		t.Fatalf("iterated %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("iterated %v, want %v", got, want)
+		}
+	}
+	if id, ok := s.NextSet(-5); !ok || id != 3 {
+		t.Fatalf("NextSet(-5) = %d,%v", id, ok)
+	}
+}

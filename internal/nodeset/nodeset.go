@@ -30,10 +30,33 @@ func New(n int) *Set {
 // Range returns the set {lo, lo+1, ..., hi-1}.
 func Range(lo, hi int) *Set {
 	s := New(hi)
-	for i := lo; i < hi; i++ {
-		s.Add(i)
-	}
+	s.AddRange(lo, hi)
 	return s
+}
+
+// AddRange inserts every id in [lo, hi), filling whole words at a time so
+// building a 100k-node universe costs ~hi/64 word writes, not hi bit inserts.
+// It panics on a negative lo.
+func (s *Set) AddRange(lo, hi int) {
+	if hi <= lo {
+		return
+	}
+	if lo < 0 {
+		panic("nodeset: negative node id")
+	}
+	s.grow((hi - 1) / wordBits)
+	for w := lo / wordBits; w*wordBits < hi; w++ {
+		mask := ^uint64(0)
+		if base := w * wordBits; base < lo {
+			mask &= ^uint64(0) << uint(lo-base)
+		}
+		if end := (w + 1) * wordBits; end > hi {
+			mask &= ^uint64(0) >> uint(end-hi)
+		}
+		added := mask &^ s.words[w]
+		s.words[w] |= mask
+		s.count += bits.OnesCount64(added)
+	}
 }
 
 // FromIDs returns a set containing exactly ids.
@@ -199,25 +222,70 @@ func (s *Set) Equal(o *Set) bool {
 
 // Pick removes up to k members (the lowest-numbered ones, for determinism)
 // and returns them as a new set. If the set has fewer than k members, all of
-// them are taken.
+// them are taken. Whole words move in one mask operation — allocating
+// thousands of nodes from a 100k-bit free pool costs a few word transfers,
+// not one bit insert per node — and the result's word slice is preallocated
+// to the source's length, so the transfer itself never reallocates.
 func (s *Set) Pick(k int) *Set {
 	taken := &Set{}
-	if k <= 0 {
+	if k <= 0 || s.count == 0 {
 		return taken
 	}
+	if k > s.count {
+		k = s.count
+	}
+	taken.words = make([]uint64, len(s.words))
 	for wi := 0; wi < len(s.words) && k > 0; wi++ {
 		w := s.words[wi]
-		for w != 0 && k > 0 {
-			b := bits.TrailingZeros64(w)
-			id := wi*wordBits + b
-			taken.Add(id)
-			w &^= 1 << uint(b)
-			s.words[wi] &^= 1 << uint(b)
-			s.count--
-			k--
+		if w == 0 {
+			continue
 		}
+		if c := bits.OnesCount64(w); c <= k {
+			// The whole word fits: move it verbatim.
+			taken.words[wi] = w
+			s.words[wi] = 0
+			taken.count += c
+			s.count -= c
+			k -= c
+			continue
+		}
+		// Boundary word: keep only the lowest k set bits. Clearing the
+		// lowest set bit k times leaves the high remainder; the difference
+		// is exactly the k bits to take.
+		rest := w
+		for i := 0; i < k; i++ {
+			rest &= rest - 1
+		}
+		take := w &^ rest
+		taken.words[wi] = take
+		s.words[wi] = rest
+		taken.count += k
+		s.count -= k
+		k = 0
 	}
 	return taken
+}
+
+// NextSet returns the smallest member >= from, scanning a word at a time
+// (the NextFree-style iteration of classic bitset allocators). ok is false
+// when no such member exists. A negative from is treated as zero.
+func (s *Set) NextSet(from int) (id int, ok bool) {
+	if from < 0 {
+		from = 0
+	}
+	wi := from / wordBits
+	if wi >= len(s.words) {
+		return 0, false
+	}
+	if w := s.words[wi] >> uint(from%wordBits); w != 0 {
+		return from + bits.TrailingZeros64(w), true
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if w := s.words[wi]; w != 0 {
+			return wi*wordBits + bits.TrailingZeros64(w), true
+		}
+	}
+	return 0, false
 }
 
 // IDs returns the members in ascending order.

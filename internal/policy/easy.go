@@ -7,12 +7,27 @@ import (
 )
 
 // Running describes a running job for backfill planning: when the scheduler
-// expects its nodes back (estimate-based, never the actual end) and how many
-// nodes it holds.
+// expects its nodes back (estimate-based, never the actual end), how many
+// nodes it holds, and which job it is. The release list is ordered by
+// (EstEnd, ID) — a total order — so an incrementally maintained list and a
+// freshly sorted one agree bit-for-bit even when estimated ends tie.
 type Running struct {
 	EstEnd int64
 	Nodes  int
+	ID     int
 }
+
+// relLess is the release-list order: by estimated end, ties by job ID.
+func relLess(a, b Running) bool {
+	if a.EstEnd != b.EstEnd {
+		return a.EstEnd < b.EstEnd
+	}
+	return a.ID < b.ID
+}
+
+// RelLess reports whether a orders before b in the release list — the
+// (EstEnd, ID) total order PlanEASYSorted requires callers to maintain.
+func RelLess(a, b Running) bool { return relLess(a, b) }
 
 // Start is a planner decision: start job J on Size nodes now.
 type Start struct {
@@ -30,6 +45,16 @@ const maxInt64 = int64(^uint64(0) >> 1)
 type Planner struct {
 	starts []Start
 	rel    []Running
+
+	// Memoized phase-2 shadow/extra for PlanEASYSorted, keyed by everything
+	// the computation reads: the head's residual need, the free pool, and the
+	// caller's release-list version. See PlanEASYSorted.
+	shadowValid    bool
+	shadowHeadNeed int
+	shadowFree     int
+	shadowRelVer   uint64
+	shadowTime     int64
+	shadowExtra    int
 }
 
 // PlanEASY computes the set of waiting jobs to start now under FCFS/EASY
@@ -41,8 +66,8 @@ type Planner struct {
 //     the earliest instant at which enough running jobs will have released
 //     nodes (by their estimates).
 //  3. Jobs behind it may backfill if they fit now and either finish (by their
-//     estimate) before the shadow time or use only nodes the head job will
-//     not need (the "extra" nodes).
+//     estimate) before the shadow time or use only capacity the head job will
+//     not need (the "extra" nodes, plus reserved capacity invisible to it).
 //
 // Malleable jobs are sized greedily: the largest feasible size wins; a
 // malleable head job only needs its minimum size to start.
@@ -64,14 +89,43 @@ type Planner struct {
 //
 // The returned slice is owned by the Planner and valid until its next call.
 func (p *Planner) PlanEASY(now int64, queue []*job.Job, running []Running, free, backfillExtra int, ownReserve func(*job.Job) int, flexible bool) []Start {
+	return p.plan(now, queue, running, free, backfillExtra, ownReserve, flexible, false, 0)
+}
+
+// PlanEASYSorted is PlanEASY for a release list the caller maintains already
+// sorted by (EstEnd, ID): the per-pass copy and sort disappear, and the
+// phase-2 shadow/extra computation is memoized. relVersion must change
+// whenever the contents of running change (any insert, removal, or estimate
+// update); together with the head's residual need and the free count it keys
+// the cached result, so a pass repeated against an unchanged running set and
+// free pool skips the release-list scan entirely.
+func (p *Planner) PlanEASYSorted(now int64, queue []*job.Job, running []Running, relVersion uint64, free, backfillExtra int, ownReserve func(*job.Job) int, flexible bool) []Start {
+	return p.plan(now, queue, running, free, backfillExtra, ownReserve, flexible, true, relVersion)
+}
+
+// PlanEASY is the allocation-per-call form of Planner.PlanEASY, retained for
+// one-shot callers and the engine's naive reference path.
+func PlanEASY(now int64, queue []*job.Job, running []Running, free, backfillExtra int, ownReserve func(*job.Job) int, flexible bool) []Start {
+	var p Planner
+	return p.PlanEASY(now, queue, running, free, backfillExtra, ownReserve, flexible)
+}
+
+// startNeed is the smallest node count that lets j start as the (unblocked)
+// queue head: its minimum size under flexible sizing, its full size otherwise.
+func startNeed(j *job.Job, flexible bool) int {
+	if flexible {
+		return minStart(j)
+	}
+	return j.Size
+}
+
+// plan is the shared three-phase EASY pass behind both entry points.
+func (p *Planner) plan(now int64, queue []*job.Job, running []Running, free, backfillExtra int, ownReserve func(*job.Job) int, flexible, sorted bool, relVer uint64) []Start {
 	own := func(j *job.Job) int {
 		if ownReserve == nil {
 			return 0
 		}
 		return ownReserve(j)
-	}
-	if !flexible {
-		return p.planEASYFixed(now, queue, running, free, backfillExtra, own)
 	}
 
 	starts := p.starts[:0]
@@ -81,10 +135,13 @@ func (p *Planner) PlanEASY(now int64, queue []*job.Job, running []Running, free,
 	for idx < len(queue) {
 		j := queue[idx]
 		avail := free + own(j)
-		if minStart(j) > avail {
+		if startNeed(j, flexible) > avail {
 			break
 		}
-		size := chooseSize(j, avail)
+		size := j.Size
+		if flexible {
+			size = chooseSize(j, avail)
+		}
 		starts = append(starts, Start{J: j, Size: size})
 		fromOwn := own(j)
 		if fromOwn > size {
@@ -101,8 +158,8 @@ func (p *Planner) PlanEASY(now int64, queue []*job.Job, running []Running, free,
 	// Phase 2: reservation for the blocked head. The head's own reservation
 	// reduces what it needs from the free pool and future releases.
 	head := queue[idx]
-	headNeed := minStart(head) - own(head)
-	shadow, extra := p.shadowAndExtra(running, free, headNeed)
+	headNeed := startNeed(head, flexible) - own(head)
+	shadow, extra := p.shadowAndExtra(running, free, headNeed, sorted, relVer)
 
 	// Phase 3: backfill the rest of the queue in priority order.
 	for _, j := range queue[idx+1:] {
@@ -112,7 +169,7 @@ func (p *Planner) PlanEASY(now int64, queue []*job.Job, running []Running, free,
 		if j.Class == job.OnDemand {
 			bfExtra = 0
 		}
-		size, usedExtra, ok := chooseBackfillSize(now, j, free, own(j), bfExtra, shadow, extra)
+		size, usedExtra, ok := chooseBackfillSize(now, j, free, own(j), bfExtra, shadow, extra, flexible)
 		if !ok {
 			continue
 		}
@@ -125,95 +182,23 @@ func (p *Planner) PlanEASY(now int64, queue []*job.Job, running []Running, free,
 		}
 		fromFree := rest
 		if fromFree > free {
-			backfillExtra -= fromFree - free
 			fromFree = free
 		}
+		// The shared reserve is charged the larger of the physical overflow
+		// (nodes the free pool could not supply) and the extra-rule overflow
+		// (the part of the draw the head's slack does not cover). Charging
+		// only on free-pool underflow let two extra-rule candidates each size
+		// against the full shared reserve — the double-spend this fixes.
+		reserveUse := rest - fromFree
+		if usedExtra {
+			if over := rest - extra; over > reserveUse {
+				reserveUse = over
+			}
+		}
+		backfillExtra -= reserveUse
 		free -= fromFree
 		if usedExtra {
-			extra -= fromFree
-			if extra < 0 {
-				extra = 0
-			}
-		}
-	}
-	p.starts = starts
-	return starts
-}
-
-// PlanEASY is the allocation-per-call form of Planner.PlanEASY, retained for
-// one-shot callers and the engine's naive reference path.
-func PlanEASY(now int64, queue []*job.Job, running []Running, free, backfillExtra int, ownReserve func(*job.Job) int, flexible bool) []Start {
-	var p Planner
-	return p.PlanEASY(now, queue, running, free, backfillExtra, ownReserve, flexible)
-}
-
-// planEASYFixed is PlanEASY with every job treated as fixed-size (malleable
-// jobs at their maximum). It shares the same shadow/extra logic via the
-// rigid branch of the size chooser.
-func (p *Planner) planEASYFixed(now int64, queue []*job.Job, running []Running, free, backfillExtra int, own func(*job.Job) int) []Start {
-	starts := p.starts[:0]
-	idx := 0
-	for idx < len(queue) {
-		j := queue[idx]
-		if j.Size > free+own(j) {
-			break
-		}
-		starts = append(starts, Start{J: j, Size: j.Size})
-		fromOwn := own(j)
-		if fromOwn > j.Size {
-			fromOwn = j.Size
-		}
-		free -= j.Size - fromOwn
-		idx++
-	}
-	if idx >= len(queue) {
-		p.starts = starts
-		return starts
-	}
-	head := queue[idx]
-	shadow, extra := p.shadowAndExtra(running, free, head.Size-own(head))
-	for _, j := range queue[idx+1:] {
-		bfExtra := backfillExtra
-		if j.Class == job.OnDemand {
-			bfExtra = 0
-		}
-		size := j.Size
-		if size > free+own(j)+bfExtra {
-			continue
-		}
-		var wall int64
-		if j.Class == job.Malleable {
-			wall = j.EstimatedMalleableWall(size)
-		} else {
-			wall = j.EstimatedWallIfStarted()
-		}
-		usedExtra := false
-		if shadow != maxInt64 && now+wall > shadow {
-			fromFree := size - own(j)
-			if fromFree < 0 {
-				fromFree = 0
-			}
-			if fromFree > free {
-				fromFree = free
-			}
-			if fromFree > extra {
-				continue
-			}
-			usedExtra = true
-		}
-		starts = append(starts, Start{J: j, Size: size})
-		rest := size - own(j)
-		if rest < 0 {
-			rest = 0
-		}
-		fromFree := rest
-		if fromFree > free {
-			backfillExtra -= fromFree - free
-			fromFree = free
-		}
-		free -= fromFree
-		if usedExtra {
-			extra -= fromFree
+			extra -= rest - reserveUse
 			if extra < 0 {
 				extra = 0
 			}
@@ -228,23 +213,40 @@ func (p *Planner) planEASYFixed(now int64, queue []*job.Job, running []Running, 
 // extra nodes left over at that instant beyond the head's need. If the head
 // can never be satisfied from running-job releases (e.g. reservations hold
 // nodes back), the shadow is unbounded and only the fits-now constraint
-// applies to backfill candidates. The release list is copied into planner
-// scratch before sorting, so the caller's slice is never reordered.
-func (p *Planner) shadowAndExtra(running []Running, free, headNeed int) (shadow int64, extra int) {
+// applies to backfill candidates. With sorted unset the release list is
+// copied into planner scratch and ordered by (EstEnd, ID) — the caller's
+// slice is never reordered; with sorted set the caller guarantees that order
+// and the result is memoized under (headNeed, free, relVer).
+func (p *Planner) shadowAndExtra(running []Running, free, headNeed int, sorted bool, relVer uint64) (shadow int64, extra int) {
 	avail := free
 	if avail >= headNeed {
 		return maxInt64, avail - headNeed
 	}
-	rel := append(p.rel[:0], running...)
-	p.rel = rel
-	sort.Slice(rel, func(i, j int) bool { return rel[i].EstEnd < rel[j].EstEnd })
+	rel := running
+	if !sorted {
+		rel = append(p.rel[:0], running...)
+		p.rel = rel
+		sort.Slice(rel, func(i, j int) bool { return relLess(rel[i], rel[j]) })
+	} else if p.shadowValid && p.shadowHeadNeed == headNeed && p.shadowFree == free && p.shadowRelVer == relVer {
+		return p.shadowTime, p.shadowExtra
+	}
+	shadow, extra = maxInt64, 0
 	for _, r := range rel {
 		avail += r.Nodes
 		if avail >= headNeed {
-			return r.EstEnd, avail - headNeed
+			shadow, extra = r.EstEnd, avail-headNeed
+			break
 		}
 	}
-	return maxInt64, 0
+	if sorted {
+		p.shadowValid = true
+		p.shadowHeadNeed = headNeed
+		p.shadowFree = free
+		p.shadowRelVer = relVer
+		p.shadowTime = shadow
+		p.shadowExtra = extra
+	}
+	return shadow, extra
 }
 
 // minStart is the smallest node count on which j can be started.
@@ -281,50 +283,44 @@ func estimatedWall(j *job.Job, n int) int64 {
 // extra-node slack (it will still be running at the shadow time).
 //
 // Feasibility of size n: n <= own+free+reservedExtra now, and either the
-// estimated end is before the shadow time, or the job's free-pool draw
-// min(n-own, free) fits within the head's extra nodes (private and shared
-// reserved nodes are invisible to the head). For malleable jobs the
-// estimated wall is non-increasing in n, so the largest candidate is optimal
-// for the time rule; the extra rule caps the free-pool draw at extra.
-func chooseBackfillSize(now int64, j *job.Job, free, own, reservedExtra int, shadow int64, extra int) (size int, usedExtra, ok bool) {
-	cap := own + free + reservedExtra
-	upper := j.Size
-	if upper > cap {
-		upper = cap
-	}
-	if upper < minStart(j) {
-		return 0, false, false
-	}
-	freeDraw := func(n int) int {
-		d := n - own
-		if d < 0 {
-			d = 0
-		}
-		if d > free {
-			d = free
-		}
-		return d
-	}
-	if j.Class != job.Malleable {
+// estimated end is before the shadow time, or the draw beyond the job's own
+// reservation fits within the head's extra slack plus the shared reserved
+// capacity — both invisible to the head job (private reservations never
+// counted against it, and reserved nodes host only preemptable squatters it
+// can displace). For malleable jobs the estimated wall is non-increasing in
+// n, so the largest candidate is optimal under the time rule; when only the
+// extra rule admits the job, the largest size it admits is own+extra+
+// reservedExtra. (The pre-fix fallback capped at own+extra, ignoring the
+// reserved headroom the fits-now rule already admitted — undersizing every
+// malleable backfill whenever on-demand reservations existed.)
+func chooseBackfillSize(now int64, j *job.Job, free, own, reservedExtra int, shadow int64, extra int, flexible bool) (size int, usedExtra, ok bool) {
+	capacity := own + free + reservedExtra
+	if !flexible || j.Class != job.Malleable {
 		size = j.Size
+		if size > capacity {
+			return 0, false, false
+		}
 		if shadow == maxInt64 || now+estimatedWall(j, size) <= shadow {
 			return size, false, true
 		}
-		if freeDraw(size) <= extra {
+		if size-own <= extra+reservedExtra {
 			return size, true, true
 		}
 		return 0, false, false
 	}
-	// Malleable: the time rule is easiest at the largest size.
+	upper := j.Size
+	if upper > capacity {
+		upper = capacity
+	}
+	if upper < j.MinSize {
+		return 0, false, false
+	}
+	// The time rule is easiest at the largest size.
 	if shadow == maxInt64 || now+estimatedWall(j, upper) <= shadow {
 		return upper, false, true
 	}
 	// Time rule fails at every size; fall back to the extra-node rule.
-	if free <= extra {
-		// Any free-pool draw fits inside the extra slack.
-		return upper, true, true
-	}
-	n := extra + own
+	n := own + extra + reservedExtra
 	if n > upper {
 		n = upper
 	}

@@ -46,6 +46,16 @@ type Config struct {
 	// incremental structures. The two paths must produce byte-identical
 	// reports; internal/simtest holds them to that.
 	Reference bool
+	// ReleaseCompleted keeps resident memory flat on streamed runs: the
+	// engine forgets a job entirely at completion (its index entry, its
+	// bookkeeping, and — after priming — its slot in the registration list),
+	// and the metrics collector aggregates completions into constant-memory
+	// moments instead of retaining a per-job result. A 25M-job run submitted
+	// incrementally holds steady RSS. Trade-offs: reports carry no PerJob
+	// list and no rank statistics, Snapshot/LoadSnapshot are refused, and a
+	// completed job's ID can silently be reused by a later Submit — the
+	// engine no longer remembers it.
+	ReleaseCompleted bool
 }
 
 func (c Config) withDefaults() Config {
@@ -224,6 +234,12 @@ type jobEntry struct {
 	running bool // Running or Warning (holds nodes)
 	endEv   *eventq.Event
 	warnEv  *eventq.Event
+
+	// Release-list membership (optimized path): the estimated-end key the
+	// job's entry was inserted under, so removal can binary-search instead of
+	// recomputing an estimate that may have moved on.
+	relEnd int64
+	relOn  bool
 }
 
 // denseSlack bounds how far beyond the contiguous block of registered job IDs
@@ -265,13 +281,32 @@ type Engine struct {
 	// ascending ID order, maintained incrementally.
 	running []*job.Job
 
-	// Scheduler-pass scratch, reused across passes.
-	riScratch []policy.Running
-	planner   policy.Planner
+	// rel is the (EstEnd, ID)-ordered release list the backfill planner
+	// reads, maintained incrementally on the optimized path: jobs enter at
+	// start, leave at completion/preemption, and move when a resize or
+	// warning changes their estimated release. Estimate-based ends are
+	// invariant between those transitions (see job.MalleableEstimatedEndAsOf),
+	// so the list never goes stale in between. relVer bumps on every mutation
+	// and keys the planner's shadow/extra memoization.
+	rel    []policy.Running
+	relVer uint64
+
+	// minNeed is a lower bound on the smallest node count any queued job
+	// needs to start (its minimum size under flexible sizing). Enqueues lower
+	// it exactly; removals leave it stale-low (sound), and every executed
+	// scheduler pass recomputes it. A pass is skipped outright when even this
+	// bound exceeds everything a planner could hand out — the free pool plus
+	// reserved capacity counted both as private headroom and as shared
+	// backfill reserve.
+	minNeed  int
+	flexible bool // mech.FlexibleMalleable(), cached at construction
+
+	planner policy.Planner
 
 	schedPending bool
 	completed    int
 	dispatched   int
+	registered   int // jobs ever registered; stable when ReleaseCompleted prunes e.jobs
 	primed       bool
 	sink         func(Event)
 
@@ -303,8 +338,17 @@ func New(cfg Config, jobs []*job.Job, mech Mechanism) (*Engine, error) {
 		squatted:     make(map[int]int),
 	}
 	e.odFirst = mech.QueueOnDemandFirst()
+	e.flexible = mech.FlexibleMalleable()
+	e.minNeed = maxIntVal
 	e.sortedQueue = !cfg.Reference && policy.TimeInvariant(cfg.Policy)
-	if !cfg.Reference {
+	if cfg.ReleaseCompleted {
+		e.met.EnableStreaming()
+	}
+	if cfg.Reference {
+		// The naive path runs on the retained binary-heap backend — the
+		// oracle the calendar queue is pinned byte-identical to.
+		e.q.UseHeap()
+	} else {
 		e.q.EnablePooling()
 	}
 	for _, j := range jobs {
@@ -325,7 +369,10 @@ func (e *Engine) register(j *job.Job) error {
 	if ent := e.lookup(j.ID); ent != nil {
 		return fmt.Errorf("sim: duplicate job ID %d", j.ID)
 	}
-	if j.ID >= 0 && j.ID < 2*(len(e.jobs)+1)+denseSlack {
+	e.registered++
+	// ReleaseCompleted runs register sparsely: the dense table cannot shrink
+	// when completed jobs are forgotten, and streamed IDs grow without bound.
+	if !e.cfg.ReleaseCompleted && j.ID >= 0 && j.ID < 2*(len(e.jobs)+1)+denseSlack {
 		for len(e.dense) <= j.ID {
 			e.dense = append(e.dense, jobEntry{})
 		}
@@ -362,15 +409,18 @@ func (e *Engine) mustEnt(j *job.Job) *jobEntry {
 	return ent
 }
 
-// addRunning inserts j into the ID-ordered running list.
+// addRunning inserts j into the ID-ordered running list and, on the optimized
+// path, into the planner's release list.
 func (e *Engine) addRunning(j *job.Job) {
 	i := sort.Search(len(e.running), func(k int) bool { return e.running[k].ID >= j.ID })
 	e.running = append(e.running, nil)
 	copy(e.running[i+1:], e.running[i:])
 	e.running[i] = j
+	e.relAdd(j)
 }
 
-// removeRunning deletes the job with the given ID from the running list.
+// removeRunning deletes the job with the given ID from the running list and
+// the release list.
 func (e *Engine) removeRunning(id int) {
 	i := sort.Search(len(e.running), func(k int) bool { return e.running[k].ID >= id })
 	if i < len(e.running) && e.running[i].ID == id {
@@ -378,6 +428,58 @@ func (e *Engine) removeRunning(id int) {
 		e.running[len(e.running)-1] = nil
 		e.running = e.running[:len(e.running)-1]
 	}
+	e.relDel(id)
+}
+
+// relAdd inserts j's planning view into the (EstEnd, ID)-ordered release
+// list. The reference path skips maintenance entirely — it reconstructs the
+// view from scratch every pass.
+func (e *Engine) relAdd(j *job.Job) {
+	if e.cfg.Reference {
+		return
+	}
+	r, ok := e.runningInfo(j)
+	if !ok {
+		return
+	}
+	i := sort.Search(len(e.rel), func(k int) bool { return !policy.RelLess(e.rel[k], r) })
+	e.rel = append(e.rel, policy.Running{})
+	copy(e.rel[i+1:], e.rel[i:])
+	e.rel[i] = r
+	ent := e.mustEnt(j)
+	ent.relEnd = r.EstEnd
+	ent.relOn = true
+	e.relVer++
+}
+
+// relDel removes job id from the release list, locating it by the key it was
+// inserted under.
+func (e *Engine) relDel(id int) {
+	if e.cfg.Reference {
+		return
+	}
+	ent := e.lookup(id)
+	if ent == nil || !ent.relOn {
+		return
+	}
+	key := policy.Running{EstEnd: ent.relEnd, ID: id}
+	i := sort.Search(len(e.rel), func(k int) bool { return !policy.RelLess(e.rel[k], key) })
+	if i < len(e.rel) && e.rel[i].ID == id {
+		copy(e.rel[i:], e.rel[i+1:])
+		e.rel = e.rel[:len(e.rel)-1]
+	}
+	ent.relOn = false
+	e.relVer++
+}
+
+// relRefresh re-keys a node-holding job whose estimated release moved — a
+// malleable resize or the start of a preemption warning.
+func (e *Engine) relRefresh(j *job.Job) {
+	if e.cfg.Reference {
+		return
+	}
+	e.relDel(j.ID)
+	e.relAdd(j)
 }
 
 // Now returns the virtual clock.
@@ -426,7 +528,7 @@ func (e *Engine) QueueDepth() int { return len(e.queue) }
 func (e *Engine) Nodes() int { return e.cfg.Nodes }
 
 // SubmittedCount returns how many jobs have been registered with the engine.
-func (e *Engine) SubmittedCount() int { return len(e.jobs) }
+func (e *Engine) SubmittedCount() int { return e.registered }
 
 // CompletedCount returns how many jobs have completed.
 func (e *Engine) CompletedCount() int { return e.completed }
@@ -496,6 +598,11 @@ func (e *Engine) prime() {
 		e.pushArrival(j, false)
 	}
 	e.met.NoteSubmit(minSubmit)
+	if e.cfg.ReleaseCompleted {
+		// Every primed job now lives in the event queue and the index; the
+		// registration list would otherwise pin all of them forever.
+		e.jobs = nil
+	}
 	// The clock stays at zero until the first event: all trace times are
 	// non-negative, and mechanism timers may have been scheduled at attach
 	// time, before the first submission.
@@ -536,11 +643,15 @@ func (e *Engine) Submit(j *job.Job) error {
 	if err := e.register(j); err != nil {
 		return err
 	}
-	e.jobs = append(e.jobs, j)
-	if e.primed {
-		e.met.NoteSubmit(j.SubmitTime)
-		e.pushArrival(j, true)
+	if !e.primed {
+		e.jobs = append(e.jobs, j)
+		return nil
 	}
+	if !e.cfg.ReleaseCompleted {
+		e.jobs = append(e.jobs, j)
+	}
+	e.met.NoteSubmit(j.SubmitTime)
+	e.pushArrival(j, true)
 	return nil
 }
 
@@ -556,12 +667,12 @@ func (e *Engine) Step() (bool, error) {
 	}
 	ev := e.q.Pop()
 	if ev == nil {
-		if e.completed < len(e.jobs) {
+		if e.completed < e.registered {
 			if e.breakHoldDeadlock() {
 				return true, nil
 			}
 			return false, fmt.Errorf("sim: stalled with %d/%d jobs incomplete at t=%d",
-				len(e.jobs)-e.completed, len(e.jobs), e.clk)
+				e.registered-e.completed, e.registered, e.clk)
 		}
 		return false, nil
 	}
@@ -776,6 +887,19 @@ func (e *Engine) handleEnd(j *job.Job) {
 	freed.SubtractWith(e.restoreSquattedNodes(j.ID))
 	e.mech.OnJobCompleted(j, freed)
 	e.requestSchedule()
+	if e.cfg.ReleaseCompleted {
+		e.dropEntry(j.ID)
+	}
+}
+
+// dropEntry forgets a completed job's index entry (ReleaseCompleted): the
+// dispatcher sees the missing entry and recycles the popped end event.
+func (e *Engine) dropEntry(id int) {
+	if id >= 0 && id < len(e.dense) && e.dense[id].j != nil {
+		e.dense[id] = jobEntry{}
+		return
+	}
+	delete(e.sparse, id)
 }
 
 func (e *Engine) handleWarnExpired(j *job.Job, claim int) {
@@ -823,6 +947,31 @@ func (e *Engine) enqueue(j *job.Job) {
 		e.queue = append(e.queue, j)
 	}
 	ent.inQueue = true
+	if need := e.startNeedOf(j); need < e.minNeed {
+		e.minNeed = need
+	}
+}
+
+// maxIntVal is the minNeed sentinel for an empty queue.
+const maxIntVal = int(^uint(0) >> 1)
+
+// startNeedOf is the smallest node count that lets j start: its minimum size
+// under flexible malleable sizing, its full size otherwise.
+func (e *Engine) startNeedOf(j *job.Job) int {
+	if e.flexible && j.Class == job.Malleable {
+		return j.MinSize
+	}
+	return j.Size
+}
+
+// recomputeMinNeed restores minNeed to the exact queue minimum.
+func (e *Engine) recomputeMinNeed() {
+	e.minNeed = maxIntVal
+	for _, j := range e.queue {
+		if need := e.startNeedOf(j); need < e.minNeed {
+			e.minNeed = need
+		}
+	}
 }
 
 func (e *Engine) removeFromQueue(j *job.Job) {
@@ -839,6 +988,9 @@ func (e *Engine) removeFromQueue(j *job.Job) {
 		}
 	}
 	ent.inQueue = false
+	if len(e.queue) == 0 {
+		e.minNeed = maxIntVal
+	}
 }
 
 func (e *Engine) requestSchedule() {

@@ -24,42 +24,58 @@ func (e *Engine) schedulePass() {
 	if len(e.queue) == 0 {
 		return
 	}
+	if e.cfg.Reference {
+		policy.Sort(e.queue, e.cfg.Policy, e.clk, e.odFirst)
+		ri := e.referenceRunningInfo()
+		own := func(j *job.Job) int { return e.cl.ReservedCount(j.ID) }
+		starts := policy.PlanEASY(e.clk, e.queue, ri, e.cl.FreeCount(), e.backfillExtraCount(), own, e.mech.FlexibleMalleable())
+		for _, s := range starts {
+			e.startJob(s.J, s.Size, true)
+		}
+		return
+	}
+
+	free := e.cl.FreeCount()
+	reserved := e.cl.TotalReserved()
+	// Nothing in the queue can start when even the smallest start need
+	// exceeds everything the planner could hand out: the free pool, plus
+	// reserved capacity counted once as a job's private headroom and once as
+	// the shared backfill reserve (the two draws can name the same nodes in
+	// the planner's accounting, so the sound bound takes both). The planner
+	// would provably return zero starts — skip it. The queue is untouched by
+	// a skipped pass, so minNeed and the maintained order stay valid; skips
+	// apply only with an incrementally sorted queue, since time-dependent
+	// policies re-sort (an observable reordering) on every pass.
+	if e.sortedQueue && e.minNeed > free+2*reserved {
+		return
+	}
 	if !e.sortedQueue {
 		policy.Sort(e.queue, e.cfg.Policy, e.clk, e.odFirst)
 	}
-
-	var ri []policy.Running
-	if e.cfg.Reference {
-		ri = e.referenceRunningInfo()
-	} else {
-		ri = e.riScratch[:0]
-		for _, j := range e.running {
-			if r, ok := e.runningInfo(j); ok {
-				ri = append(ri, r)
-			}
-		}
-		e.riScratch = ri
+	var own func(j *job.Job) int
+	if reserved > 0 {
+		own = func(j *job.Job) int { return e.cl.ReservedCount(j.ID) }
 	}
-
-	bfExtra := 0
-	if e.cfg.BackfillReserved {
-		for claim, ok := range e.backfillable {
-			if ok {
-				bfExtra += e.cl.ReservedCount(claim)
-			}
-		}
-	}
-	own := func(j *job.Job) int { return e.cl.ReservedCount(j.ID) }
-
-	var starts []policy.Start
-	if e.cfg.Reference {
-		starts = policy.PlanEASY(e.clk, e.queue, ri, e.cl.FreeCount(), bfExtra, own, e.mech.FlexibleMalleable())
-	} else {
-		starts = e.planner.PlanEASY(e.clk, e.queue, ri, e.cl.FreeCount(), bfExtra, own, e.mech.FlexibleMalleable())
-	}
+	starts := e.planner.PlanEASYSorted(e.clk, e.queue, e.rel, e.relVer, free, e.backfillExtraCount(), own, e.flexible)
 	for _, s := range starts {
 		e.startJob(s.J, s.Size, true)
 	}
+	e.recomputeMinNeed()
+}
+
+// backfillExtraCount sums the reserved nodes of claims currently marked
+// backfillable — the shared reserve backfill candidates may be sized against.
+func (e *Engine) backfillExtraCount() int {
+	if !e.cfg.BackfillReserved {
+		return 0
+	}
+	bf := 0
+	for claim, ok := range e.backfillable {
+		if ok {
+			bf += e.cl.ReservedCount(claim)
+		}
+	}
+	return bf
 }
 
 // runningInfo derives the backfill-planning view of one node-holding job.
@@ -68,12 +84,32 @@ func (e *Engine) runningInfo(j *job.Job) (policy.Running, bool) {
 	case job.Running:
 		if j.Class == job.Malleable {
 			j.UpdateProgress(e.clk)
-			return policy.Running{EstEnd: j.MalleableEstimatedEnd(e.clk), Nodes: j.CurSize}, true
+			return policy.Running{EstEnd: j.MalleableEstimatedEnd(e.clk), Nodes: j.CurSize, ID: j.ID}, true
 		}
-		return policy.Running{EstEnd: j.EstimatedEnd(), Nodes: j.CurSize}, true
+		return policy.Running{EstEnd: j.EstimatedEnd(), Nodes: j.CurSize, ID: j.ID}, true
 	case job.Warning:
 		if ev := e.mustEnt(j).warnEv; ev != nil {
-			return policy.Running{EstEnd: ev.Time, Nodes: j.CurSize}, true
+			return policy.Running{EstEnd: ev.Time, Nodes: j.CurSize, ID: j.ID}, true
+		}
+	}
+	return policy.Running{}, false
+}
+
+// restoredRunningInfo is runningInfo without the malleable progress
+// materialization, for rebuilding the release list from a snapshot: advancing
+// a restored job's accounting there would make later snapshot bytes diverge
+// from an uninterrupted run's. The estimate-based end is invariant in the
+// evaluation time, so the key matches what live maintenance inserted.
+func (e *Engine) restoredRunningInfo(j *job.Job) (policy.Running, bool) {
+	switch j.State {
+	case job.Running:
+		if j.Class == job.Malleable {
+			return policy.Running{EstEnd: j.MalleableEstimatedEndAsOf(), Nodes: j.CurSize, ID: j.ID}, true
+		}
+		return policy.Running{EstEnd: j.EstimatedEnd(), Nodes: j.CurSize, ID: j.ID}, true
+	case job.Warning:
+		if ev := e.mustEnt(j).warnEv; ev != nil {
+			return policy.Running{EstEnd: ev.Time, Nodes: j.CurSize, ID: j.ID}, true
 		}
 	}
 	return policy.Running{}, false
@@ -252,6 +288,7 @@ func (e *Engine) PreemptMalleableWithWarning(j *job.Job, claim int) {
 	j.BeginWarning(e.clk)
 	e.emit(EventWarning, j, j.CurSize)
 	e.mustEnt(j).warnEv = e.q.Push(e.clk+job.WarningPeriod, eventq.PrioPreempt, evWarn{j: j, claim: claim})
+	e.relRefresh(j) // release moves from the estimate to the warning expiry
 }
 
 // ShrinkMalleable shrinks a running malleable job to newSize, reschedules its
@@ -272,6 +309,7 @@ func (e *Engine) ShrinkMalleable(j *job.Job, newSize int) *nodeset.Set {
 	e.emit(EventShrink, j, old-newSize)
 	e.trimSquats(j.ID, freed)
 	e.rescheduleEnd(j, end)
+	e.relRefresh(j)
 	return freed
 }
 
@@ -323,6 +361,7 @@ func (e *Engine) ExpandMalleable(j *job.Job, grant *nodeset.Set) {
 	end := j.Resize(e.clk, newSize)
 	e.emit(EventExpand, j, grant.Len())
 	e.rescheduleEnd(j, end)
+	e.relRefresh(j)
 }
 
 func (e *Engine) rescheduleEnd(j *job.Job, end int64) {

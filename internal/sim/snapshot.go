@@ -2,12 +2,14 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"hybridsched/internal/cluster"
 	"hybridsched/internal/eventq"
 	"hybridsched/internal/job"
 	"hybridsched/internal/metrics"
 	"hybridsched/internal/nodeset"
+	"hybridsched/internal/policy"
 	"hybridsched/internal/snapshot"
 )
 
@@ -87,6 +89,9 @@ const (
 func (e *Engine) Snapshot() ([]byte, error) {
 	if e.err != nil {
 		return nil, fmt.Errorf("sim: snapshot of failed engine: %w", e.err)
+	}
+	if e.cfg.ReleaseCompleted {
+		return nil, fmt.Errorf("sim: ReleaseCompleted engines forget completed jobs and cannot snapshot")
 	}
 	sm, ok := e.mech.(SnapshotMechanism)
 	if !ok {
@@ -263,6 +268,9 @@ func (e *Engine) Snapshot() ([]byte, error) {
 // flips, version skew, semantic inconsistencies — yields an error and leaves
 // the engine exactly as it was.
 func (e *Engine) LoadSnapshot(data []byte) error {
+	if e.cfg.ReleaseCompleted {
+		return fmt.Errorf("sim: ReleaseCompleted engines forget completed jobs and cannot restore")
+	}
 	sm, ok := e.mech.(SnapshotMechanism)
 	if !ok {
 		return fmt.Errorf("sim: mechanism %q does not support snapshots", e.mech.Name())
@@ -434,7 +442,9 @@ func (e *Engine) LoadSnapshot(data []byte) error {
 	// Event queue.
 	seqCounter := d.U64()
 	var q eventq.Queue
-	if !e.cfg.Reference {
+	if e.cfg.Reference {
+		q.UseHeap()
+	} else {
 		q.EnablePooling()
 	}
 	if err := q.SetSeqCounter(seqCounter); err != nil {
@@ -566,6 +576,7 @@ func (e *Engine) LoadSnapshot(data []byte) error {
 	e.jobs = jobs
 	e.dense = nil
 	e.sparse = nil
+	e.registered = 0 // register re-counts every restored job below
 	for _, j := range jobs {
 		// register cannot fail here: IDs were checked unique above.
 		_ = e.register(j)
@@ -596,7 +607,25 @@ func (e *Engine) LoadSnapshot(data []byte) error {
 	e.squats = squats
 	e.squatted = squatted
 	e.q = q
-	e.riScratch = nil
+	// Rebuild the optimized path's incremental scheduler state: the release
+	// list (the running set is ascending-ID, so appending and sorting by
+	// (EstEnd, ID) reproduces exactly what live maintenance held), the
+	// queue-minimum bound, and a fresh planner with no memoized shadow.
+	e.rel = e.rel[:0]
+	if !e.cfg.Reference {
+		for _, j := range running {
+			if r, ok := e.restoredRunningInfo(j); ok {
+				ent := e.mustEnt(j)
+				ent.relEnd = r.EstEnd
+				ent.relOn = true
+				e.rel = append(e.rel, r)
+			}
+		}
+		sort.Slice(e.rel, func(i, k int) bool { return policy.RelLess(e.rel[i], e.rel[k]) })
+	}
+	e.relVer++
+	e.planner = policy.Planner{}
+	e.recomputeMinNeed()
 	e.err = nil
 	return nil
 }

@@ -37,6 +37,32 @@ func TestDifferentialReports(t *testing.T) {
 	}
 }
 
+// TestDifferentialBackfillReserved adds BackfillReserved cells to the
+// differential check: with squatting on, backfill planning runs through the
+// reserved-headroom charge model (shared reserve, per-claim extras), so these
+// cells pin exactly the accounting the backfill bugfixes changed. Mixes W2/W4
+// carry the heaviest on-demand share, so reservations (and squatters) are
+// actually exercised.
+func TestDifferentialBackfillReserved(t *testing.T) {
+	for _, mech := range []string{"baseline", "N&PAA", "CUA&SPAA", "CUP&PAA"} {
+		for _, mix := range []string{"W2", "W4"} {
+			sc := testScale(mech, mix)
+			sc.BackfillReserved = true
+			t.Run(mech+"/"+mix, func(t *testing.T) {
+				t.Parallel()
+				opt, ref, err := Differential(sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(opt, ref) {
+					t.Fatalf("optimized and reference reports diverge with BackfillReserved\noptimized: %s\nreference: %s",
+						truncate(opt), truncate(ref))
+				}
+			})
+		}
+	}
+}
+
 // TestDeterministicReplay pins run-to-run determinism of the optimized path:
 // the same scenario executed twice yields byte-identical canonical reports.
 // Hidden iteration-order dependence (map ranges feeding scheduling decisions)

@@ -47,6 +47,12 @@ type Scenario struct {
 	Validate  bool // check the cluster partition invariant after every event
 	Reference bool // drive the retained naive reference path of the engine
 
+	// BackfillReserved lets backfill candidates squat on nodes reserved for
+	// pending on-demand jobs (paper §III-B.1). It routes the planner through
+	// the reserved-headroom accounting, so differential cells with it on pin
+	// the shared-reserve charge model against the reference path.
+	BackfillReserved bool
+
 	// FaultMTBF, when positive, wraps the mechanism in the fault injector at
 	// this system MTBF (seconds). FaultRepair is the mean node repair time
 	// (0 = the legacy instant-repair shortcut). The failure timeline derives
@@ -76,7 +82,10 @@ func NewEngine(sc Scenario, records []trace.Record) (*sim.Engine, error) {
 	jobs := trace.Materialize(records, func(size int) checkpoint.Plan {
 		return checkpoint.NewPlan(size, 24*3600, 1)
 	})
-	mech, err := registry.NewScheduler(sc.Mechanism, registry.SchedulerConfig{DirectedReturn: true})
+	mech, err := registry.NewScheduler(sc.Mechanism, registry.SchedulerConfig{
+		DirectedReturn:   true,
+		BackfillReserved: sc.BackfillReserved,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -89,9 +98,10 @@ func NewEngine(sc Scenario, records []trace.Record) (*sim.Engine, error) {
 		})
 	}
 	return sim.New(sim.Config{
-		Nodes:     sc.Nodes,
-		Validate:  sc.Validate,
-		Reference: sc.Reference,
+		Nodes:            sc.Nodes,
+		Validate:         sc.Validate,
+		Reference:        sc.Reference,
+		BackfillReserved: sc.BackfillReserved,
 	}, jobs, mech)
 }
 
