@@ -1,0 +1,17 @@
+// Command schedlint statically enforces hybridsched's determinism and
+// snapshot-completeness invariants. It runs standalone (schedlint ./...) or
+// as a vet tool (go vet -vettool=$(which schedlint) ./...); both paths load
+// packages through the go command, so results and caching are identical.
+//
+// Analyzers: maporder, seededrand, snapfields, wallclock. Run
+// `schedlint -help` for the waiver directive of each.
+package main
+
+import (
+	"hybridsched/internal/analyzers"
+	"hybridsched/internal/analyzers/lintkit"
+)
+
+func main() {
+	lintkit.Main(analyzers.All())
+}

@@ -1,0 +1,23 @@
+// Package analyzers registers the schedlint suite: the static checks that
+// enforce hybridsched's determinism and snapshot-completeness invariants at
+// vet time rather than at golden-diff time. See cmd/schedlint and the
+// "Static invariant enforcement" section of DESIGN.md.
+package analyzers
+
+import (
+	"hybridsched/internal/analyzers/lintkit"
+	"hybridsched/internal/analyzers/maporder"
+	"hybridsched/internal/analyzers/seededrand"
+	"hybridsched/internal/analyzers/snapfields"
+	"hybridsched/internal/analyzers/wallclock"
+)
+
+// All returns the full schedlint analyzer suite in stable order.
+func All() []*lintkit.Analyzer {
+	return []*lintkit.Analyzer{
+		maporder.Analyzer,
+		seededrand.Analyzer,
+		snapfields.Analyzer,
+		wallclock.Analyzer,
+	}
+}

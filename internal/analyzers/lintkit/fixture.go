@@ -1,0 +1,114 @@
+package lintkit
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunFixture loads the fixture package at pkgDir (a path relative to the
+// calling test's working directory, conventionally "testdata/src/<name>"),
+// runs the analyzer over it, and matches the surviving diagnostics against
+// `// want "regexp"` comments in the fixture, analysistest-style: every
+// diagnostic must be expected by a want on its line, and every want must be
+// matched by a diagnostic. Fixture packages are ordinary in-module packages —
+// the `testdata` path segment merely hides them from ./... patterns — so
+// they may import real repo packages (snapfields fixtures use the real
+// internal/snapshot codec).
+func RunFixture(t *testing.T, a *Analyzer, pkgDir string) {
+	t.Helper()
+	units, err := Load("", "./"+filepath.ToSlash(pkgDir))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgDir, err)
+	}
+	if len(units) != 1 {
+		t.Fatalf("fixture %s: loaded %d packages, want 1", pkgDir, len(units))
+	}
+	u := units[0]
+	diags, err := RunAnalyzers([]*Analyzer{a}, u.Fset, u.Files, u.Pkg, u.Info, u.PkgPath)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgDir, err)
+	}
+
+	wants := parseWants(t, u)
+	got := make(map[string][]string) // "file:line" -> messages
+	for _, d := range diags {
+		if d.Pos == token.NoPos {
+			t.Errorf("%s: unpositioned diagnostic: %s", pkgDir, d.Message)
+			continue
+		}
+		posn := u.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(posn.Filename), posn.Line)
+		got[key] = append(got[key], d.Message)
+	}
+
+	for key, res := range wants {
+		for _, re := range res {
+			found := false
+			for _, msg := range got[key] {
+				if re.MatchString(msg) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s: no diagnostic at %s matching %q (got %v)", pkgDir, key, re, got[key])
+			}
+		}
+	}
+	for key, msgs := range got {
+		for _, msg := range msgs {
+			expected := false
+			for _, re := range wants[key] {
+				if re.MatchString(msg) {
+					expected = true
+					break
+				}
+			}
+			if !expected {
+				t.Errorf("%s: unexpected diagnostic at %s: %s", pkgDir, key, msg)
+			}
+		}
+	}
+}
+
+// parseWants extracts `// want "re" ["re" ...]` expectations, keyed by
+// "basename:line" of the comment.
+func parseWants(t *testing.T, u *Unit) map[string][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[string][]*regexp.Regexp)
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				posn := u.Fset.Position(c.Slash)
+				key := fmt.Sprintf("%s:%d", filepath.Base(posn.Filename), posn.Line)
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "want"))
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s: malformed want comment %q: %v", key, c.Text, err)
+					}
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: malformed want pattern %q: %v", key, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], re)
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+	return wants
+}

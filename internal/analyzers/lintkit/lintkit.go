@@ -1,0 +1,257 @@
+// Package lintkit is the minimal static-analysis framework under
+// cmd/schedlint. It deliberately mirrors the golang.org/x/tools/go/analysis
+// surface — Analyzer, Pass, positional diagnostics, a unitchecker-compatible
+// driver — but is implemented entirely on the standard library's go/ast,
+// go/types and go/importer, because this repository must build hermetically
+// with no module downloads. If the x/tools dependency ever becomes available,
+// migrating the analyzers is a mechanical import swap.
+//
+// On top of the x/tools shape, lintkit bakes in the repo's waiver policy:
+// a diagnostic is suppressed by a `//schedlint:<token> <justification>`
+// comment on (or immediately above) the flagged line, where <token> is the
+// analyzer's Waiver. A waiver with no justification does not suppress — it
+// turns into its own diagnostic, so every escape hatch in the tree carries a
+// reason a reviewer can audit.
+package lintkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in `go vet` JSON trees.
+	Name string
+	// Doc is the one-paragraph description printed by -help style output.
+	Doc string
+	// Waiver is the schedlint directive token that suppresses one finding,
+	// e.g. "orderfree" for `//schedlint:orderfree <reason>`.
+	Waiver string
+	// Run performs the analysis on one package and reports findings through
+	// pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer with the type-checked syntax of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the package's parsed files (tests included when driven by
+	// `go vet`, which merges in-package _test.go files into the unit).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo carries Types, Defs, Uses, Selections, Implicits and Scopes.
+	TypesInfo *types.Info
+	// PkgPath is the canonical import path of the unit under analysis.
+	PkgPath string
+
+	dirs  *directiveIndex
+	diags []Diagnostic
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf records one finding.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// HasPackageDirective reports whether any file of the package carries a
+// file-level `//schedlint:<name>` directive (used by wallclock's
+// `//schedlint:deterministic` package opt-in).
+func (p *Pass) HasPackageDirective(name string) bool {
+	for _, d := range p.directives().all {
+		if d.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// directive is one parsed `//schedlint:<name> <reason>` comment.
+type directive struct {
+	name   string
+	reason string
+	file   string
+	line   int
+}
+
+type directiveIndex struct {
+	all    []directive
+	byLine map[string][]int // "file:line" -> indexes into all
+}
+
+// DirectivePrefix is the comment marker every waiver starts with.
+const DirectivePrefix = "schedlint:"
+
+func (p *Pass) directives() *directiveIndex {
+	if p.dirs != nil {
+		return p.dirs
+	}
+	idx := &directiveIndex{byLine: make(map[string][]int)}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// Like //go:build, a directive allows no space between the
+				// comment marker and the token: `// schedlint: ...` is prose.
+				if !strings.HasPrefix(c.Text, "//"+DirectivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, "//"+DirectivePrefix)
+				name, reason, _ := strings.Cut(rest, " ")
+				posn := p.Fset.Position(c.Slash)
+				idx.all = append(idx.all, directive{
+					name:   name,
+					reason: strings.TrimSpace(reason),
+					file:   posn.Filename,
+					line:   posn.Line,
+				})
+				key := lineKey(posn.Filename, posn.Line)
+				idx.byLine[key] = append(idx.byLine[key], len(idx.all)-1)
+			}
+		}
+	}
+	p.dirs = idx
+	return idx
+}
+
+func lineKey(file string, line int) string {
+	return fmt.Sprintf("%s:%d", file, line)
+}
+
+// KnownDirectives lists every directive token the given analyzers (plus the
+// framework's package-level tokens) understand; the driver flags any other
+// schedlint: comment as a typo so a misspelled waiver can never silently
+// fail to suppress.
+func KnownDirectives(analyzers []*Analyzer) map[string]bool {
+	known := map[string]bool{"deterministic": true}
+	for _, a := range analyzers {
+		if a.Waiver != "" {
+			known[a.Waiver] = true
+		}
+	}
+	return known
+}
+
+// finalize applies the waiver policy to the pass's raw findings: a matching
+// directive with a justification drops the finding; a matching directive with
+// an empty justification converts it into a policy violation of its own.
+func (p *Pass) finalize() []Diagnostic {
+	waiver := p.Analyzer.Waiver
+	idx := p.directives()
+	var out []Diagnostic
+	for _, d := range p.diags {
+		posn := p.Fset.Position(d.Pos)
+		matched := false
+		for _, line := range []int{posn.Line, posn.Line - 1} {
+			for _, di := range idx.byLine[lineKey(posn.Filename, line)] {
+				dir := idx.all[di]
+				if dir.name != waiver {
+					continue
+				}
+				matched = true
+				if dir.reason == "" {
+					d.Message = fmt.Sprintf(
+						"waiver //schedlint:%s has no justification (finding: %s)",
+						waiver, d.Message)
+					out = append(out, d)
+				}
+				break
+			}
+			if matched {
+				break
+			}
+		}
+		if !matched {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// RunAnalyzers executes every analyzer over one type-checked unit and returns
+// the surviving (post-waiver) diagnostics in positional order. It also
+// reports unknown schedlint: directive tokens, so typos cannot masquerade as
+// waivers.
+func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, pkgPath string) ([]Diagnostic, error) {
+	var all []Diagnostic
+	known := KnownDirectives(analyzers)
+	for i, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			PkgPath:   pkgPath,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		all = append(all, pass.finalize()...)
+		if i == 0 {
+			// Directive hygiene is checked once per unit, not per analyzer.
+			for _, dir := range pass.directives().all {
+				if !known[dir.name] {
+					all = append(all, Diagnostic{
+						Pos:      token.NoPos,
+						Analyzer: "schedlint",
+						Message: fmt.Sprintf("%s:%d: unknown directive //schedlint:%s (known: %s)",
+							dir.file, dir.line, dir.name, strings.Join(sortedKeys(known), ", ")),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(all, func(i, k int) bool {
+		pi, pk := fset.Position(all[i].Pos), fset.Position(all[k].Pos)
+		if pi.Filename != pk.Filename {
+			return pi.Filename < pk.Filename
+		}
+		if pi.Line != pk.Line {
+			return pi.Line < pk.Line
+		}
+		if pi.Column != pk.Column {
+			return pi.Column < pk.Column
+		}
+		return all[i].Message < all[k].Message
+	})
+	return all, nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewTypesInfo returns a fully populated types.Info for one unit.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}

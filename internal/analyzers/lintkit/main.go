@@ -1,0 +1,119 @@
+package lintkit
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Main is the multichecker entry point behind cmd/schedlint. It speaks both
+// halves of the tool's contract:
+//
+//   - As `go vet -vettool=schedlint`, the go command first performs its
+//     handshakes (`-flags` to learn the tool's flag set, `-V=full` for the
+//     cache key) and then invokes the tool once per compilation unit with a
+//     vet.cfg path; RunUnit handles those.
+//   - Standalone (`schedlint ./...`), the tool re-executes itself through
+//     `go vet -vettool=<self>`, so package loading, test-file variants and
+//     result caching are exactly the go command's — standalone runs and CI
+//     runs can never disagree about what was analyzed.
+func Main(analyzers []*Analyzer) {
+	args := os.Args[1:]
+	for _, a := range args {
+		switch strings.TrimPrefix(a, "-") {
+		case "-V=full", "V=full":
+			printVersion()
+			return
+		case "-flags", "flags":
+			// schedlint exposes no tunable analyzer flags; the go command
+			// still requires the handshake to parse its command line.
+			fmt.Println("[]")
+			return
+		case "-help", "help", "h", "-h":
+			usage(analyzers)
+			return
+		}
+	}
+
+	jsonOut := false
+	var rest []string
+	for _, a := range args {
+		switch {
+		case a == "-json" || a == "--json":
+			jsonOut = true
+		case strings.HasPrefix(a, "-c=") || strings.HasPrefix(a, "--c="):
+			// Context lines for legacy vet output; accepted and ignored.
+		case strings.HasPrefix(a, "-"):
+			fmt.Fprintf(os.Stderr, "schedlint: unknown flag %s\n", a)
+			usage(analyzers)
+			os.Exit(1)
+		default:
+			rest = append(rest, a)
+		}
+	}
+
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		os.Exit(RunUnit(rest[0], analyzers, jsonOut))
+	}
+
+	// Standalone mode: delegate loading to the go command.
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rest) == 0 {
+		rest = []string{"./..."}
+	}
+	vetArgs := []string{"vet", "-vettool=" + exe}
+	if jsonOut {
+		vetArgs = append(vetArgs, "-json")
+	}
+	cmd := exec.Command("go", append(vetArgs, rest...)...)
+	cmd.Stdin = os.Stdin
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// printVersion answers the go command's `-V=full` cache-key handshake. The
+// build ID must change whenever the tool's behavior could, so it is a hash of
+// the executable itself (the same scheme x/tools' unitchecker uses).
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	f, err := os.Open(os.Args[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%x\n", name, h.Sum(nil))
+}
+
+func usage(analyzers []*Analyzer) {
+	fmt.Fprintf(os.Stderr, "schedlint enforces hybridsched's determinism and snapshot invariants.\n\n")
+	fmt.Fprintf(os.Stderr, "usage:\n")
+	fmt.Fprintf(os.Stderr, "  schedlint [packages]             analyze packages (default ./...)\n")
+	fmt.Fprintf(os.Stderr, "  go vet -vettool=schedlint pkgs   run under the go command\n\n")
+	fmt.Fprintf(os.Stderr, "analyzers:\n")
+	for _, a := range analyzers {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		fmt.Fprintf(os.Stderr, "  %-11s %s\n", a.Name, doc)
+		fmt.Fprintf(os.Stderr, "  %-11s waiver: //schedlint:%s <reason>\n", "", a.Waiver)
+	}
+}

@@ -1,0 +1,140 @@
+package lintkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+)
+
+// vetConfig is the JSON configuration `go vet -vettool` hands the tool for
+// one compilation unit (the same schema x/tools' unitchecker reads; see
+// cmd/go/internal/work's vet action).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// jsonDiagnostic is the element shape of `go vet -json` output trees.
+type jsonDiagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// RunUnit analyzes the single vet unit described by cfgFile and returns the
+// process exit code: 0 for clean (or facts-only) units, 2 when findings were
+// printed, 1 on operational errors. Diagnostics go to stderr in the plain
+// `file:line:col: message` form (or to stdout as a JSON tree when jsonOut is
+// set, matching `go vet -json`).
+func RunUnit(cfgFile string, analyzers []*Analyzer, jsonOut bool) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// The go command caches the facts file per unit; schedlint's analyzers
+	// are facts-free, so every unit gets the same empty marker — written
+	// first so even dependency-only invocations satisfy the cache.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("schedlint: no facts\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency units are loaded only for facts; nothing to do.
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	gc := newExportImporter(fset, cfg.PackageFile)
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		return gc.Import(path)
+	})
+	info := NewTypesInfo()
+	conf := types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "schedlint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags, err := RunAnalyzers(analyzers, fset, files, pkg, info, cfg.ImportPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	if jsonOut {
+		return printJSONTree(os.Stdout, cfg.ID, fset, diags)
+	}
+	for _, d := range diags {
+		if d.Pos == token.NoPos {
+			fmt.Fprintf(os.Stderr, "%s [%s]\n", d.Message, d.Analyzer)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	return 2
+}
+
+// printJSONTree emits the `go vet -json` shape:
+// {"<unit ID>": {"<analyzer>": [{posn, message}, ...]}}.
+func printJSONTree(w io.Writer, id string, fset *token.FileSet, diags []Diagnostic) int {
+	byAnalyzer := make(map[string][]jsonDiagnostic)
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiagnostic{
+			Posn:    fset.Position(d.Pos).String(),
+			Message: d.Message,
+		})
+	}
+	tree := map[string]map[string][]jsonDiagnostic{id: byAnalyzer}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(tree); err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,344 @@
+// Package maporder flags `range` loops over maps whose bodies have
+// order-sensitive effects. Go randomizes map iteration order per run; when a
+// loop body appends to a slice, accumulates floating point, emits events, or
+// writes to a report/CSV/JSON/snapshot path, that randomness leaks straight
+// into output that the golden suites and the snapshot format require to be
+// byte-identical. The approved idiom is to collect the keys, sort them, and
+// iterate the sorted slice — the analyzer recognizes exactly that shape (an
+// append that is subsequently sorted in the same function) and stays quiet.
+//
+// Order-insensitive bodies — counting, integer accumulation (exact,
+// commutative), membership tests, keyed writes into another map, deletes —
+// are never flagged. Everything else can be waived on the loop's line with
+// //schedlint:orderfree <why the order provably does not matter>.
+package maporder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"hybridsched/internal/analyzers/lintkit"
+)
+
+// Analyzer flags order-sensitive effects inside range-over-map loops.
+var Analyzer = &lintkit.Analyzer{
+	Name:   "maporder",
+	Waiver: "orderfree",
+	Doc: "flag range-over-map loops with order-sensitive effects\n\n" +
+		"Slice appends (unless the slice is sorted afterwards in the same\n" +
+		"function), floating-point accumulation, channel sends and emission\n" +
+		"calls (fmt printers, Write*/Emit*/Encode*/Print* methods, snapshot\n" +
+		"encoders) depend on map iteration order, which Go randomizes.",
+	Run: run,
+}
+
+// sinkWriterTypes are receiver types any method call on which counts as an
+// ordered emission: once bytes or fields leave through one of these, their
+// order is observable.
+var sinkWriterTypes = map[string]bool{
+	"strings.Builder":                   true,
+	"bytes.Buffer":                      true,
+	"bufio.Writer":                      true,
+	"encoding/csv.Writer":               true,
+	"encoding/json.Encoder":             true,
+	"hybridsched/internal/snapshot.Enc": true,
+}
+
+// sinkMethodPrefixes catch emission-shaped methods on any other receiver.
+var sinkMethodPrefixes = []string{"Emit", "emit", "Write", "write", "Print", "print", "Fprint", "Encode", "encode"}
+
+// sinkFmtFuncs are the fmt package's output functions (the pure formatters
+// Sprintf/Errorf are fine on their own).
+var sinkFmtFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func run(pass *lintkit.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFunc examines one function body: map-range loops directly inside it
+// (not inside nested function literals, which are visited on their own) are
+// checked for sinks, with the whole body available to recognize the
+// collect-then-sort idiom.
+func checkFunc(pass *lintkit.Pass, body *ast.BlockStmt) {
+	inspectShallow(body, func(n ast.Node) {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return
+		}
+		checkLoop(pass, body, rs)
+	})
+}
+
+// inspectShallow walks n's subtree but does not descend into function
+// literals.
+func inspectShallow(n ast.Node, fn func(ast.Node)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+func checkLoop(pass *lintkit.Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	var sinks []string
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if desc := checkAssign(pass, fnBody, rs, s); desc != "" {
+				sinks = append(sinks, desc)
+			}
+		case *ast.SendStmt:
+			sinks = append(sinks, "sends on a channel")
+		case *ast.CallExpr:
+			if desc := checkCall(pass, rs, s); desc != "" {
+				sinks = append(sinks, desc)
+			}
+		}
+		return true
+	})
+	for _, desc := range sinks {
+		pass.Reportf(rs.For,
+			"range over map %s %s, which depends on randomized iteration order; iterate sorted keys or waive with //schedlint:orderfree <reason>",
+			exprString(rs.X), desc)
+	}
+}
+
+// checkAssign flags appends to slices that outlive the loop (unless sorted
+// later in the function) and floating-point compound accumulation.
+func checkAssign(pass *lintkit.Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt, s *ast.AssignStmt) string {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		lhs := s.Lhs[0]
+		if t := pass.TypesInfo.TypeOf(lhs); t != nil && isFloat(t) && !declaredWithin(pass, lhs, rs) {
+			return fmt.Sprintf("accumulates floating point into %s (rounding is order-dependent)", exprString(lhs))
+		}
+		return ""
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range s.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(pass, call) || len(call.Args) == 0 || i >= len(s.Lhs) {
+				continue
+			}
+			target := s.Lhs[i]
+			if declaredWithin(pass, target, rs) {
+				continue // loop-local scratch; its order dies with the iteration
+			}
+			if sortedLater(pass, fnBody, rs, target) {
+				continue // collect-keys-then-sort idiom
+			}
+			return fmt.Sprintf("appends to %s, which outlives the loop unsorted", exprString(target))
+		}
+	}
+	return ""
+}
+
+// readOnlyMethods are accessor names that never emit even on a writer type.
+var readOnlyMethods = map[string]bool{
+	"String": true, "Bytes": true, "Len": true, "Cap": true,
+	"Size": true, "Buffered": true, "Available": true, "AvailableBuffer": true,
+}
+
+// checkCall flags calls that emit bytes, fields or events. Emission into a
+// receiver declared inside the loop is exempt: a per-iteration scratch
+// buffer's ordering dies with the iteration (heuristic — a loop-local alias
+// of a shared writer would slip through, which waivers exist to document).
+func checkCall(pass *lintkit.Pass, rs *ast.RangeStmt, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if sig.Recv() == nil {
+		if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && sinkFmtFuncs[fn.Name()] {
+			if len(call.Args) > 0 && strings.HasPrefix(fn.Name(), "Fprint") && declaredWithin(pass, unaddr(call.Args[0]), rs) {
+				return ""
+			}
+			return fmt.Sprintf("emits output via fmt.%s", fn.Name())
+		}
+		return ""
+	}
+	if readOnlyMethods[fn.Name()] || declaredWithin(pass, unaddr(sel.X), rs) {
+		return ""
+	}
+	if name := recvTypeName(sig.Recv().Type()); name != "" && sinkWriterTypes[name] {
+		return fmt.Sprintf("writes through %s.%s", name, fn.Name())
+	}
+	for _, prefix := range sinkMethodPrefixes {
+		if strings.HasPrefix(fn.Name(), prefix) {
+			return fmt.Sprintf("calls emission-shaped method %s", fn.Name())
+		}
+	}
+	return ""
+}
+
+// unaddr strips a leading & so declaredWithin sees the underlying ident.
+func unaddr(e ast.Expr) ast.Expr {
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		return u.X
+	}
+	return e
+}
+
+// sortedLater reports whether target (an identifier) is passed to a
+// sort-shaped call after the loop ends, the second half of the
+// collect-then-sort idiom.
+func sortedLater(pass *lintkit.Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt, target ast.Expr) bool {
+	id, ok := target.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	found := false
+	inspectShallow(fnBody, func(n ast.Node) {
+		if found {
+			return
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || !isSortCall(pass, call) {
+			return
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if aid, ok := an.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(aid) == obj {
+					found = true
+					return false
+				}
+				return !found
+			})
+		}
+	})
+	return found
+}
+
+// isSortCall recognizes sort-shaped callees: the sort package (whose sorting
+// entry points — Ints, Slice, Sort, Stable... — mostly do not contain "sort"
+// in their own name), the slices package, plus any helper whose name contains
+// "sort" (e.g. the engine's sortInts).
+func isSortCall(pass *lintkit.Pass, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil {
+			switch fn.Pkg().Path() {
+			case "sort":
+				// Everything in sort sorts, except the predicates and
+				// binary searches over already-sorted data.
+				return !strings.HasPrefix(fn.Name(), "Search") && !strings.HasPrefix(fn.Name(), "IsSorted")
+			case "slices":
+				return strings.Contains(strings.ToLower(fn.Name()), "sort")
+			}
+		}
+		return strings.Contains(strings.ToLower(fun.Sel.Name), "sort")
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(fun.Name), "sort")
+	}
+	return false
+}
+
+func isBuiltinAppend(pass *lintkit.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// declaredWithin reports whether expr's root object is declared inside the
+// loop (in which case its ordering cannot escape a single iteration).
+// Selector and index targets are treated as escaping.
+func declaredWithin(pass *lintkit.Pass, expr ast.Expr, rs *ast.RangeStmt) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= rs.Pos() && obj.Pos() < rs.End()
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// exprString renders a short source-ish form of simple expressions for
+// diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.UnaryExpr:
+		return e.Op.String() + exprString(e.X)
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	}
+	return "expression"
+}
+
+// recvTypeName renders a receiver type as "pkgpath.Name" ("" for unnamed).
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}

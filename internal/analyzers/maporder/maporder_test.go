@@ -1,0 +1,11 @@
+package maporder
+
+import (
+	"testing"
+
+	"hybridsched/internal/analyzers/lintkit"
+)
+
+func TestFixture(t *testing.T) {
+	lintkit.RunFixture(t, Analyzer, "testdata/src/a")
+}

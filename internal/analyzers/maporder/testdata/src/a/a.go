@@ -1,0 +1,111 @@
+// Package a is the maporder fixture: order-sensitive map-range bodies are
+// flagged, the collect-then-sort idiom and order-free bodies are not.
+package a
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Leak returns map keys in randomized order.
+func Leak(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "appends to out, which outlives the loop unsorted"
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys is the approved idiom: collect, then sort.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortInts stands in for the repo's local sorting helpers.
+func sortInts(xs []int) { sort.Ints(xs) }
+
+// LocalHelperSort is the same idiom through a local helper.
+func LocalHelperSort(m map[int]bool) []int {
+	var ids []int
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sortInts(ids)
+	return ids
+}
+
+// FloatAccum folds values in randomized order, so rounding differs per run.
+func FloatAccum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want "accumulates floating point into total"
+		total += v
+	}
+	return total
+}
+
+// IntAccum is exact and commutative; order cannot matter.
+func IntAccum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Send emits map entries into a channel in randomized order.
+func Send(m map[string]int, ch chan<- int) {
+	for _, v := range m { // want "sends on a channel"
+		ch <- v
+	}
+}
+
+// Emit prints entries in randomized order.
+func Emit(m map[string]int) {
+	for k, v := range m { // want "emits output via fmt.Printf"
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// OuterWriter streams into a builder that outlives the loop.
+func OuterWriter(m map[string]int, b *strings.Builder) {
+	for k := range m { // want "writes through strings.Builder.WriteString"
+		b.WriteString(k)
+	}
+}
+
+// LocalScratch builds a per-iteration buffer; nothing escapes unordered.
+func LocalScratch(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		var buf bytes.Buffer
+		buf.WriteString(v)
+		out[k] = buf.String()
+	}
+	return out
+}
+
+// Keyed writes into another map are order-free.
+func Keyed(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+// Waived documents a loop whose order provably does not matter.
+func Waived(m map[string]int) []int {
+	var out []int
+	//schedlint:orderfree consumed as a multiset; the caller sorts before use
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

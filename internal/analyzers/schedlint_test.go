@@ -1,0 +1,35 @@
+package analyzers
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoClean builds cmd/schedlint and runs it over the whole repository
+// via go vet, asserting zero diagnostics: every invariant violation is either
+// fixed or carries a justified waiver. This is the dogfood gate CI runs too —
+// a change that introduces a wall-clock read, an unsorted map emission, a
+// global rand draw, or an uncovered snapshot field fails here first.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and vets the whole repo")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "schedlint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/schedlint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building schedlint: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = root
+	vet.Env = os.Environ()
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("schedlint found violations:\n%s", out)
+	}
+}

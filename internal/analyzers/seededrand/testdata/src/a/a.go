@@ -1,0 +1,41 @@
+// Package a is the seededrand fixture: global draws and time-seeded sources
+// are flagged, coordinate-seeded sources pass.
+package a
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"time"
+)
+
+// Global draws from the shared source.
+func Global() int {
+	return rand.Intn(10) // want "math/rand.Intn draws from the shared global source"
+}
+
+// GlobalShuffle is another global entry point.
+func GlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "math/rand.Shuffle draws from the shared global source"
+}
+
+// Seeded is the approved idiom: an explicit source, coordinate-derived seed.
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10) // methods on an explicit *Rand are fine
+}
+
+// TimeSeeded smuggles the wall clock into the seed.
+func TimeSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "time.Now seeds math/rand.NewSource with ambient entropy" "time.Now seeds math/rand.New with ambient entropy"
+}
+
+// Crypto reads the OS entropy pool.
+func Crypto(buf []byte) {
+	crand.Read(buf) // want "crypto/rand.Read is ambient entropy"
+}
+
+// Waived documents a deliberate global draw.
+func Waived() int {
+	//schedlint:entropy jitter for a backoff outside any simulation path
+	return rand.Intn(10)
+}

@@ -1,0 +1,227 @@
+// Package snapfields proves snapshot completeness: for every type that
+// participates in the HSNP checkpoint codec, each stored field must be
+// referenced by both the encode and the decode path. A field added to a
+// struct but forgotten in its codec silently round-trips to the zero value —
+// the restore-equivalence suite only catches that if some golden metric
+// happens to depend on the field, whereas this check catches it at vet time.
+//
+// Recognized codec shapes (all in use in this repository):
+//
+//   - method EncodeSnapshot on T, paired with a package-level function whose
+//     name starts with DecodeSnapshot and returns T or *T;
+//   - methods EncodeSnapshotState / DecodeSnapshotState on T;
+//   - method Snapshot() ([]byte, error) on T, paired with method LoadSnapshot.
+//
+// Fields that are deliberately not snapshotted (derived values rebuilt at
+// restore, static wiring re-injected by the caller) are waived on the struct
+// field's line with //schedlint:snapfield <why it need not round-trip>.
+package snapfields
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"hybridsched/internal/analyzers/lintkit"
+)
+
+// Analyzer proves every stored field is covered by its type's snapshot codec.
+var Analyzer = &lintkit.Analyzer{
+	Name:   "snapfields",
+	Waiver: "snapfield",
+	Doc: "prove every field of a snapshotted type is encoded and decoded\n\n" +
+		"For each EncodeSnapshot/DecodeSnapshot (or Snapshot/LoadSnapshot,\n" +
+		"EncodeSnapshotState/DecodeSnapshotState) pair, every struct field must\n" +
+		"be referenced on both sides or waived with //schedlint:snapfield.",
+	Run: run,
+}
+
+// codec accumulates the encode- and decode-side declarations found for one
+// named type.
+type codec struct {
+	typ     *types.Named
+	encodes []*ast.FuncDecl
+	decodes []*ast.FuncDecl
+}
+
+func run(pass *lintkit.Pass) error {
+	codecs := make(map[*types.TypeName]*codec)
+	get := func(named *types.Named) *codec {
+		c := codecs[named.Obj()]
+		if c == nil {
+			c = &codec{typ: named}
+			codecs[named.Obj()] = c
+		}
+		return c
+	}
+
+	// Pass 1: collect codec declarations.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Recv != nil {
+				named := recvNamed(pass, fd)
+				if named == nil || named.Obj().Pkg() != pass.Pkg {
+					continue
+				}
+				switch fd.Name.Name {
+				case "EncodeSnapshot", "EncodeSnapshotState":
+					get(named).encodes = append(get(named).encodes, fd)
+				case "Snapshot":
+					if isBytesErrorSig(pass, fd) {
+						get(named).encodes = append(get(named).encodes, fd)
+					}
+				case "DecodeSnapshotState", "LoadSnapshot":
+					get(named).decodes = append(get(named).decodes, fd)
+				}
+				continue
+			}
+			// Package-level DecodeSnapshot* functions pair by result type.
+			if strings.HasPrefix(fd.Name.Name, "DecodeSnapshot") {
+				if named := resultNamed(pass, fd); named != nil && named.Obj().Pkg() == pass.Pkg {
+					get(named).decodes = append(get(named).decodes, fd)
+				}
+			}
+		}
+	}
+
+	// Pass 2: check each codec's pairing and field coverage.
+	for _, c := range codecs {
+		if len(c.encodes) == 0 {
+			continue // a lone decode (constructor-style) imposes nothing
+		}
+		if len(c.decodes) == 0 {
+			pass.Reportf(c.encodes[0].Name.Pos(),
+				"type %s has %s but no matching decode (DecodeSnapshot*/DecodeSnapshotState/LoadSnapshot); snapshots of it cannot be restored",
+				c.typ.Obj().Name(), c.encodes[0].Name.Name)
+			continue
+		}
+		st, ok := c.typ.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		encCov := coverage(pass, c.typ, st, c.encodes)
+		decCov := coverage(pass, c.typ, st, c.decodes)
+		for i := 0; i < st.NumFields(); i++ {
+			field := st.Field(i)
+			if field.Name() == "_" {
+				continue
+			}
+			enc, dec := encCov[field], decCov[field]
+			if enc && dec {
+				continue
+			}
+			var missing string
+			switch {
+			case !enc && !dec:
+				missing = "neither the encode nor the decode path"
+			case !enc:
+				missing = "the encode path"
+			default:
+				missing = "the decode path"
+			}
+			pass.Reportf(field.Pos(),
+				"field %s.%s is not referenced in %s of its snapshot codec; it will not round-trip — encode it or waive with //schedlint:snapfield <reason>",
+				c.typ.Obj().Name(), field.Name(), missing)
+		}
+	}
+	return nil
+}
+
+// coverage walks the given codec bodies (function literals included) and
+// returns the set of T's direct struct fields they reference, whether through
+// selector expressions, promoted-field selections, or composite-literal keys.
+func coverage(pass *lintkit.Pass, named *types.Named, st *types.Struct, decls []*ast.FuncDecl) map[*types.Var]bool {
+	direct := make(map[*types.Var]bool, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		direct[st.Field(i)] = true
+	}
+	covered := make(map[*types.Var]bool)
+	for _, fd := range decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				// Direct selector uses and composite-literal keys both resolve
+				// the ident straight to the field object.
+				if v, ok := pass.TypesInfo.Uses[n].(*types.Var); ok && v.IsField() && direct[v] {
+					covered[v] = true
+				}
+			case *ast.SelectorExpr:
+				// Promoted-field access resolves to the embedded struct's
+				// field; credit the direct field it passes through.
+				sel, ok := pass.TypesInfo.Selections[n]
+				if !ok || sel.Kind() != types.FieldVal {
+					return true
+				}
+				recv := sel.Recv()
+				if p, ok := recv.(*types.Pointer); ok {
+					recv = p.Elem()
+				}
+				if rn, ok := recv.(*types.Named); ok && rn.Obj() == named.Obj() {
+					covered[st.Field(sel.Index()[0])] = true
+				}
+			}
+			return true
+		})
+	}
+	return covered
+}
+
+// recvNamed resolves a method declaration's receiver to its named type.
+func recvNamed(pass *lintkit.Pass, fd *ast.FuncDecl) *types.Named {
+	if len(fd.Recv.List) != 1 {
+		return nil
+	}
+	t := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// isBytesErrorSig reports whether fd is exactly func() ([]byte, error) — the
+// shape of Engine.Snapshot; Snapshot methods with parameters (e.g. the
+// metrics collector's Snapshot(now int64) report helper) are not codecs.
+func isBytesErrorSig(pass *lintkit.Pass, fd *ast.FuncDecl) bool {
+	obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Params().Len() != 0 || sig.Results().Len() != 2 {
+		return false
+	}
+	bs, ok := sig.Results().At(0).Type().(*types.Slice)
+	if !ok {
+		return false
+	}
+	if b, ok := bs.Elem().(*types.Basic); !ok || b.Kind() != types.Byte && b.Kind() != types.Uint8 {
+		return false
+	}
+	named, ok := sig.Results().At(1).Type().(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// resultNamed returns the named type a package-level decode function
+// produces: the first result of type T or *T declared in this package.
+func resultNamed(pass *lintkit.Pass, fd *ast.FuncDecl) *types.Named {
+	if fd.Type.Results == nil {
+		return nil
+	}
+	for _, res := range fd.Type.Results.List {
+		t := pass.TypesInfo.TypeOf(res.Type)
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			if _, isStruct := named.Underlying().(*types.Struct); isStruct {
+				return named
+			}
+		}
+	}
+	return nil
+}

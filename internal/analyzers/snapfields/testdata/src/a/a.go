@@ -1,0 +1,113 @@
+// Package a is the snapfields fixture: every stored field of a snapshotted
+// type must appear in both codec paths or carry a waiver.
+package a
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+)
+
+// Good covers every field on both sides.
+type Good struct {
+	ID    int64
+	Score int64
+}
+
+// EncodeSnapshot writes both fields.
+func (g *Good) EncodeSnapshot(buf *bytes.Buffer) {
+	binary.Write(buf, binary.LittleEndian, g.ID)
+	binary.Write(buf, binary.LittleEndian, g.Score)
+}
+
+// DecodeSnapshotGood reads both fields back.
+func DecodeSnapshotGood(buf *bytes.Buffer) (*Good, error) {
+	g := &Good{}
+	if err := binary.Read(buf, binary.LittleEndian, &g.ID); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(buf, binary.LittleEndian, &g.Score); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Bad forgets a field on the decode side, so it restores to zero.
+type Bad struct {
+	ID    int64
+	Score int64 // want "field Bad.Score is not referenced in the decode path"
+}
+
+// EncodeSnapshot writes both fields.
+func (b *Bad) EncodeSnapshot(buf *bytes.Buffer) {
+	binary.Write(buf, binary.LittleEndian, b.ID)
+	binary.Write(buf, binary.LittleEndian, b.Score)
+}
+
+// DecodeSnapshotBad forgets Score entirely.
+func DecodeSnapshotBad(buf *bytes.Buffer) (*Bad, error) {
+	b := &Bad{}
+	if err := binary.Read(buf, binary.LittleEndian, &b.ID); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Orphan can be encoded but never restored.
+type Orphan struct {
+	ID int64
+}
+
+// EncodeSnapshot has no decode counterpart.
+func (o *Orphan) EncodeSnapshot(buf *bytes.Buffer) { // want "type Orphan has EncodeSnapshot but no matching decode"
+	binary.Write(buf, binary.LittleEndian, o.ID)
+}
+
+// Waived documents a derived field the codec deliberately skips.
+type Waived struct {
+	Values []int64
+	//schedlint:snapfield sum cache; recomputed from Values at decode
+	sum int64
+}
+
+// Snapshot encodes only Values (form C: Snapshot/LoadSnapshot pair).
+func (w *Waived) Snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, int64(len(w.Values)))
+	for _, v := range w.Values {
+		binary.Write(&buf, binary.LittleEndian, v)
+	}
+	return buf.Bytes(), nil
+}
+
+// LoadSnapshot restores Values and recomputes the cache.
+func (w *Waived) LoadSnapshot(b []byte) error {
+	buf := bytes.NewBuffer(b)
+	var n int64
+	if err := binary.Read(buf, binary.LittleEndian, &n); err != nil {
+		return err
+	}
+	w.Values = make([]int64, n)
+	w.sum = 0
+	for i := range w.Values {
+		if err := binary.Read(buf, binary.LittleEndian, &w.Values[i]); err != nil {
+			return err
+		}
+		w.sum += w.Values[i]
+	}
+	return nil
+}
+
+// NotACodec has a Snapshot method with parameters, which is a report helper,
+// not a codec; no pairing is demanded and no fields are checked.
+type NotACodec struct {
+	hidden int
+}
+
+// Snapshot with a parameter is not the codec shape.
+func (n *NotACodec) Snapshot(now int64) ([]byte, error) {
+	if now < 0 {
+		return nil, errors.New("bad clock")
+	}
+	return nil, nil
+}

@@ -1,0 +1,10 @@
+// Package free is outside the critical set and has no opt-in directive;
+// wall-clock use here is legitimate (host-facing code).
+package free
+
+import "time"
+
+// Uptime may read the wall clock freely.
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}

@@ -1,0 +1,47 @@
+// Package sim is a wallclock fixture whose import path ends in internal/sim,
+// placing it in the determinism-critical set.
+package sim
+
+import "time"
+
+// Stopwatch mirrors the injectable simtime.Stopwatch shape.
+type Stopwatch interface {
+	Start() func() time.Duration
+}
+
+// Clock is simulation state driven by virtual time.
+type Clock struct {
+	now int64
+	sw  Stopwatch
+}
+
+// Bad reads and blocks on the wall clock.
+func (c *Clock) Bad() time.Duration {
+	t0 := time.Now()            // want "time.Now reads the wall clock"
+	time.Sleep(time.Nanosecond) // want "time.Sleep blocks on wall time"
+	return time.Since(t0)       // want "time.Since reads the wall clock"
+}
+
+// Good routes latency telemetry through the injected stopwatch.
+func (c *Clock) Good() time.Duration {
+	stop := c.sw.Start()
+	c.now++
+	return stop()
+}
+
+// Waived documents a deliberate wall-clock read.
+func (c *Clock) Waived() time.Time {
+	//schedlint:wallclock log timestamping only; never feeds simulation state
+	return time.Now()
+}
+
+// Unjustified shows that a bare waiver does not suppress, it reports.
+func (c *Clock) Unjustified() time.Time {
+	//schedlint:wallclock
+	return time.Now() // want "waiver //schedlint:wallclock has no justification"
+}
+
+// Fine uses time only for arithmetic, which never touches the clock.
+func (c *Clock) Fine(d time.Duration) time.Duration {
+	return d.Round(time.Second)
+}

@@ -1,0 +1,12 @@
+// Package optin is outside the critical path set but opts in to the
+// wallclock check with the package-level directive below.
+//
+//schedlint:deterministic
+package optin
+
+import "time"
+
+// Stamp reads the wall clock in an opted-in package.
+func Stamp() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}

@@ -1,0 +1,92 @@
+// Package wallclock forbids reading the wall clock inside determinism-
+// critical packages. The simulator's clock is virtual (int64 seconds owned by
+// the engine); a time.Now or time.Sleep in a scheduling decision couples the
+// run to the host machine, which is exactly the bug class the byte-identical
+// golden suites exist to catch — after it has already shipped. Wall-clock
+// telemetry (decision latency) must flow through an injected
+// simtime.Stopwatch instead, so the single time.Now call site lives outside
+// the critical set.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"hybridsched/internal/analyzers/lintkit"
+)
+
+// CriticalSuffixes lists the import-path suffixes of the packages whose code
+// must never consult the wall clock. Packages outside this set can opt in
+// with a file-level //schedlint:deterministic directive.
+var CriticalSuffixes = []string{
+	"internal/sim",
+	"internal/policy",
+	"internal/eventq",
+	"internal/core",
+	"internal/metrics",
+}
+
+// banned maps the time package's wall-clock entry points to a short
+// explanation used in the diagnostic.
+var banned = map[string]string{
+	"Now":       "reads the wall clock",
+	"Since":     "reads the wall clock",
+	"Until":     "reads the wall clock",
+	"Sleep":     "blocks on wall time",
+	"Tick":      "schedules on wall time",
+	"After":     "schedules on wall time",
+	"AfterFunc": "schedules on wall time",
+	"NewTimer":  "schedules on wall time",
+	"NewTicker": "schedules on wall time",
+}
+
+// Analyzer flags wall-clock access in determinism-critical packages.
+var Analyzer = &lintkit.Analyzer{
+	Name:   "wallclock",
+	Waiver: "wallclock",
+	Doc: "forbid time.Now/time.Since/time.Sleep in determinism-critical packages\n\n" +
+		"The engine's clock is virtual; wall-clock reads in internal/sim, policy,\n" +
+		"eventq, core or metrics make scheduling decisions host-dependent. Route\n" +
+		"latency telemetry through an injectable simtime.Stopwatch instead.",
+	Run: run,
+}
+
+// Critical reports whether the unit at pkgPath is in the determinism-critical
+// set (exported so the cleanliness test can pin the package list).
+func Critical(pkgPath string) bool {
+	path := strings.TrimSuffix(pkgPath, "_test")
+	for _, s := range CriticalSuffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *lintkit.Pass) error {
+	if !Critical(pass.PkgPath) && !pass.HasPackageDirective("deterministic") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			why, ok := banned[fn.Name()]
+			if !ok {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s %s, which is forbidden in determinism-critical package %s; inject a simtime.Stopwatch for telemetry or waive with //schedlint:wallclock <reason>",
+				fn.Name(), why, pass.PkgPath)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+package wallclock
+
+import (
+	"testing"
+
+	"hybridsched/internal/analyzers/lintkit"
+)
+
+func TestCritical(t *testing.T) {
+	for path, want := range map[string]bool{
+		"hybridsched/internal/sim":      true,
+		"hybridsched/internal/policy":   true,
+		"hybridsched/internal/eventq":   true,
+		"hybridsched/internal/core":     true,
+		"hybridsched/internal/metrics":  true,
+		"hybridsched/internal/sim_test": true, // test variant of a critical package
+		"hybridsched/internal/server":   false,
+		"hybridsched/internal/runner":   false,
+		"hybridsched/cmd/hybridsched":   false,
+	} {
+		if got := Critical(path); got != want {
+			t.Errorf("Critical(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestCriticalFixture(t *testing.T) {
+	lintkit.RunFixture(t, Analyzer, "testdata/src/internal/sim")
+}
+
+func TestOptInFixture(t *testing.T) {
+	lintkit.RunFixture(t, Analyzer, "testdata/src/optin")
+}
+
+func TestNonCriticalFixture(t *testing.T) {
+	lintkit.RunFixture(t, Analyzer, "testdata/src/free")
+}

@@ -22,6 +22,7 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 
 	"hybridsched/internal/nodeset"
 )
@@ -33,6 +34,7 @@ type Cluster struct {
 	down     *nodeset.Set
 	alloc    map[int]*nodeset.Set // job ID -> held nodes
 	reserved map[int]*nodeset.Set // claim ID -> reserved nodes
+	//schedlint:snapfield cache of the reserved sets' total size; recomputed while decoding them
 	totalRes int
 }
 
@@ -307,12 +309,14 @@ func (c *Cluster) Grow(job, k int) *nodeset.Set {
 	return taken
 }
 
-// Claims returns the IDs of all current reservation holders.
+// Claims returns the IDs of all current reservation holders, in ascending
+// order so callers see the same sequence on every run.
 func (c *Cluster) Claims() []int {
 	out := make([]int, 0, len(c.reserved))
 	for id := range c.reserved {
 		out = append(out, id)
 	}
+	sort.Ints(out)
 	return out
 }
 

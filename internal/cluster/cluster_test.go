@@ -411,3 +411,23 @@ func TestHolderLookups(t *testing.T) {
 		t.Fatal("free node reported as reserved")
 	}
 }
+
+// Claims must come back sorted: it reads a map, and callers (reports, debug
+// dumps) would otherwise see a different order on every run.
+func TestClaimsSorted(t *testing.T) {
+	c := New(100)
+	for _, id := range []int{42, 7, 99, 3, 15} {
+		c.Reserve(id, 2)
+	}
+	got := c.Claims()
+	want := []int{3, 7, 15, 42, 99}
+	if len(got) != len(want) {
+		t.Fatalf("Claims() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Claims() = %v, want %v", got, want)
+		}
+	}
+	mustOK(t, c)
+}

@@ -21,7 +21,6 @@ package core
 
 import (
 	"fmt"
-	"time"
 
 	"hybridsched/internal/eventq"
 	"hybridsched/internal/job"
@@ -144,10 +143,17 @@ type odState struct {
 // Mechanism is one of the six notice x arrival combinations. It satisfies
 // sim.Mechanism.
 type Mechanism struct {
-	notice  NoticeKind
+	// Static wiring: the variant selectors and config are construction-time
+	// constants the snapshot caller re-supplies, and e is re-attached by
+	// Attach on the restored engine. None of it belongs in the codec.
+	//schedlint:snapfield notice/arrival/cfg are construction parameters; e is re-attached at restore
+	notice NoticeKind
+	//schedlint:snapfield construction parameter, re-supplied by the snapshot caller
 	arrival ArrivalKind
-	cfg     Config
-	e       *sim.Engine
+	//schedlint:snapfield construction parameter, re-supplied by the snapshot caller
+	cfg Config
+	//schedlint:snapfield engine pointer, re-attached by Attach on restore
+	e *sim.Engine
 
 	states     map[int]*odState // on-demand job ID -> state
 	collectors []*odState       // active collectors in notice order
@@ -238,8 +244,8 @@ func (m *Mechanism) OnTimer(payload any) {
 	case timeoutTimer:
 		m.handleReleaseTimeout(p.odID)
 	case cupTimer:
-		t0 := time.Now()
+		stop := m.e.Stopwatch().Start()
 		m.handleCUPPreempt(p.odID, p.victim)
-		m.e.Metrics().NoteDecision(time.Since(t0))
+		m.e.Metrics().NoteDecision(stop())
 	}
 }

@@ -64,10 +64,12 @@ type Config struct {
 // Injector wraps a mechanism with fault injection. It satisfies
 // sim.Mechanism.
 type Injector struct {
+	//schedlint:snapfield wrapped mechanism snapshots itself via snapshotInner; the wrapper only chains
 	inner sim.Mechanism
 	cfg   Config
 	rng   *stats.RNG
-	e     *sim.Engine
+	//schedlint:snapfield engine pointer, re-attached by Attach on restore
+	e *sim.Engine
 
 	// Failures counts injected failures that struck a job holding the failed
 	// node, over the whole pre-drawn timeline. The engine mirrors the

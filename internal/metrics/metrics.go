@@ -78,16 +78,27 @@ type Collector struct {
 
 	// Streaming mode: per-job results are folded into constant-memory
 	// accumulators instead of the results slice, so collector memory stays
-	// flat across multi-million-job runs. See EnableStreaming.
-	streaming  bool
-	aggAll     classAgg
-	aggRigid   classAgg
-	aggOD      classAgg
-	aggMall    classAgg
-	odInstant  int
-	odStrict   int
+	// flat across multi-million-job runs. See EnableStreaming. Streaming
+	// collectors are never part of a checkpoint — Engine.Snapshot refuses
+	// ReleaseCompleted runs outright — so the codec skips all of them.
+	//schedlint:snapfield streaming collectors cannot be snapshotted (Engine.Snapshot refuses ReleaseCompleted)
+	streaming bool
+	//schedlint:snapfield streaming-only accumulator, unreachable in snapshots
+	aggAll classAgg
+	//schedlint:snapfield streaming-only accumulator, unreachable in snapshots
+	aggRigid classAgg
+	//schedlint:snapfield streaming-only accumulator, unreachable in snapshots
+	aggOD classAgg
+	//schedlint:snapfield streaming-only accumulator, unreachable in snapshots
+	aggMall classAgg
+	//schedlint:snapfield streaming-only accumulator, unreachable in snapshots
+	odInstant int
+	//schedlint:snapfield streaming-only accumulator, unreachable in snapshots
+	odStrict int
+	//schedlint:snapfield streaming-only accumulator, unreachable in snapshots
 	odStreamed int
-	delaySum   float64
+	//schedlint:snapfield streaming-only accumulator, unreachable in snapshots
+	delaySum float64
 }
 
 // classAgg is streaming mode's constant-memory substitute for a per-class

@@ -19,6 +19,7 @@ const wordBits = 64
 // Sets are mutable; use Clone before sharing.
 type Set struct {
 	words []uint64
+	//schedlint:snapfield popcount cache; recomputed from words at decode
 	count int
 }
 

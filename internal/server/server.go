@@ -262,6 +262,7 @@ func (s *Server) Drain() {
 	s.draining = true
 	close(s.drainCh)
 	actors := make([]*actor, 0, len(s.sessions))
+	//schedlint:orderfree actors are closed concurrently below; shutdown order is unobservable
 	for _, a := range s.sessions {
 		actors = append(actors, a)
 	}
@@ -291,6 +292,7 @@ func (s *Server) Close() {
 		close(s.drainCh)
 	}
 	actors := make([]*actor, 0, len(s.sessions))
+	//schedlint:orderfree teardown without checkpoints; close order is unobservable
 	for _, a := range s.sessions {
 		a.persistPath = "" // no checkpoint on the way out
 		actors = append(actors, a)

@@ -15,7 +15,6 @@ package sim
 import (
 	"fmt"
 	"sort"
-	"time"
 
 	"hybridsched/internal/cluster"
 	"hybridsched/internal/eventq"
@@ -23,6 +22,7 @@ import (
 	"hybridsched/internal/metrics"
 	"hybridsched/internal/nodeset"
 	"hybridsched/internal/policy"
+	"hybridsched/internal/simtime"
 )
 
 // Config parameterizes an engine run.
@@ -46,6 +46,10 @@ type Config struct {
 	// incremental structures. The two paths must produce byte-identical
 	// reports; internal/simtest holds them to that.
 	Reference bool
+	// Stopwatch measures decision latency for the metrics report (default
+	// simtime.Wall). Inject simtime.Frozen to zero out latency telemetry —
+	// the one engine output that legitimately varies between hosts.
+	Stopwatch simtime.Stopwatch
 	// ReleaseCompleted keeps resident memory flat on streamed runs: the
 	// engine forgets a job entirely at completion (its index entry, its
 	// bookkeeping, and — after priming — its slot in the registration list),
@@ -64,6 +68,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Policy == nil {
 		c.Policy = policy.FCFS{}
+	}
+	if c.Stopwatch == nil {
+		c.Stopwatch = simtime.Wall
 	}
 	return c
 }
@@ -258,6 +265,8 @@ type Engine struct {
 	q   eventq.Queue
 	cl  *cluster.Cluster
 	met *metrics.Collector
+	//schedlint:snapfield telemetry stopwatch is host wiring, re-injected via Config at restore
+	sw simtime.Stopwatch // cfg.Stopwatch, cached at construction
 
 	jobs []*job.Job
 
@@ -265,7 +274,9 @@ type Engine struct {
 	// contiguous-ID case, with a sparse fallback for outlier IDs. Entry
 	// pointers are invalidated by registering a new job (the dense table may
 	// reallocate); take them fresh, never store them.
-	dense  []jobEntry
+	//schedlint:snapfield index over e.jobs; rebuilt by re-registering restored jobs
+	dense []jobEntry
+	//schedlint:snapfield index over e.jobs; rebuilt by re-registering restored jobs
 	sparse map[int]*jobEntry
 
 	// queue is the waiting queue. With sortedQueue set it is maintained in
@@ -273,9 +284,11 @@ type Engine struct {
 	// built-in orderings are total, so the result is exactly what the
 	// per-pass stable sort used to produce. Time-dependent policies (WFP3,
 	// unknown registered ones) and the reference path re-sort every pass.
-	queue       []*job.Job
+	queue []*job.Job
+	//schedlint:snapfield derived from Config.Policy/Reference, both re-supplied at restore
 	sortedQueue bool
-	odFirst     bool // mech.QueueOnDemandFirst(), cached at construction
+	//schedlint:snapfield cache of the re-attached mechanism's QueueOnDemandFirst
+	odFirst bool // mech.QueueOnDemandFirst(), cached at construction
 
 	// running lists every job holding nodes (Running or Warning), in
 	// ascending ID order, maintained incrementally.
@@ -288,7 +301,9 @@ type Engine struct {
 	// invariant between those transitions (see job.MalleableEstimatedEndAsOf),
 	// so the list never goes stale in between. relVer bumps on every mutation
 	// and keys the planner's shadow/extra memoization.
-	rel    []policy.Running
+	//schedlint:snapfield rebuilt from the restored running set; see restoreReleaseList
+	rel []policy.Running
+	//schedlint:snapfield memoization version counter; any fresh value is correct after restore
 	relVer uint64
 
 	// minNeed is a lower bound on the smallest node count any queued job
@@ -298,17 +313,22 @@ type Engine struct {
 	// bound exceeds everything a planner could hand out — the free pool plus
 	// reserved capacity counted both as private headroom and as shared
 	// backfill reserve.
-	minNeed  int
+	//schedlint:snapfield stale-low-sound lower bound; the first pass after restore recomputes it
+	minNeed int
+	//schedlint:snapfield cache of the re-attached mechanism's FlexibleMalleable
 	flexible bool // mech.FlexibleMalleable(), cached at construction
 
+	//schedlint:snapfield scratch planner; holds no cross-pass state worth a checkpoint
 	planner policy.Planner
 
 	schedPending bool
 	completed    int
 	dispatched   int
-	registered   int // jobs ever registered; stable when ReleaseCompleted prunes e.jobs
-	primed       bool
-	sink         func(Event)
+	//schedlint:snapfield re-counted by re-registering restored jobs (snapshots refuse ReleaseCompleted, so none were pruned)
+	registered int // jobs ever registered; stable when ReleaseCompleted prunes e.jobs
+	primed     bool
+	//schedlint:snapfield event-sink callback is host wiring, re-attached by the caller
+	sink func(Event)
 
 	// Availability model: maintenance windows currently absorbing nodes.
 	// Failed nodes under repair are tracked by their pending evNodeUp events
@@ -337,6 +357,7 @@ func New(cfg Config, jobs []*job.Job, mech Mechanism) (*Engine, error) {
 		squats:       make(map[int][]squat),
 		squatted:     make(map[int]int),
 	}
+	e.sw = cfg.Stopwatch
 	e.odFirst = mech.QueueOnDemandFirst()
 	e.flexible = mech.FlexibleMalleable()
 	e.minNeed = maxIntVal
@@ -490,6 +511,10 @@ func (e *Engine) Cluster() *cluster.Cluster { return e.cl }
 
 // Metrics exposes the collector (mechanisms record decision latencies).
 func (e *Engine) Metrics() *metrics.Collector { return e.met }
+
+// Stopwatch exposes the injected decision-latency stopwatch so mechanisms
+// can time their own work without touching the wall clock directly.
+func (e *Engine) Stopwatch() simtime.Stopwatch { return e.sw }
 
 // Running returns the currently running rigid and malleable jobs (the
 // preemption candidates: on-demand jobs are never preempted, and jobs
@@ -837,9 +862,9 @@ func (e *Engine) handleArrive(j *job.Job) {
 	j.State = job.Waiting
 	e.emit(EventArrival, j, j.Size)
 	if j.Class == job.OnDemand {
-		t0 := time.Now()
+		stop := e.sw.Start()
 		handled := e.mech.OnODArrival(j)
-		e.met.NoteDecision(time.Since(t0))
+		e.met.NoteDecision(stop())
 		if handled {
 			e.requestSchedule()
 			return
@@ -851,9 +876,9 @@ func (e *Engine) handleArrive(j *job.Job) {
 
 func (e *Engine) handleNotice(j *job.Job) {
 	e.emit(EventNotice, j, j.Size)
-	t0 := time.Now()
+	stop := e.sw.Start()
 	e.mech.OnNotice(j)
-	e.met.NoteDecision(time.Since(t0))
+	e.met.NoteDecision(stop())
 	e.requestSchedule()
 }
 

@@ -1,0 +1,37 @@
+package simtime
+
+import "time"
+
+// Stopwatch measures real (wall-clock) elapsed time for telemetry — decision
+// latency, restore cost — without letting the wall clock anywhere near
+// simulation state. Determinism-critical packages are forbidden (and
+// schedlint-enforced) from calling time.Now directly; they receive a
+// Stopwatch by injection instead, so the only wall-clock call site in the
+// tree is Wall below, and tests that need bit-identical runs inject Frozen.
+type Stopwatch interface {
+	// Start begins a measurement and returns a function that reports the
+	// elapsed time since Start.
+	Start() func() time.Duration
+}
+
+// Wall measures against the host's monotonic clock. This is the default for
+// production runs, where decision-latency telemetry should reflect reality.
+var Wall Stopwatch = wallStopwatch{}
+
+type wallStopwatch struct{}
+
+func (wallStopwatch) Start() func() time.Duration {
+	t0 := time.Now()
+	return func() time.Duration { return time.Since(t0) }
+}
+
+// Frozen reports zero elapsed time for every measurement. Injecting it makes
+// latency telemetry (and anything derived from it) identical across runs and
+// hosts.
+var Frozen Stopwatch = frozenStopwatch{}
+
+type frozenStopwatch struct{}
+
+func (frozenStopwatch) Start() func() time.Duration {
+	return func() time.Duration { return 0 }
+}

@@ -1,0 +1,26 @@
+package simtime
+
+import "testing"
+
+func TestWallStopwatchAdvances(t *testing.T) {
+	stop := Wall.Start()
+	// Burn a little time so the measurement is strictly positive even on
+	// coarse clocks.
+	x := 0
+	for i := 0; i < 1000; i++ {
+		x += i
+	}
+	if d := stop(); d < 0 {
+		t.Fatalf("wall stopwatch went backwards: %v (x=%d)", d, x)
+	}
+}
+
+func TestFrozenStopwatchIsZero(t *testing.T) {
+	stop := Frozen.Start()
+	if d := stop(); d != 0 {
+		t.Fatalf("frozen stopwatch reported %v, want 0", d)
+	}
+	if d := stop(); d != 0 {
+		t.Fatalf("frozen stopwatch reported %v on second read, want 0", d)
+	}
+}

@@ -1,0 +1,59 @@
+package hybridsched
+
+import (
+	"testing"
+
+	"hybridsched/internal/checkpoint"
+	"hybridsched/internal/core"
+	"hybridsched/internal/metrics"
+	"hybridsched/internal/sim"
+	"hybridsched/internal/simtime"
+	"hybridsched/internal/trace"
+	"hybridsched/internal/workload"
+)
+
+// TestFrozenStopwatchZeroesDecisionLatency pins the stopwatch injection
+// seam: decision-latency telemetry is the one engine output that reads the
+// host clock, and injecting simtime.Frozen must flatten it to zero without
+// changing anything else about the run.
+func TestFrozenStopwatchZeroesDecisionLatency(t *testing.T) {
+	recs, err := workload.Generate(workload.Config{
+		Seed: 1, Nodes: 256, Weeks: 1,
+		MinJobSize:  8,
+		SizeBuckets: []int{8, 16},
+		SizeWeights: []float64{0.7, 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(sw simtime.Stopwatch) metrics.Report {
+		jobs := trace.Materialize(recs, func(size int) checkpoint.Plan {
+			return checkpoint.NewPlan(size, 24*3600, 1)
+		})
+		m, _ := core.ByName("CUA&SPAA", core.DefaultConfig())
+		e, err := sim.New(sim.Config{Nodes: 256, Stopwatch: sw}, jobs, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	rep := run(simtime.Frozen)
+	if rep.DecisionCount == 0 {
+		t.Fatal("workload produced no on-demand decisions; test is vacuous")
+	}
+	if rep.MeanDecisionMs != 0 || rep.MaxDecisionMs != 0 {
+		t.Fatalf("frozen stopwatch leaked latency: mean=%v max=%v",
+			rep.MeanDecisionMs, rep.MaxDecisionMs)
+	}
+
+	wrep := run(simtime.Wall)
+	if wrep.DecisionCount != rep.DecisionCount {
+		t.Fatalf("stopwatch choice changed the schedule: %d vs %d decisions",
+			wrep.DecisionCount, rep.DecisionCount)
+	}
+}
